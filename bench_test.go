@@ -1,0 +1,301 @@
+// Benchmarks, one per table and figure of the paper. Each benchmark runs
+// the experiment (at a reduced workload scale so the suite stays fast) and
+// reports the headline metric via b.ReportMetric, so `go test -bench .`
+// doubles as a quick reproduction record:
+//
+//	coverage%      suite-average snoop-miss coverage of the named filter
+//	reduction%     suite-average energy reduction
+//	fraction%      snoop-miss share (Tables 2/3 summaries)
+//
+// Run the full-scale numbers with `go run ./cmd/paper -exp all`.
+package jetty_test
+
+import (
+	"testing"
+
+	"jetty/internal/analytic"
+	"jetty/internal/energy"
+	"jetty/internal/jetty"
+	"jetty/internal/sim"
+	"jetty/internal/smp"
+	"jetty/internal/trace"
+	"jetty/internal/workload"
+)
+
+// benchScale shortens the workload access budgets for benchmarking.
+const benchScale = 0.2
+
+// BenchmarkTable1 regenerates the Xeon power-breakdown table.
+func BenchmarkTable1(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		for _, row := range analytic.XeonTable() {
+			frac = row.L2FractionNoPads()
+		}
+	}
+	b.ReportMetric(frac*100, "2MB-L2-share-%")
+}
+
+// BenchmarkFig2 regenerates both panels of Figure 2 (the Appendix-A
+// analytical model) and reports the paper's headline point.
+func BenchmarkFig2(b *testing.B) {
+	tech := energy.Tech180()
+	var head float64
+	for i := 0; i < b.N; i++ {
+		for _, bb := range []int{32, 64} {
+			analytic.ComputeFigure2(tech, bb, 21)
+		}
+		head = analytic.PaperParams(tech, 32).Eval(0.5, 0.1).SnoopMissE
+	}
+	b.ReportMetric(head*100, "headline%(paper~33)")
+}
+
+// suiteOnce runs the benchmark suite once with the full figure filter
+// bank; the result feeds several benchmarks below.
+func suiteOnce(b *testing.B, cpus int, nsb bool) ([]sim.AppResult, smp.Config) {
+	b.Helper()
+	var (
+		results []sim.AppResult
+		cfg     smp.Config
+		err     error
+	)
+	if nsb {
+		results, cfg, err = sim.PaperSuiteNSB(cpus, benchScale)
+	} else {
+		results, cfg, err = sim.PaperSuite(cpus, benchScale)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results, cfg
+}
+
+// avgCoverage returns the suite-average coverage of one configuration.
+func avgCoverage(b *testing.B, results []sim.AppResult, name string) float64 {
+	b.Helper()
+	sum := 0.0
+	for _, r := range results {
+		cov, err := r.CoverageOf(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += cov
+	}
+	return sum / float64(len(results))
+}
+
+// BenchmarkTable2 runs the workload characterization suite and reports the
+// aggregate L2 local hit rate.
+func BenchmarkTable2(b *testing.B) {
+	var l2 float64
+	for i := 0; i < b.N; i++ {
+		results, _ := suiteOnce(b, 4, false)
+		sum := 0.0
+		for _, r := range results {
+			sum += r.L2LocalHitRate
+		}
+		l2 = sum / float64(len(results))
+	}
+	b.ReportMetric(l2*100, "avg-L2-hit%(paper~58)")
+}
+
+// BenchmarkTable3 reports the snoop-miss fraction of all L2 accesses.
+func BenchmarkTable3(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		results, _ := suiteOnce(b, 4, false)
+		sum := 0.0
+		for _, r := range results {
+			sum += r.SnoopMissOfAll
+		}
+		frac = sum / float64(len(results))
+	}
+	b.ReportMetric(frac*100, "snoopmiss-of-all%(paper55)")
+}
+
+// BenchmarkFig4aExcludeJetty reports the best exclude-JETTY's coverage.
+func BenchmarkFig4aExcludeJetty(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		results, _ := suiteOnce(b, 4, false)
+		cov = avgCoverage(b, results, "EJ-32x4")
+	}
+	b.ReportMetric(cov*100, "EJ-32x4-coverage%(paper45)")
+}
+
+// BenchmarkFig4bVectorExcludeJetty reports the best VEJ's coverage.
+func BenchmarkFig4bVectorExcludeJetty(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		results, _ := suiteOnce(b, 4, false)
+		cov = avgCoverage(b, results, "VEJ-32x4-8")
+	}
+	b.ReportMetric(cov*100, "VEJ-32x4-8-coverage%(paper~46)")
+}
+
+// BenchmarkFig5aIncludeJetty reports the best include-JETTY's coverage.
+func BenchmarkFig5aIncludeJetty(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		results, _ := suiteOnce(b, 4, false)
+		cov = avgCoverage(b, results, "IJ-10x4x7")
+	}
+	b.ReportMetric(cov*100, "IJ-10x4x7-coverage%(paper57)")
+}
+
+// BenchmarkFig5bHybridJetty reports the paper's best hybrid's coverage.
+func BenchmarkFig5bHybridJetty(b *testing.B) {
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		results, _ := suiteOnce(b, 4, false)
+		cov = avgCoverage(b, results, "HJ(IJ-10x4x7,EJ-32x4)")
+	}
+	b.ReportMetric(cov*100, "bestHJ-coverage%(paper75.6)")
+}
+
+// BenchmarkTable4 regenerates the include-JETTY storage table.
+func BenchmarkTable4(b *testing.B) {
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		for _, name := range jetty.Table4Configs {
+			row := jetty.MustParse(name).Include.Storage(14)
+			bytes = row.TotalBytes()
+		}
+	}
+	b.ReportMetric(float64(bytes), "IJ-6x5x6-bytes")
+}
+
+// fig6Average computes the suite-average energy reduction of the paper's
+// best hybrid for one mode.
+func fig6Average(b *testing.B, results []sim.AppResult, cfg smp.Config, mode energy.Mode, overAll bool) float64 {
+	b.Helper()
+	tech := energy.Tech180()
+	sum := 0.0
+	for _, r := range results {
+		for _, red := range sim.EnergyReductions(r, cfg, tech, mode) {
+			if red.Filter != "HJ(IJ-10x4x7,EJ-32x4)" {
+				continue
+			}
+			if overAll {
+				sum += red.OverAll
+			} else {
+				sum += red.OverSnoops
+			}
+		}
+	}
+	return sum / float64(len(results))
+}
+
+// BenchmarkFig6SerialEnergy reports Figure 6(a)/(b): energy reductions
+// with serial tag/data arrays.
+func BenchmarkFig6SerialEnergy(b *testing.B) {
+	var overSnoops, overAll float64
+	for i := 0; i < b.N; i++ {
+		results, cfg := suiteOnce(b, 4, false)
+		overSnoops = fig6Average(b, results, cfg, energy.SerialTagData, false)
+		overAll = fig6Average(b, results, cfg, energy.SerialTagData, true)
+	}
+	b.ReportMetric(overSnoops*100, "over-snoops%(paper56)")
+	b.ReportMetric(overAll*100, "over-all%(paper30)")
+}
+
+// BenchmarkFig6ParallelEnergy reports Figure 6(c)/(d): energy reductions
+// with parallel tag/data arrays.
+func BenchmarkFig6ParallelEnergy(b *testing.B) {
+	var overSnoops, overAll float64
+	for i := 0; i < b.N; i++ {
+		results, cfg := suiteOnce(b, 4, false)
+		overSnoops = fig6Average(b, results, cfg, energy.ParallelTagData, false)
+		overAll = fig6Average(b, results, cfg, energy.ParallelTagData, true)
+	}
+	b.ReportMetric(overSnoops*100, "over-snoops%(paper63)")
+	b.ReportMetric(overAll*100, "over-all%(paper41)")
+}
+
+// BenchmarkNoSubblockSummary reproduces the §4.3 non-subblocked numbers.
+func BenchmarkNoSubblockSummary(b *testing.B) {
+	var miss, cov float64
+	for i := 0; i < b.N; i++ {
+		results, _ := suiteOnce(b, 4, true)
+		sum := 0.0
+		for _, r := range results {
+			sum += r.SnoopMissOfSnoops
+		}
+		miss = sum / float64(len(results))
+		cov = avgCoverage(b, results, "HJ(IJ-10x4x7,EJ-32x4)")
+	}
+	b.ReportMetric(miss*100, "snoopmiss%(paper68)")
+	b.ReportMetric(cov*100, "bestHJ-coverage%(paper68)")
+}
+
+// BenchmarkEightWaySummary reproduces the §4.3 8-way SMP numbers.
+func BenchmarkEightWaySummary(b *testing.B) {
+	var frac, cov float64
+	for i := 0; i < b.N; i++ {
+		results, _ := suiteOnce(b, 8, false)
+		sum := 0.0
+		for _, r := range results {
+			sum += r.SnoopMissOfAll
+		}
+		frac = sum / float64(len(results))
+		cov = avgCoverage(b, results, "HJ(IJ-10x4x7,EJ-32x4)")
+	}
+	b.ReportMetric(frac*100, "snoopmiss-of-all%(paper76.4)")
+	b.ReportMetric(cov*100, "coverage%(paper79)")
+}
+
+// BenchmarkThroughputEngine measures the §1 multiprogrammed claim.
+func BenchmarkThroughputEngine(b *testing.B) {
+	best := jetty.MustParse("HJ(IJ-9x4x7,EJ-32x4)")
+	cfg := smp.PaperConfig(4).WithFilters(best)
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunApp(workload.Throughput().Scale(benchScale), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, _ := res.CoverageOf(best.Name())
+		cov = c
+	}
+	b.ReportMetric(cov*100, "coverage%")
+}
+
+// BenchmarkFilterProbe measures raw probe throughput of each variant —
+// the operation on every snoop's critical path.
+func BenchmarkFilterProbe(b *testing.B) {
+	for _, name := range []string{"EJ-32x4", "IJ-10x4x7", "HJ(IJ-10x4x7,EJ-32x4)"} {
+		b.Run(name, func(b *testing.B) {
+			f := jetty.MustParse(name).New(2)
+			for i := 0; i < 4096; i++ {
+				f.BlockAllocated(uint64(i * 3))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := uint64(i) & 0xffff
+				f.Probe(u, u/2)
+			}
+		})
+	}
+}
+
+// BenchmarkSystemStep measures end-to-end simulator throughput with the
+// full figure filter bank attached.
+func BenchmarkSystemStep(b *testing.B) {
+	filters, err := jetty.ParseAll(sim.AllFigureConfigs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := smp.PaperConfig(4).WithFilters(filters...)
+	sys := smp.New(cfg)
+	sp, _ := workload.ByName("Ocean")
+	src := sp.Source(4)
+	refs := make([]trace.Ref, 0, 1<<16)
+	for i := 0; i < 1<<16; i++ {
+		r, _ := src.Next(i % 4)
+		refs = append(refs, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step(i%4, refs[i%len(refs)])
+	}
+}

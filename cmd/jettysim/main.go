@@ -1,0 +1,147 @@
+// Command jettysim runs one workload on one machine configuration and
+// prints the full measurement: hierarchy statistics, bus and snoop
+// activity, per-filter coverage and energy reductions.
+//
+// Examples:
+//
+//	jettysim -app Barnes
+//	jettysim -app un -cpus 8 -filters 'HJ(IJ-9x4x7,EJ-32x4),EJ-32x4'
+//	jettysim -app Throughput -nsb -serial=false
+//	jettysim -app Ocean -accesses 500000 -l2 2097152 -assoc 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jetty/internal/addr"
+	"jetty/internal/bus"
+	"jetty/internal/energy"
+	"jetty/internal/jetty"
+	"jetty/internal/sim"
+	"jetty/internal/smp"
+	"jetty/internal/tables"
+	"jetty/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "Barnes", "workload: an application name/abbreviation from Table 2, or Throughput")
+	cpus := flag.Int("cpus", 4, "number of CPUs")
+	accesses := flag.Uint64("accesses", 0, "reference budget override (0 = spec default)")
+	filters := flag.String("filters", "HJ(IJ-10x4x7,EJ-32x4),HJ(IJ-9x4x7,EJ-32x4),EJ-32x4,IJ-9x4x7",
+		"comma-separated JETTY configurations")
+	l2size := flag.Int("l2", 1<<20, "L2 size in bytes")
+	l2assoc := flag.Int("assoc", 4, "L2 associativity")
+	nsb := flag.Bool("nsb", false, "disable L2 subblocking (64-byte coherence units)")
+	serial := flag.Bool("serial", true, "serial tag/data L2 access (false = parallel)")
+	flag.Parse()
+
+	if err := run(*app, *cpus, *accesses, *filters, *l2size, *l2assoc, *nsb, *serial); err != nil {
+		fmt.Fprintln(os.Stderr, "jettysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, cpus int, accesses uint64, filterList string, l2size, l2assoc int, nsb, serial bool) error {
+	var sp workload.Spec
+	if strings.EqualFold(app, "Throughput") || app == "tp" {
+		sp = workload.Throughput()
+	} else {
+		var err error
+		sp, err = workload.ByName(app)
+		if err != nil {
+			return err
+		}
+	}
+	if accesses > 0 {
+		sp.Accesses = accesses
+	}
+
+	fcs, err := jetty.ParseAll(splitConfigs(filterList))
+	if err != nil {
+		return err
+	}
+
+	cfg := smp.PaperConfig(cpus).WithFilters(fcs...)
+	cfg.L2.SizeBytes = l2size
+	cfg.L2.Assoc = l2assoc
+	if nsb {
+		cfg.L2.Geom = addr.NonSubblocked
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	res, err := sim.RunApp(sp, cfg)
+	if err != nil {
+		return err
+	}
+	printResult(res, cfg, serial)
+	return nil
+}
+
+// splitConfigs splits a comma-separated configuration list while keeping
+// the commas inside HJ(...,...) intact.
+func splitConfigs(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				if part := strings.TrimSpace(s[start:i]); part != "" {
+					out = append(out, part)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if part := strings.TrimSpace(s[start:]); part != "" {
+		out = append(out, part)
+	}
+	return out
+}
+
+func printResult(res sim.AppResult, cfg smp.Config, serial bool) {
+	fmt.Printf("workload %s on %d-way SMP, %dKB %d-way L2 (%s, %d-byte units)\n",
+		res.Spec.Name, cfg.CPUs, cfg.L2.SizeBytes>>10, cfg.L2.Assoc,
+		map[bool]string{true: "subblocked", false: "non-subblocked"}[cfg.L2.Geom.UnitsPerBlock > 1],
+		cfg.L2.Geom.UnitBytes())
+
+	c := res.Counts
+	cp := res.CPU
+	fmt.Printf("\nreferences: %d (%d loads, %d stores), footprint %s MB\n",
+		res.Refs, cp.Loads, cp.Stores, tables.MB(res.MemoryBytes))
+	fmt.Printf("L1: %s hit rate (%d probes), %d writebacks, %d store-forwards\n",
+		tables.Pct(res.L1HitRate), cp.L1Probes, cp.L1Writebacks, cp.WBForwards)
+	fmt.Printf("L2 local: %s hit rate (%d reads, %d writes)\n",
+		tables.Pct(res.L2LocalHitRate), c.LocalReads, c.LocalWrites)
+
+	fmt.Printf("\nbus: %d BusRd, %d BusRdX, %d BusUpgr, %d BusWB\n",
+		res.Bus.Count[bus.Read], res.Bus.Count[bus.ReadX], res.Bus.Count[bus.Upgrade], res.Bus.Count[bus.Writeback])
+	fmt.Printf("snoops: %d (%d hit, %d miss); remote-hit distribution:",
+		c.Snoops, c.SnoopHits, c.SnoopMisses)
+	for h, f := range res.RemoteHitFrac {
+		fmt.Printf(" %d:%s", h, tables.PctInt(f))
+	}
+	fmt.Printf("\nsnoop misses: %s of snoops, %s of all L2 accesses\n",
+		tables.Pct(res.SnoopMissOfSnoops), tables.Pct(res.SnoopMissOfAll))
+
+	mode := energy.SerialTagData
+	if !serial {
+		mode = energy.ParallelTagData
+	}
+	reds := sim.EnergyReductions(res, cfg, energy.Tech180(), mode)
+	t := tables.New(fmt.Sprintf("\nJETTY filters (%s tag/data):", mode),
+		"config", "coverage", "energy -% (snoops)", "energy -% (all L2)")
+	for i, name := range res.FilterNames {
+		t.Row(name, tables.Pct(res.Coverage[i]), tables.Pct(reds[i].OverSnoops), tables.Pct(reds[i].OverAll))
+	}
+	fmt.Println(t.String())
+}

@@ -1,0 +1,123 @@
+// Command tracecat records synthetic workload traces to the compact JTT1
+// format and inspects recorded files — the collect-once/replay-many
+// workflow the paper's WWT2 methodology uses.
+//
+//	tracecat -record -app Ocean -n 100000 -o ocean.jtt   # record
+//	tracecat -stat ocean.jtt                              # summarize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jetty/internal/trace"
+	"jetty/internal/workload"
+)
+
+func main() {
+	record := flag.Bool("record", false, "record a workload trace")
+	stat := flag.String("stat", "", "summarize a recorded trace file")
+	app := flag.String("app", "Ocean", "workload to record (Table 2 name or Throughput)")
+	cpus := flag.Int("cpus", 4, "CPUs")
+	n := flag.Uint64("n", 100_000, "references per CPU to record")
+	out := flag.String("o", "trace.jtt", "output file for -record")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *record:
+		err = doRecord(*app, *cpus, *n, *out)
+	case *stat != "":
+		err = doStat(*stat)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}
+
+func doRecord(app string, cpus int, n uint64, out string) error {
+	var sp workload.Spec
+	if app == "Throughput" || app == "tp" {
+		sp = workload.Throughput()
+	} else {
+		var err error
+		sp, err = workload.ByName(app)
+		if err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	total, err := trace.Record(f, sp.Source(cpus), n)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d references of %s to %s (%.2f bytes/ref)\n",
+		total, sp.Name, out, float64(info.Size())/float64(total))
+	return nil
+}
+
+func doStat(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	cpus := rd.CPUs()
+	counts := make([]uint64, cpus)
+	writes := make([]uint64, cpus)
+	var minA, maxA uint64 = ^uint64(0), 0
+	total := uint64(0)
+	for {
+		progressed := false
+		for cpu := 0; cpu < cpus; cpu++ {
+			r, ok := rd.Next(cpu)
+			if !ok {
+				continue
+			}
+			progressed = true
+			total++
+			counts[cpu]++
+			if r.Op == trace.Write {
+				writes[cpu]++
+			}
+			if r.Addr < minA {
+				minA = r.Addr
+			}
+			if r.Addr > maxA {
+				maxA = r.Addr
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d CPUs, %d references, span [%#x, %#x]\n", path, cpus, total, minA, maxA)
+	for cpu := 0; cpu < cpus; cpu++ {
+		wf := 0.0
+		if counts[cpu] > 0 {
+			wf = float64(writes[cpu]) / float64(counts[cpu])
+		}
+		fmt.Printf("  cpu%d: %d refs, %.1f%% writes\n", cpu, counts[cpu], wf*100)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package jetty is a from-scratch Go reproduction of "JETTY: Filtering
+// Snoops for Reduced Energy Consumption in SMP Servers" (Moshovos, Memik,
+// Falsafi, Choudhary — HPCA 2001).
+//
+// JETTY is a small, cache-like structure placed between the shared bus and
+// the backside of each processor's L2 in a snoopy bus-based SMP. Every
+// incoming snoop probes it first; the JETTY either guarantees the block is
+// not cached locally — skipping the energy-hungry L2 tag probe — or lets
+// the snoop proceed. The repository contains the three filter families of
+// the paper (exclude, include, hybrid), the complete simulated substrate
+// (MOESI bus protocol, subblocked L2, write-back L1, write buffers,
+// synthetic SPLASH-2-like workloads), the Kamble–Ghose energy model with
+// CACTI-lite banking, and a harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// Start with examples/quickstart, or run:
+//
+//	go run ./cmd/paper -exp all
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for measured
+// results versus the paper.
+package jetty

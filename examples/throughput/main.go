@@ -1,0 +1,49 @@
+// Throughput engine: the paper's §1 claim is that JETTY's savings are
+// larger when an SMP runs independent programs per CPU ("throughput
+// engine") than when it runs one parallel program — because with disjoint
+// address spaces essentially every snoop misses everywhere. This example
+// measures that claim by running the multiprogrammed workload and a
+// heavily-sharing parallel workload side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jetty/internal/energy"
+	"jetty/internal/jetty"
+	"jetty/internal/sim"
+	"jetty/internal/smp"
+	"jetty/internal/workload"
+)
+
+func main() {
+	best := jetty.MustParse("HJ(IJ-9x4x7,EJ-32x4)")
+	cfg := smp.PaperConfig(4).WithFilters(best)
+
+	throughput := workload.Throughput()
+	throughput.Accesses = 800_000
+
+	parallel, err := workload.ByName("Unstructured") // heaviest sharing in the suite
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallel.Accesses = 800_000
+
+	fmt.Printf("%-22s %12s %14s %10s %16s %14s\n",
+		"workload", "snoop miss%", "miss% of all", "coverage", "energy -% snoop", "energy -% all")
+	for _, sp := range []workload.Spec{throughput, parallel} {
+		res, err := sim.RunApp(sp, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cov, _ := res.CoverageOf(best.Name())
+		red := sim.EnergyReductions(res, cfg, energy.Tech180(), energy.SerialTagData)[0]
+		fmt.Printf("%-22s %11.1f%% %13.1f%% %9.1f%% %15.1f%% %13.1f%%\n",
+			sp.Name, res.SnoopMissOfSnoops*100, res.SnoopMissOfAll*100,
+			cov*100, red.OverSnoops*100, red.OverAll*100)
+	}
+	fmt.Println("\nIndependent programs never hold each other's data: snoops miss ~100%")
+	fmt.Println("remotely, the filters converge almost perfectly, and the savings exceed")
+	fmt.Println("the parallel-program case — exactly the paper's throughput-engine argument.")
+}

@@ -1,0 +1,119 @@
+// Package addr provides physical-address arithmetic shared by the cache,
+// jetty and workload packages.
+//
+// The simulated machine uses an IA-32-like 36-bit physical address space
+// (as the paper assumes for tag sizing). Addresses are byte addresses held
+// in a uint64; the helpers here convert between byte addresses, coherence
+// units (subblocks) and L2 blocks for a given Geometry.
+package addr
+
+import "fmt"
+
+// PhysBits is the number of physical address bits (IA-32-like, per paper §2.1).
+const PhysBits = 36
+
+// PhysMask masks a uint64 down to the physical address space.
+const PhysMask = (uint64(1) << PhysBits) - 1
+
+// Addr is a byte-granularity physical address.
+type Addr = uint64
+
+// Geometry describes the block/subblock organization of the L2, which
+// defines the two address granularities the system cares about:
+//
+//   - the coherence unit ("unit"): the subblock at which MOESI state is kept
+//   - the block: the L2 allocation/tag granularity
+//
+// With subblocking (the paper's base config) a 64-byte block holds two
+// 32-byte units; without subblocking the two granularities coincide.
+type Geometry struct {
+	BlockBytes    int // L2 block (tag) size in bytes; power of two
+	UnitsPerBlock int // coherence units per block; power of two, >= 1
+}
+
+// Subblocked is the paper's base geometry: 64-byte L2 blocks made of two
+// 32-byte coherence subblocks.
+var Subblocked = Geometry{BlockBytes: 64, UnitsPerBlock: 2}
+
+// NonSubblocked is the paper's "NSB" comparison geometry: 64-byte blocks
+// with coherence kept at whole-block granularity.
+var NonSubblocked = Geometry{BlockBytes: 64, UnitsPerBlock: 1}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	if g.BlockBytes <= 0 || g.BlockBytes&(g.BlockBytes-1) != 0 {
+		return fmt.Errorf("addr: BlockBytes %d is not a positive power of two", g.BlockBytes)
+	}
+	if g.UnitsPerBlock <= 0 || g.UnitsPerBlock&(g.UnitsPerBlock-1) != 0 {
+		return fmt.Errorf("addr: UnitsPerBlock %d is not a positive power of two", g.UnitsPerBlock)
+	}
+	if g.UnitBytes() < 1 {
+		return fmt.Errorf("addr: block of %d bytes cannot hold %d units", g.BlockBytes, g.UnitsPerBlock)
+	}
+	return nil
+}
+
+// UnitBytes returns the coherence-unit size in bytes.
+func (g Geometry) UnitBytes() int { return g.BlockBytes / g.UnitsPerBlock }
+
+// Block returns the block number containing byte address a.
+func (g Geometry) Block(a Addr) uint64 { return (a & PhysMask) / uint64(g.BlockBytes) }
+
+// Unit returns the coherence-unit number containing byte address a.
+func (g Geometry) Unit(a Addr) uint64 { return (a & PhysMask) / uint64(g.UnitBytes()) }
+
+// UnitIndex returns which unit within its block the byte address falls in.
+func (g Geometry) UnitIndex(a Addr) int {
+	return int(g.Unit(a) % uint64(g.UnitsPerBlock))
+}
+
+// BlockOfUnit returns the block number containing the given unit number.
+func (g Geometry) BlockOfUnit(unit uint64) uint64 { return unit / uint64(g.UnitsPerBlock) }
+
+// UnitOfBlock returns the unit number of unit idx within block.
+func (g Geometry) UnitOfBlock(block uint64, idx int) uint64 {
+	return block*uint64(g.UnitsPerBlock) + uint64(idx)
+}
+
+// BlockBase returns the first byte address of the block containing a.
+func (g Geometry) BlockBase(a Addr) Addr { return g.Block(a) * uint64(g.BlockBytes) }
+
+// UnitBase returns the first byte address of the unit containing a.
+func (g Geometry) UnitBase(a Addr) Addr { return g.Unit(a) * uint64(g.UnitBytes()) }
+
+// BlockOffsetBits returns log2(BlockBytes), the number of block-offset bits.
+func (g Geometry) BlockOffsetBits() int { return Log2(uint64(g.BlockBytes)) }
+
+// UnitOffsetBits returns log2(UnitBytes), the number of unit-offset bits.
+func (g Geometry) UnitOffsetBits() int { return Log2(uint64(g.UnitBytes())) }
+
+// BlockAddrBits returns how many bits a block number occupies.
+func (g Geometry) BlockAddrBits() int { return PhysBits - g.BlockOffsetBits() }
+
+// UnitAddrBits returns how many bits a unit number occupies.
+func (g Geometry) UnitAddrBits() int { return PhysBits - g.UnitOffsetBits() }
+
+// Log2 returns floor(log2(v)) for v > 0, and 0 for v == 0. For the powers
+// of two used throughout the simulator this is the exact bit width.
+func Log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Bits extracts bit field [lo, lo+width) of v.
+func Bits(v uint64, lo, width int) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	if width >= 64 {
+		return v >> uint(lo)
+	}
+	return (v >> uint(lo)) & ((uint64(1) << uint(width)) - 1)
+}

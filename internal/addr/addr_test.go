@@ -1,0 +1,182 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	cases := []struct {
+		g    Geometry
+		ok   bool
+		name string
+	}{
+		{Subblocked, true, "subblocked"},
+		{NonSubblocked, true, "non-subblocked"},
+		{Geometry{BlockBytes: 32, UnitsPerBlock: 1}, true, "32B"},
+		{Geometry{BlockBytes: 0, UnitsPerBlock: 1}, false, "zero block"},
+		{Geometry{BlockBytes: 48, UnitsPerBlock: 1}, false, "non-pow2 block"},
+		{Geometry{BlockBytes: 64, UnitsPerBlock: 3}, false, "non-pow2 units"},
+		{Geometry{BlockBytes: 64, UnitsPerBlock: 128}, false, "units exceed bytes"},
+		{Geometry{BlockBytes: 64, UnitsPerBlock: 0}, false, "zero units"},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSubblockedGeometry(t *testing.T) {
+	g := Subblocked
+	if got := g.UnitBytes(); got != 32 {
+		t.Fatalf("UnitBytes = %d, want 32", got)
+	}
+	if got := g.BlockOffsetBits(); got != 6 {
+		t.Errorf("BlockOffsetBits = %d, want 6", got)
+	}
+	if got := g.UnitOffsetBits(); got != 5 {
+		t.Errorf("UnitOffsetBits = %d, want 5", got)
+	}
+	if got := g.BlockAddrBits(); got != 30 {
+		t.Errorf("BlockAddrBits = %d, want 30", got)
+	}
+	if got := g.UnitAddrBits(); got != 31 {
+		t.Errorf("UnitAddrBits = %d, want 31", got)
+	}
+}
+
+func TestBlockUnitMapping(t *testing.T) {
+	g := Subblocked
+	// Byte 0..31 -> unit 0, block 0; byte 32..63 -> unit 1, block 0;
+	// byte 64 -> unit 2, block 1.
+	cases := []struct {
+		a            Addr
+		block, unit  uint64
+		unitIdx      int
+		blkBase      Addr
+		unitBaseAddr Addr
+	}{
+		{0, 0, 0, 0, 0, 0},
+		{31, 0, 0, 0, 0, 0},
+		{32, 0, 1, 1, 0, 32},
+		{63, 0, 1, 1, 0, 32},
+		{64, 1, 2, 0, 64, 64},
+		{100, 1, 3, 1, 64, 96},
+	}
+	for _, c := range cases {
+		if got := g.Block(c.a); got != c.block {
+			t.Errorf("Block(%d) = %d, want %d", c.a, got, c.block)
+		}
+		if got := g.Unit(c.a); got != c.unit {
+			t.Errorf("Unit(%d) = %d, want %d", c.a, got, c.unit)
+		}
+		if got := g.UnitIndex(c.a); got != c.unitIdx {
+			t.Errorf("UnitIndex(%d) = %d, want %d", c.a, got, c.unitIdx)
+		}
+		if got := g.BlockBase(c.a); got != c.blkBase {
+			t.Errorf("BlockBase(%d) = %d, want %d", c.a, got, c.blkBase)
+		}
+		if got := g.UnitBase(c.a); got != c.unitBaseAddr {
+			t.Errorf("UnitBase(%d) = %d, want %d", c.a, got, c.unitBaseAddr)
+		}
+	}
+}
+
+func TestUnitBlockRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := raw & PhysMask
+		g := Subblocked
+		u := g.Unit(a)
+		b := g.Block(a)
+		if g.BlockOfUnit(u) != b {
+			return false
+		}
+		return g.UnitOfBlock(b, g.UnitIndex(a)) == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhysMaskApplied(t *testing.T) {
+	g := NonSubblocked
+	// Addresses above 2^36 must wrap into the physical space.
+	hi := uint64(1)<<40 | 128
+	if got, want := g.Block(hi), uint64(128/64); got != want {
+		t.Errorf("Block(high addr) = %d, want %d", got, want)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {4, 2}, {64, 6}, {1024, 10}, {1 << 36, 36}}
+	for _, c := range cases {
+		if got := Log2(c.v); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []int{0, -1, 3, 6, 1023} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	v := uint64(0b1101_0110)
+	cases := []struct {
+		lo, width int
+		want      uint64
+	}{
+		{0, 4, 0b0110},
+		{4, 4, 0b1101},
+		{1, 3, 0b011},
+		{0, 0, 0},
+		{2, 64, v >> 2},
+	}
+	for _, c := range cases {
+		if got := Bits(v, c.lo, c.width); got != c.want {
+			t.Errorf("Bits(%b,%d,%d) = %b, want %b", v, c.lo, c.width, got, c.want)
+		}
+	}
+}
+
+func TestBitsReassembly(t *testing.T) {
+	// Property: concatenating two adjacent fields reconstructs the original.
+	f := func(v uint64, split uint8) bool {
+		s := int(split % 63)
+		lo := Bits(v, 0, s)
+		hi := Bits(v, s, 64-s)
+		return hi<<uint(s)|lo == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGeometryUnit(b *testing.B) {
+	g := Subblocked
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = r.Uint64() & PhysMask
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.Unit(addrs[i%len(addrs)])
+	}
+	_ = sink
+}

@@ -1,0 +1,101 @@
+// Package analytic implements the paper's closed-form models: the
+// Appendix-A snoop-miss energy model behind Figure 2, and the Table 1
+// Xeon power breakdown (datasheet constants with derived fractions).
+package analytic
+
+import (
+	"fmt"
+
+	"jetty/internal/energy"
+)
+
+// Params configures the Appendix-A model.
+type Params struct {
+	NCPU float64 // number of processors (paper: 4)
+	TAG  float64 // energy per tag-array access (J)
+	DATA float64 // energy per data-array access (J)
+}
+
+// PaperParams returns Appendix-A parameters for the paper's analysis
+// (§2.1): a 1 MB 4-way L2 with the given block size, 36-bit physical
+// addresses plus state bits, serial tag/data, CACTI-optimal banking, on a
+// 4-way SMP. The Appendix model works at whole-block granularity.
+func PaperParams(tech energy.Tech, blockBytes int) Params {
+	org := energy.CacheOrg{
+		Name:      fmt.Sprintf("L2-%dB", blockBytes),
+		SizeBytes: 1 << 20, Assoc: 4, BlockBytes: blockBytes,
+		UnitsPerBlock: 1, StateBits: 2, // paper: 2 bits of MOSI encoding
+	}
+	costs := tech.Costs(org)
+	return Params{NCPU: 4, TAG: costs.TagRead, DATA: costs.DataReadUnit}
+}
+
+// Point holds the Appendix-A quantities for one (local hit rate L, remote
+// hit rate R) operating point. All energies are per local access, in units
+// of the model's TAG/DATA scalars.
+type Point struct {
+	TagSnoopMiss float64 // energy of snoop-induced tag accesses that miss
+	Data         float64 // energy of all data-array accesses
+	SnoopE       float64 // energy of all snoop-induced tag accesses
+	TagAll       float64 // energy of all tag accesses (local + snoop)
+	SnoopMissE   float64 // TagSnoopMiss / (Data + TagAll) — the Y axis of Fig. 2
+}
+
+// Eval evaluates the Appendix-A equations at local hit rate l and remote
+// hit rate r (both in [0,1]):
+//
+//	TagSnoopMiss = TAG * (Ncpu-1) * (1-L) * (1-R)
+//	Data         = DATA * (1 + (Ncpu-1) * (1-L) * R)
+//	SnoopE       = TagSnoopMiss + TAG * (Ncpu-1) * (1-L) * R
+//	TagAll       = SnoopE + TAG * (1 + (1-L))
+//	SnoopMissE   = TagSnoopMiss / (Data + TagAll)
+func (p Params) Eval(l, r float64) Point {
+	var pt Point
+	snoopsPerLocal := (p.NCPU - 1) * (1 - l)
+	pt.TagSnoopMiss = p.TAG * snoopsPerLocal * (1 - r)
+	pt.Data = p.DATA * (1 + snoopsPerLocal*r)
+	pt.SnoopE = pt.TagSnoopMiss + p.TAG*snoopsPerLocal*r
+	pt.TagAll = pt.SnoopE + p.TAG*(1+(1-l))
+	if denom := pt.Data + pt.TagAll; denom > 0 {
+		pt.SnoopMissE = pt.TagSnoopMiss / denom
+	}
+	return pt
+}
+
+// Curve returns Fig. 2's Y values (SnoopMissE) for a fixed remote hit rate
+// r, sampled at the given local hit rates.
+func (p Params) Curve(r float64, localHitRates []float64) []float64 {
+	out := make([]float64, len(localHitRates))
+	for i, l := range localHitRates {
+		out[i] = p.Eval(l, r).SnoopMissE
+	}
+	return out
+}
+
+// Figure2 holds one panel of Figure 2: curves of snoop-miss energy fraction
+// vs local hit rate, one curve per remote hit rate.
+type Figure2 struct {
+	BlockBytes     int
+	LocalHitRates  []float64
+	RemoteHitRates []float64
+	// Series[i][j] = SnoopMissE at RemoteHitRates[i], LocalHitRates[j].
+	Series [][]float64
+}
+
+// ComputeFigure2 reproduces one panel of Figure 2 (32- or 64-byte lines):
+// local hit rate swept 0..1, remote hit rate 0%..90% in 10% steps.
+func ComputeFigure2(tech energy.Tech, blockBytes int, samples int) Figure2 {
+	if samples < 2 {
+		samples = 2
+	}
+	p := PaperParams(tech, blockBytes)
+	fig := Figure2{BlockBytes: blockBytes}
+	for i := 0; i < samples; i++ {
+		fig.LocalHitRates = append(fig.LocalHitRates, float64(i)/float64(samples-1))
+	}
+	for r := 0.0; r < 0.95; r += 0.1 {
+		fig.RemoteHitRates = append(fig.RemoteHitRates, r)
+		fig.Series = append(fig.Series, p.Curve(r, fig.LocalHitRates))
+	}
+	return fig
+}

@@ -1,0 +1,178 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jetty/internal/energy"
+)
+
+func params32() Params { return PaperParams(energy.Tech180(), 32) }
+func params64() Params { return PaperParams(energy.Tech180(), 64) }
+
+func TestPerfectLocalHitRateMeansNoSnoopEnergy(t *testing.T) {
+	// L = 1: no local misses, hence no snoops, hence zero snoop-miss energy.
+	for _, p := range []Params{params32(), params64()} {
+		pt := p.Eval(1.0, 0.0)
+		if pt.SnoopMissE != 0 || pt.SnoopE != 0 || pt.TagSnoopMiss != 0 {
+			t.Errorf("L=1 should produce zero snoop energy, got %+v", pt)
+		}
+		// Data and local tag energy remain.
+		if pt.Data <= 0 || pt.TagAll <= 0 {
+			t.Errorf("L=1 should still have local energy, got %+v", pt)
+		}
+	}
+}
+
+func TestSnoopMissEnergyDecreasesWithLocalHitRate(t *testing.T) {
+	p := params32()
+	prev := math.Inf(1)
+	for l := 0.0; l <= 1.0001; l += 0.1 {
+		y := p.Eval(l, 0.1).SnoopMissE
+		if y > prev+1e-12 {
+			t.Fatalf("SnoopMissE not decreasing at L=%.1f: %g > %g", l, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestSnoopMissEnergyDecreasesWithRemoteHitRate(t *testing.T) {
+	p := params32()
+	prev := math.Inf(1)
+	for r := 0.0; r <= 0.9001; r += 0.1 {
+		y := p.Eval(0.5, r).SnoopMissE
+		if y > prev+1e-12 {
+			t.Fatalf("SnoopMissE not decreasing at R=%.1f: %g > %g", r, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestPaperHeadlinePoint(t *testing.T) {
+	// Paper §2.1: "assuming a 50% local hit rate and a 10% remote hit rate,
+	// snoop-miss tag lookups account for 33% of the power dissipated by all
+	// L2s (with 32-byte blocks)". Our process constants differ from theirs,
+	// so accept the right regime rather than the exact point.
+	got := params32().Eval(0.5, 0.1).SnoopMissE
+	if got < 0.15 || got > 0.50 {
+		t.Errorf("SnoopMissE(L=0.5,R=0.1,32B) = %.3f, want in the paper's ~0.33 regime [0.15,0.50]", got)
+	}
+}
+
+func Test32ByteBlocksShowHigherFraction(t *testing.T) {
+	// Paper: "Snoop-induced miss energy consumption is higher for the
+	// 32-byte block cache compared to the 64-byte block cache" (the data
+	// array is cheaper, so tags weigh more).
+	p32, p64 := params32(), params64()
+	for _, l := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		for _, r := range []float64{0, 0.2, 0.5} {
+			if y32, y64 := p32.Eval(l, r).SnoopMissE, p64.Eval(l, r).SnoopMissE; y32 <= y64 {
+				t.Errorf("L=%.1f R=%.1f: 32B fraction %.3f should exceed 64B %.3f", l, r, y32, y64)
+			}
+		}
+	}
+}
+
+func TestFractionBounded(t *testing.T) {
+	p := params32()
+	f := func(lRaw, rRaw uint16) bool {
+		l := float64(lRaw%1001) / 1000
+		r := float64(rRaw%1001) / 1000
+		y := p.Eval(l, r).SnoopMissE
+		return y >= 0 && y < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalIdentities(t *testing.T) {
+	// SnoopE - TagSnoopMiss must equal the snoop-hit tag energy term, and
+	// TagAll - SnoopE the local tag term TAG*(1+(1-L)).
+	p := params32()
+	for _, l := range []float64{0, 0.25, 0.5, 0.9} {
+		for _, r := range []float64{0, 0.3, 0.9} {
+			pt := p.Eval(l, r)
+			hitTerm := p.TAG * (p.NCPU - 1) * (1 - l) * r
+			if math.Abs(pt.SnoopE-pt.TagSnoopMiss-hitTerm) > 1e-18 {
+				t.Errorf("L=%v R=%v: SnoopE identity broken", l, r)
+			}
+			localTerm := p.TAG * (1 + (1 - l))
+			if math.Abs(pt.TagAll-pt.SnoopE-localTerm) > 1e-18 {
+				t.Errorf("L=%v R=%v: TagAll identity broken", l, r)
+			}
+		}
+	}
+}
+
+func TestMoreCPUsMoreSnoopEnergy(t *testing.T) {
+	p4 := params32()
+	p8 := p4
+	p8.NCPU = 8
+	if p8.Eval(0.5, 0.1).SnoopMissE <= p4.Eval(0.5, 0.1).SnoopMissE {
+		t.Error("8-way SMP should show a larger snoop-miss energy fraction")
+	}
+}
+
+func TestComputeFigure2Shape(t *testing.T) {
+	fig := ComputeFigure2(energy.Tech180(), 32, 11)
+	if len(fig.RemoteHitRates) != 10 {
+		t.Fatalf("want 10 remote-hit-rate curves, got %d", len(fig.RemoteHitRates))
+	}
+	if len(fig.LocalHitRates) != 11 {
+		t.Fatalf("want 11 local samples, got %d", len(fig.LocalHitRates))
+	}
+	if fig.LocalHitRates[0] != 0 || fig.LocalHitRates[10] != 1 {
+		t.Error("local hit rates should span [0,1]")
+	}
+	// Top curve is R=0%; curves ordered decreasing with R at fixed L=0.
+	for i := 1; i < len(fig.Series); i++ {
+		if fig.Series[i][0] > fig.Series[i-1][0] {
+			t.Errorf("curve %d not below curve %d at L=0", i, i-1)
+		}
+	}
+	// All curves end at 0 when L=1.
+	for i, s := range fig.Series {
+		if s[len(s)-1] != 0 {
+			t.Errorf("curve %d nonzero at L=1", i)
+		}
+	}
+}
+
+func TestComputeFigure2MinSamples(t *testing.T) {
+	fig := ComputeFigure2(energy.Tech180(), 64, 0)
+	if len(fig.LocalHitRates) != 2 {
+		t.Errorf("degenerate sample count should clamp to 2, got %d", len(fig.LocalHitRates))
+	}
+}
+
+func TestTable1Fractions(t *testing.T) {
+	rows := XeonTable()
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	// Paper's derived columns: 14/16, 23/28, 34/43 (percent, rounded).
+	want := []struct{ with, without float64 }{
+		{14, 16}, {23, 28}, {34, 43},
+	}
+	for i, r := range rows {
+		gotWith := math.Round(r.L2Fraction() * 100)
+		gotWithout := math.Round(r.L2FractionNoPads() * 100)
+		if math.Abs(gotWith-want[i].with) > 1 {
+			t.Errorf("row %d: L2 fraction = %v%%, want ~%v%%", i, gotWith, want[i].with)
+		}
+		if math.Abs(gotWithout-want[i].without) > 1 {
+			t.Errorf("row %d: L2 w/o pads = %v%%, want ~%v%%", i, gotWithout, want[i].without)
+		}
+	}
+}
+
+func TestTable1Monotone(t *testing.T) {
+	rows := XeonTable()
+	for i := 1; i < len(rows); i++ {
+		if rows[i].L2Fraction() <= rows[i-1].L2Fraction() {
+			t.Error("L2 fraction should grow with L2 size")
+		}
+	}
+}

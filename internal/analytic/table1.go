@@ -1,0 +1,37 @@
+package analytic
+
+// Table 1 of the paper: peak power breakdown of the 400 MHz Intel Pentium
+// II Xeon family (source: Microprocessor Report [6] / Intel datasheet [9]),
+// used to argue that L2 power is a sizeable fraction of the whole. The
+// absolute watts are datasheet constants; the percentage columns are
+// derived, which is what we recompute here.
+
+// XeonRow is one row of Table 1.
+type XeonRow struct {
+	L2SizeKB  int
+	CoreWatts float64
+	L2Watts   float64
+	PadWatts  float64
+}
+
+// XeonTable returns the datasheet rows of Table 1.
+func XeonTable() []XeonRow {
+	return []XeonRow{
+		{L2SizeKB: 512, CoreWatts: 23.3, L2Watts: 4.5, PadWatts: 3},
+		{L2SizeKB: 1024, CoreWatts: 23.3, L2Watts: 9, PadWatts: 6},
+		{L2SizeKB: 2048, CoreWatts: 23.3, L2Watts: 18, PadWatts: 12},
+	}
+}
+
+// L2Fraction returns L2 power as a fraction of overall power with pad
+// power included in the total (the paper's "L2" column: 14%, 23%, 34%).
+func (r XeonRow) L2Fraction() float64 {
+	return r.L2Watts / (r.CoreWatts + r.L2Watts + r.PadWatts)
+}
+
+// L2FractionNoPads returns L2 power as a fraction of overall power with
+// pad power excluded (the paper's "L2 w/o pads" column: 16%, 28%, 43%),
+// an estimate for a hypothetical on-chip L2.
+func (r XeonRow) L2FractionNoPads() float64 {
+	return r.L2Watts / (r.CoreWatts + r.L2Watts)
+}

@@ -1,0 +1,105 @@
+// Package bus defines the shared-bus transaction vocabulary of the
+// simulated SMP and the bookkeeping of snoop outcomes. The paper's machine
+// is a snoopy, write-invalidate, bus-based SMP: every Read/ReadX/Upgrade
+// transaction is observed ("snooped") by all other processors' cache
+// hierarchies; writebacks go to memory unsnooped.
+package bus
+
+import "fmt"
+
+// Kind enumerates bus transaction kinds.
+type Kind uint8
+
+const (
+	// Read is a BusRd: a read miss requesting a shared copy.
+	Read Kind = iota
+	// ReadX is a BusRdX: a write miss requesting an exclusive copy.
+	ReadX
+	// Upgrade is a BusUpgr: write permission for an already-held copy.
+	Upgrade
+	// Writeback is a dirty unit leaving a cache for memory. Writebacks are
+	// address-snooped like every other transaction (caches must check them
+	// to keep request ordering), they just transfer no state.
+	Writeback
+	numKinds
+)
+
+// NumKinds is the number of transaction kinds.
+const NumKinds = int(numKinds)
+
+// String names the transaction kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "BusRd"
+	case ReadX:
+		return "BusRdX"
+	case Upgrade:
+		return "BusUpgr"
+	case Writeback:
+		return "BusWB"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Snoops reports whether the transaction is observed by other caches.
+// Every bus transaction is: writebacks carry no coherence action but all
+// bus-side controllers still probe for the address.
+func (k Kind) Snoops() bool { return k <= Writeback }
+
+// Stats accumulates bus activity for one run.
+type Stats struct {
+	// Count is the number of transactions issued, by kind.
+	Count [NumKinds]uint64
+	// RemoteHits[h] counts snooping transactions that found copies in
+	// exactly h remote caches (Table 3's "Remote Cache Hits" histogram;
+	// the slice has NCPU entries, h ranging 0..NCPU-1).
+	RemoteHits []uint64
+}
+
+// NewStats returns Stats sized for an nCPU machine.
+func NewStats(nCPU int) *Stats {
+	return &Stats{RemoteHits: make([]uint64, nCPU)}
+}
+
+// Record logs one transaction; remoteHits is meaningful only for snooping
+// kinds.
+func (s *Stats) Record(k Kind, remoteHits int) {
+	s.Count[k]++
+	if k.Snoops() {
+		if remoteHits >= len(s.RemoteHits) {
+			remoteHits = len(s.RemoteHits) - 1
+		}
+		s.RemoteHits[remoteHits]++
+	}
+}
+
+// SnoopTransactions returns the total number of snooping transactions.
+func (s *Stats) SnoopTransactions() uint64 {
+	return s.Count[Read] + s.Count[ReadX] + s.Count[Upgrade] + s.Count[Writeback]
+}
+
+// RemoteHitFractions returns the histogram normalized to fractions of all
+// snooping transactions (zeros when none occurred).
+func (s *Stats) RemoteHitFractions() []float64 {
+	total := s.SnoopTransactions()
+	out := make([]float64, len(s.RemoteHits))
+	if total == 0 {
+		return out
+	}
+	for i, v := range s.RemoteHits {
+		out[i] = float64(v) / float64(total)
+	}
+	return out
+}
+
+// Add accumulates other into s (histograms must be same length).
+func (s *Stats) Add(other *Stats) {
+	for i := range s.Count {
+		s.Count[i] += other.Count[i]
+	}
+	for i := range s.RemoteHits {
+		s.RemoteHits[i] += other.RemoteHits[i]
+	}
+}

@@ -1,0 +1,86 @@
+package bus
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{Read: "BusRd", ReadX: "BusRdX", Upgrade: "BusUpgr", Writeback: "BusWB"}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), w)
+		}
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestKindSnoops(t *testing.T) {
+	if !Read.Snoops() || !ReadX.Snoops() || !Upgrade.Snoops() {
+		t.Error("coherence transactions must snoop")
+	}
+	if !Writeback.Snoops() {
+		t.Error("writebacks are address-snooped too")
+	}
+	if Kind(200).Snoops() {
+		t.Error("unknown kinds do not snoop")
+	}
+}
+
+func TestStatsRecord(t *testing.T) {
+	s := NewStats(4)
+	s.Record(Read, 0)
+	s.Record(Read, 2)
+	s.Record(ReadX, 1)
+	s.Record(Upgrade, 3)
+	s.Record(Writeback, 0) // writebacks snoop too: lands in the histogram
+
+	if s.Count[Read] != 2 || s.Count[ReadX] != 1 || s.Count[Upgrade] != 1 || s.Count[Writeback] != 1 {
+		t.Errorf("counts = %v", s.Count)
+	}
+	if s.SnoopTransactions() != 5 {
+		t.Errorf("SnoopTransactions = %d, want 5", s.SnoopTransactions())
+	}
+	wantHist := []uint64{2, 1, 1, 1}
+	for i, w := range wantHist {
+		if s.RemoteHits[i] != w {
+			t.Errorf("RemoteHits[%d] = %d, want %d", i, s.RemoteHits[i], w)
+		}
+	}
+}
+
+func TestStatsRemoteHitsClamped(t *testing.T) {
+	s := NewStats(2)
+	s.Record(Read, 9) // above range: clamp into last bucket
+	if s.RemoteHits[1] != 1 {
+		t.Errorf("clamping failed: %v", s.RemoteHits)
+	}
+}
+
+func TestRemoteHitFractions(t *testing.T) {
+	s := NewStats(4)
+	if f := s.RemoteHitFractions(); f[0] != 0 {
+		t.Error("empty stats should produce zero fractions")
+	}
+	for i := 0; i < 3; i++ {
+		s.Record(Read, 0)
+	}
+	s.Record(Read, 1)
+	f := s.RemoteHitFractions()
+	if f[0] != 0.75 || f[1] != 0.25 {
+		t.Errorf("fractions = %v", f)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a, b := NewStats(4), NewStats(4)
+	a.Record(Read, 0)
+	b.Record(Read, 1)
+	b.Record(Writeback, 0)
+	a.Add(b)
+	if a.Count[Read] != 2 || a.Count[Writeback] != 1 {
+		t.Errorf("Add counts = %v", a.Count)
+	}
+	if a.RemoteHits[0] != 2 || a.RemoteHits[1] != 1 {
+		t.Errorf("Add hist = %v", a.RemoteHits)
+	}
+}

@@ -1,0 +1,407 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"jetty/internal/addr"
+)
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Owned: "O", Modified: "M", State(9): "?"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	cases := []struct {
+		s                              State
+		valid, dirty, supply, writable bool
+	}{
+		{Invalid, false, false, false, false},
+		{Shared, true, false, false, false},
+		{Exclusive, true, false, true, true},
+		{Owned, true, true, true, false},
+		{Modified, true, true, true, true},
+	}
+	for _, c := range cases {
+		if c.s.Valid() != c.valid || c.s.Dirty() != c.dirty ||
+			c.s.CanSupply() != c.supply || c.s.Writable() != c.writable {
+			t.Errorf("state %v predicates wrong", c.s)
+		}
+	}
+}
+
+func smallL2() *L2 {
+	return NewL2(L2Config{SizeBytes: 1 << 12, Assoc: 2, Geom: addr.Subblocked}) // 32 sets
+}
+
+func TestL2ConfigValidate(t *testing.T) {
+	good := L2Config{SizeBytes: 1 << 20, Assoc: 4, Geom: addr.Subblocked}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if good.Sets() != 4096 || good.Blocks() != 16384 {
+		t.Errorf("paper L2 geometry wrong: %d sets, %d blocks", good.Sets(), good.Blocks())
+	}
+	bad := []L2Config{
+		{SizeBytes: 3000, Assoc: 4, Geom: addr.Subblocked},
+		{SizeBytes: 1 << 20, Assoc: 3, Geom: addr.Subblocked},
+		{SizeBytes: 1 << 20, Assoc: 4, Geom: addr.Geometry{BlockBytes: 48, UnitsPerBlock: 2}},
+		{SizeBytes: 64, Assoc: 4, Geom: addr.Subblocked},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestL2FillAndLookup(t *testing.T) {
+	l2 := smallL2()
+	block := uint64(0x100)
+	unit := addr.Subblocked.UnitOfBlock(block, 0)
+
+	if l2.HasBlock(block) || l2.UnitState(unit) != Invalid {
+		t.Fatal("empty cache claims content")
+	}
+	ev, alloc := l2.EnsureBlock(block)
+	if ev != nil || !alloc {
+		t.Fatalf("first allocation: ev=%v alloc=%v", ev, alloc)
+	}
+	l2.SetUnitState(unit, Exclusive)
+	if got := l2.UnitState(unit); got != Exclusive {
+		t.Errorf("unit state = %v", got)
+	}
+	// Sibling unit still invalid.
+	if got := l2.UnitState(unit + 1); got != Invalid {
+		t.Errorf("sibling state = %v", got)
+	}
+	// Re-ensuring is a no-op.
+	if _, alloc := l2.EnsureBlock(block); alloc {
+		t.Error("re-allocation of present block")
+	}
+	if l2.LiveBlocks() != 1 {
+		t.Errorf("LiveBlocks = %d", l2.LiveBlocks())
+	}
+}
+
+func TestL2SetUnitStateOnAbsentBlockPanics(t *testing.T) {
+	l2 := smallL2()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	l2.SetUnitState(12345, Shared)
+}
+
+func TestL2EvictionCarriesDirtyUnits(t *testing.T) {
+	l2 := smallL2() // 32 sets, 2-way
+	g := addr.Subblocked
+	// Three blocks mapping to the same set force one eviction.
+	b0, b1, b2 := uint64(0), uint64(32), uint64(64)
+	for _, b := range []uint64{b0, b1} {
+		if _, alloc := l2.EnsureBlock(b); !alloc {
+			t.Fatal("allocation failed")
+		}
+	}
+	l2.SetUnitState(g.UnitOfBlock(b0, 0), Modified)
+	l2.SetUnitState(g.UnitOfBlock(b0, 1), Shared)
+	l2.SetInL1(g.UnitOfBlock(b0, 0), true)
+	l2.SetUnitState(g.UnitOfBlock(b1, 0), Exclusive)
+	l2.Touch(b0) // b1 becomes LRU
+
+	ev, alloc := l2.EnsureBlock(b2)
+	if !alloc || ev == nil {
+		t.Fatalf("expected eviction, got ev=%v", ev)
+	}
+	if ev.Block != b1 {
+		t.Fatalf("evicted block %#x, want %#x (LRU)", ev.Block, b1)
+	}
+	if len(ev.Units) != 1 || ev.Units[0].State != Exclusive {
+		t.Fatalf("eviction units = %+v", ev.Units)
+	}
+	if ev.DirtyUnits() != 0 {
+		t.Error("exclusive unit is not dirty")
+	}
+
+	// Now evict b0: its M unit is dirty and flagged inL1.
+	ev, _ = l2.EnsureBlock(uint64(96))
+	if ev == nil || ev.Block != b0 {
+		t.Fatalf("expected b0 eviction, got %+v", ev)
+	}
+	if ev.DirtyUnits() != 1 {
+		t.Errorf("DirtyUnits = %d, want 1", ev.DirtyUnits())
+	}
+	var sawInL1 bool
+	for _, u := range ev.Units {
+		if u.InL1 {
+			sawInL1 = true
+		}
+	}
+	if !sawInL1 {
+		t.Error("inL1 hint lost during eviction")
+	}
+}
+
+func TestL2PrefersInvalidFrame(t *testing.T) {
+	l2 := smallL2()
+	b0, b1, b2 := uint64(0), uint64(32), uint64(64)
+	l2.EnsureBlock(b0)
+	l2.SetUnitState(addr.Subblocked.UnitOfBlock(b0, 0), Shared)
+	l2.EnsureBlock(b1)
+	l2.SetUnitState(addr.Subblocked.UnitOfBlock(b1, 0), Shared)
+	// Invalidate all of b0 -> frame freed.
+	if _, freed := l2.InvalidateUnit(addr.Subblocked.UnitOfBlock(b0, 0)); !freed {
+		t.Fatal("block should be freed when last unit invalidated")
+	}
+	ev, _ := l2.EnsureBlock(b2)
+	if ev != nil {
+		t.Errorf("allocation should reuse the freed frame, evicted %+v", ev)
+	}
+	if !l2.HasBlock(b1) {
+		t.Error("valid block b1 was displaced")
+	}
+}
+
+func TestL2InvalidateUnit(t *testing.T) {
+	l2 := smallL2()
+	g := addr.Subblocked
+	b := uint64(7)
+	u0, u1 := g.UnitOfBlock(b, 0), g.UnitOfBlock(b, 1)
+	l2.EnsureBlock(b)
+	l2.SetUnitState(u0, Modified)
+	l2.SetUnitState(u1, Shared)
+
+	prior, freed := l2.InvalidateUnit(u0)
+	if prior != Modified || freed {
+		t.Fatalf("InvalidateUnit(u0) = %v,%v", prior, freed)
+	}
+	if !l2.HasBlock(b) {
+		t.Fatal("block freed while a unit remains valid")
+	}
+	prior, freed = l2.InvalidateUnit(u1)
+	if prior != Shared || !freed {
+		t.Fatalf("InvalidateUnit(u1) = %v,%v", prior, freed)
+	}
+	if l2.HasBlock(b) || l2.LiveBlocks() != 0 {
+		t.Error("block tag not deallocated")
+	}
+	// Invalidating an absent unit is harmless.
+	if prior, freed := l2.InvalidateUnit(u1); prior != Invalid || freed {
+		t.Error("invalidate of absent unit should be a no-op")
+	}
+}
+
+func TestL2InL1Hint(t *testing.T) {
+	l2 := smallL2()
+	u := uint64(100)
+	if l2.InL1(u) {
+		t.Error("absent unit cannot be in L1")
+	}
+	l2.SetInL1(u, true) // absent block: ignored
+	if l2.InL1(u) {
+		t.Error("hint set on absent block")
+	}
+	b := addr.Subblocked.BlockOfUnit(u)
+	l2.EnsureBlock(b)
+	l2.SetUnitState(u, Shared)
+	l2.SetInL1(u, true)
+	if !l2.InL1(u) {
+		t.Error("hint lost")
+	}
+	l2.InvalidateUnit(u)
+	if l2.InL1(u) {
+		t.Error("hint must clear on invalidation")
+	}
+}
+
+func TestL2ForEachValidUnit(t *testing.T) {
+	l2 := smallL2()
+	g := addr.Subblocked
+	want := map[uint64]State{}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		b := uint64(r.Intn(512))
+		u := g.UnitOfBlock(b, r.Intn(2))
+		if ev, _ := l2.EnsureBlock(b); ev != nil {
+			for _, eu := range ev.Units {
+				delete(want, eu.Unit)
+			}
+		}
+		s := State(1 + r.Intn(4))
+		l2.SetUnitState(u, s)
+		want[u] = s
+	}
+	got := map[uint64]State{}
+	l2.ForEachValidUnit(func(unit uint64, s State) { got[unit] = s })
+	if len(got) != len(want) {
+		t.Fatalf("valid units: got %d, want %d", len(got), len(want))
+	}
+	for u, s := range want {
+		if got[u] != s {
+			t.Errorf("unit %#x: state %v, want %v", u, got[u], s)
+		}
+	}
+}
+
+func TestL2LRUOrdering(t *testing.T) {
+	// 1-set cache to test pure LRU.
+	l2 := NewL2(L2Config{SizeBytes: 256, Assoc: 4, Geom: addr.NonSubblocked}) // 4 blocks, 1 set
+	for b := uint64(0); b < 4; b++ {
+		l2.EnsureBlock(b)
+		l2.SetUnitState(addr.NonSubblocked.UnitOfBlock(b, 0), Shared)
+	}
+	l2.Touch(0) // order now 0 MRU, then 3,2,1
+	ev, _ := l2.EnsureBlock(10)
+	if ev == nil || ev.Block != 1 {
+		t.Fatalf("evicted %+v, want block 1 (LRU)", ev)
+	}
+}
+
+func TestL1FillLookupInvalidate(t *testing.T) {
+	l1 := NewL1(L1Config{SizeBytes: 1 << 10, LineBytes: 32}) // 32 lines
+	line := uint64(5)
+	if l1.Contains(line) {
+		t.Fatal("empty L1 claims content")
+	}
+	if _, had := l1.Fill(line, false); had {
+		t.Fatal("fill into empty frame returned victim")
+	}
+	if !l1.Contains(line) || l1.Dirty(line) {
+		t.Fatal("fill failed or dirty by default")
+	}
+	l1.MarkDirty(line)
+	if !l1.Dirty(line) {
+		t.Fatal("MarkDirty failed")
+	}
+	present, dirty := l1.Invalidate(line)
+	if !present || !dirty {
+		t.Fatalf("Invalidate = %v,%v", present, dirty)
+	}
+	if l1.Contains(line) {
+		t.Fatal("line still present after invalidation")
+	}
+	if present, _ := l1.Invalidate(line); present {
+		t.Error("double invalidation reported presence")
+	}
+}
+
+func TestL1ConflictVictim(t *testing.T) {
+	l1 := NewL1(L1Config{SizeBytes: 1 << 10, LineBytes: 32}) // 32 lines
+	a, b := uint64(7), uint64(7+32)                          // same frame
+	l1.Fill(a, false)
+	l1.MarkDirty(a)
+	v, had := l1.Fill(b, false)
+	if !had || v.Line != a || !v.Dirty {
+		t.Fatalf("victim = %+v,%v; want dirty line %#x", v, had, a)
+	}
+	if l1.Contains(a) || !l1.Contains(b) {
+		t.Error("replacement state wrong")
+	}
+	// Refilling the same line is not a replacement.
+	if _, had := l1.Fill(b, false); had {
+		t.Error("refill of resident line returned victim")
+	}
+}
+
+func TestL1MarkDirtyPanicsOnAbsent(t *testing.T) {
+	l1 := NewL1(L1Config{SizeBytes: 1 << 10, LineBytes: 32})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	l1.MarkDirty(99)
+}
+
+func TestL1Counters(t *testing.T) {
+	l1 := NewL1(L1Config{SizeBytes: 1 << 10, LineBytes: 32})
+	for i := uint64(0); i < 10; i++ {
+		l1.Fill(i, false)
+	}
+	if l1.ValidLines() != 10 {
+		t.Errorf("ValidLines = %d", l1.ValidLines())
+	}
+	seen := 0
+	l1.ForEachValidLine(func(line uint64, dirty bool) { seen++ })
+	if seen != 10 {
+		t.Errorf("ForEachValidLine visited %d", seen)
+	}
+}
+
+func TestL1ConfigValidate(t *testing.T) {
+	if err := (L1Config{SizeBytes: 64 << 10, LineBytes: 32}).Validate(); err != nil {
+		t.Errorf("paper L1 rejected: %v", err)
+	}
+	for _, c := range []L1Config{
+		{SizeBytes: 0, LineBytes: 32},
+		{SizeBytes: 1000, LineBytes: 32},
+		{SizeBytes: 1 << 10, LineBytes: 0},
+		{SizeBytes: 16, LineBytes: 32},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %+v accepted", c)
+		}
+	}
+}
+
+func TestL1LineAddrMasksPhysical(t *testing.T) {
+	l1 := NewL1(L1Config{SizeBytes: 1 << 10, LineBytes: 32})
+	hi := uint64(1)<<40 | 64
+	if got, want := l1.LineAddr(hi), uint64(2); got != want {
+		t.Errorf("LineAddr = %d, want %d", got, want)
+	}
+}
+
+// TestL2RandomizedConsistency cross-checks the L2 against a reference map
+// under random alloc/invalidate traffic.
+func TestL2RandomizedConsistency(t *testing.T) {
+	l2 := NewL2(L2Config{SizeBytes: 1 << 13, Assoc: 4, Geom: addr.Subblocked}) // 128 blocks
+	g := addr.Subblocked
+	ref := map[uint64]State{} // unit -> state
+	r := rand.New(rand.NewSource(99))
+	for step := 0; step < 100000; step++ {
+		b := uint64(r.Intn(1 << 10))
+		u := g.UnitOfBlock(b, r.Intn(2))
+		switch r.Intn(3) {
+		case 0:
+			if ev, _ := l2.EnsureBlock(b); ev != nil {
+				for _, eu := range ev.Units {
+					if ref[eu.Unit] != eu.State {
+						t.Fatalf("eviction reported %v for unit %#x, ref %v", eu.State, eu.Unit, ref[eu.Unit])
+					}
+					delete(ref, eu.Unit)
+				}
+			}
+			s := State(1 + r.Intn(4))
+			l2.SetUnitState(u, s)
+			ref[u] = s
+		case 1:
+			prior, _ := l2.InvalidateUnit(u)
+			if want := ref[u]; prior != want {
+				t.Fatalf("invalidate prior %v, ref %v", prior, want)
+			}
+			delete(ref, u)
+		default:
+			if got, want := l2.UnitState(u), ref[u]; got != want {
+				t.Fatalf("UnitState(%#x) = %v, ref %v", u, got, want)
+			}
+		}
+	}
+	// Final full sweep.
+	count := 0
+	l2.ForEachValidUnit(func(unit uint64, s State) {
+		count++
+		if ref[unit] != s {
+			t.Fatalf("sweep: unit %#x state %v, ref %v", unit, s, ref[unit])
+		}
+	})
+	if count != len(ref) {
+		t.Fatalf("sweep count %d, ref %d", count, len(ref))
+	}
+}

@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"fmt"
+
+	"jetty/internal/addr"
+)
+
+// L1Config sizes the direct-mapped, write-back, write-allocate L1.
+type L1Config struct {
+	SizeBytes int
+	LineBytes int
+}
+
+// Lines returns the number of line frames.
+func (c L1Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Validate reports configuration errors.
+func (c L1Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || !addr.IsPow2(c.SizeBytes):
+		return fmt.Errorf("cache: L1 size %d not a power of two", c.SizeBytes)
+	case c.LineBytes <= 0 || !addr.IsPow2(c.LineBytes):
+		return fmt.Errorf("cache: L1 line %d not a power of two", c.LineBytes)
+	case c.Lines() < 1:
+		return fmt.Errorf("cache: L1 of %d bytes cannot hold %d-byte lines", c.SizeBytes, c.LineBytes)
+	}
+	return nil
+}
+
+type l1Line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	excl  bool // filled while the L2 unit was writable (M/E): stores may
+	// proceed without interrogating the L2 (MESI-in-L1)
+}
+
+// L1 is a direct-mapped, write-back, data-less L1. Coherence is enforced
+// at the L2 (inclusion): the L1 tracks valid/dirty plus an exclusivity
+// hint that lets stores to lines fetched in a writable state proceed
+// without an L2 access (deferring the M update to writeback time, as
+// MESI-in-L1 hierarchies do).
+type L1 struct {
+	cfg     L1Config
+	idxBits int
+	lines   []l1Line
+}
+
+// NewL1 builds an L1. It panics on an invalid configuration.
+func NewL1(cfg L1Config) *L1 {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &L1{
+		cfg:     cfg,
+		idxBits: addr.Log2(uint64(cfg.Lines())),
+		lines:   make([]l1Line, cfg.Lines()),
+	}
+}
+
+// Config returns the cache configuration.
+func (l *L1) Config() L1Config { return l.cfg }
+
+// LineAddr returns the line number of a byte address.
+func (l *L1) LineAddr(a addr.Addr) uint64 {
+	return (a & addr.PhysMask) / uint64(l.cfg.LineBytes)
+}
+
+func (l *L1) split(line uint64) (int, uint64) {
+	return int(line & ((1 << uint(l.idxBits)) - 1)), line >> uint(l.idxBits)
+}
+
+// Contains reports whether the line is present.
+func (l *L1) Contains(line uint64) bool {
+	idx, tag := l.split(line)
+	return l.lines[idx].valid && l.lines[idx].tag == tag
+}
+
+// Dirty reports whether the line is present and dirty.
+func (l *L1) Dirty(line uint64) bool {
+	idx, tag := l.split(line)
+	return l.lines[idx].valid && l.lines[idx].tag == tag && l.lines[idx].dirty
+}
+
+// Exclusive reports whether the line is present with its exclusivity
+// hint set (a store needs no L2 interrogation).
+func (l *L1) Exclusive(line uint64) bool {
+	idx, tag := l.split(line)
+	return l.lines[idx].valid && l.lines[idx].tag == tag && l.lines[idx].excl
+}
+
+// ClearExclusive drops the exclusivity hint (the L2 unit was downgraded
+// by a snoop while the line sat in L1).
+func (l *L1) ClearExclusive(line uint64) {
+	idx, tag := l.split(line)
+	if f := &l.lines[idx]; f.valid && f.tag == tag {
+		f.excl = false
+	}
+}
+
+// MarkDirty marks a present line dirty; it panics if the line is absent.
+func (l *L1) MarkDirty(line uint64) {
+	idx, tag := l.split(line)
+	if !l.lines[idx].valid || l.lines[idx].tag != tag {
+		panic(fmt.Sprintf("cache: MarkDirty(%#x) on absent line", line))
+	}
+	l.lines[idx].dirty = true
+}
+
+// Victim describes a line displaced by Fill.
+type Victim struct {
+	Line  uint64
+	Dirty bool
+}
+
+// Fill installs a line, returning the displaced victim if a valid line
+// occupied the frame. excl records whether the covering L2 unit is
+// writable (M/E) at fill time.
+func (l *L1) Fill(line uint64, excl bool) (Victim, bool) {
+	idx, tag := l.split(line)
+	f := &l.lines[idx]
+	var v Victim
+	had := false
+	if f.valid && f.tag != tag {
+		v = Victim{Line: f.tag<<uint(l.idxBits) | uint64(idx), Dirty: f.dirty}
+		had = true
+	}
+	f.valid = true
+	f.tag = tag
+	f.dirty = false
+	f.excl = excl
+	return v, had
+}
+
+// Clean clears the dirty bit of the line if present (snoop downgrade: the
+// dirty data has merged into the L2 copy being supplied on the bus).
+func (l *L1) Clean(line uint64) {
+	idx, tag := l.split(line)
+	if f := &l.lines[idx]; f.valid && f.tag == tag {
+		f.dirty = false
+	}
+}
+
+// Invalidate removes the line if present, returning whether it was present
+// and whether it was dirty (inclusion enforcement discards the dirty data
+// upward into the L2, which the protocol layer accounts for).
+func (l *L1) Invalidate(line uint64) (present, dirty bool) {
+	idx, tag := l.split(line)
+	f := &l.lines[idx]
+	if !f.valid || f.tag != tag {
+		return false, false
+	}
+	present, dirty = true, f.dirty
+	f.valid = false
+	f.dirty = false
+	f.excl = false
+	return present, dirty
+}
+
+// ValidLines returns the number of valid lines.
+func (l *L1) ValidLines() int {
+	n := 0
+	for i := range l.lines {
+		if l.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValidLine calls fn for every valid line number.
+func (l *L1) ForEachValidLine(fn func(line uint64, dirty bool)) {
+	for idx := range l.lines {
+		f := &l.lines[idx]
+		if f.valid {
+			fn(f.tag<<uint(l.idxBits)|uint64(idx), f.dirty)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package cache
+
+import (
+	"fmt"
+
+	"jetty/internal/addr"
+)
+
+// L2Config sizes an L2 cache.
+type L2Config struct {
+	SizeBytes int
+	Assoc     int
+	Geom      addr.Geometry
+}
+
+// Sets returns the number of sets.
+func (c L2Config) Sets() int { return c.SizeBytes / (c.Geom.BlockBytes * c.Assoc) }
+
+// Blocks returns the total number of block frames.
+func (c L2Config) Blocks() int { return c.SizeBytes / c.Geom.BlockBytes }
+
+// Validate reports configuration errors.
+func (c L2Config) Validate() error {
+	if err := c.Geom.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.SizeBytes <= 0 || !addr.IsPow2(c.SizeBytes):
+		return fmt.Errorf("cache: L2 size %d not a power of two", c.SizeBytes)
+	case c.Assoc <= 0 || !addr.IsPow2(c.Assoc) || c.Assoc > 64:
+		return fmt.Errorf("cache: L2 assoc %d not a power of two in 1..64", c.Assoc)
+	case c.Sets() < 1:
+		return fmt.Errorf("cache: L2 of %d bytes cannot hold %d-way sets of %d-byte blocks",
+			c.SizeBytes, c.Assoc, c.Geom.BlockBytes)
+	}
+	return nil
+}
+
+// way is one L2 block frame.
+type way struct {
+	tag   uint64 // block address >> setBits
+	live  bool   // tag installed (at least one valid unit)
+	lru   uint8  // replacement rank, 0 = most recent
+	state []State
+	inL1  []bool // per-unit hint: a covered L1 line may exist
+}
+
+// anyValid reports whether any unit of the frame is valid.
+func (w *way) anyValid() bool {
+	for _, s := range w.state {
+		if s.Valid() {
+			return true
+		}
+	}
+	return false
+}
+
+// EvictedUnit describes one valid unit of an evicted block.
+type EvictedUnit struct {
+	Unit  uint64
+	State State
+	InL1  bool
+}
+
+// Eviction describes a block leaving the L2 (capacity replacement): every
+// valid unit, so the caller can write back dirty ones and enforce L1
+// inclusion.
+type Eviction struct {
+	Block uint64
+	Units []EvictedUnit
+}
+
+// DirtyUnits counts units needing writeback.
+func (e Eviction) DirtyUnits() int {
+	n := 0
+	for _, u := range e.Units {
+		if u.State.Dirty() {
+			n++
+		}
+	}
+	return n
+}
+
+// L2 is a set-associative, subblocked, data-less L2 cache.
+type L2 struct {
+	cfg     L2Config
+	setBits int
+	sets    []way // sets * assoc, row-major
+}
+
+// NewL2 builds an L2. It panics on an invalid configuration.
+func NewL2(cfg L2Config) *L2 {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	l := &L2{cfg: cfg, setBits: addr.Log2(uint64(cfg.Sets()))}
+	n := cfg.Sets() * cfg.Assoc
+	l.sets = make([]way, n)
+	for i := range l.sets {
+		l.sets[i].state = make([]State, cfg.Geom.UnitsPerBlock)
+		l.sets[i].inL1 = make([]bool, cfg.Geom.UnitsPerBlock)
+		l.sets[i].lru = uint8(i % cfg.Assoc)
+	}
+	return l
+}
+
+// Config returns the cache configuration.
+func (l *L2) Config() L2Config { return l.cfg }
+
+// split returns (set, tag) of a block address.
+func (l *L2) split(block uint64) (int, uint64) {
+	return int(block & ((1 << uint(l.setBits)) - 1)), block >> uint(l.setBits)
+}
+
+// frame returns the frame holding block, or nil.
+func (l *L2) frame(block uint64) *way {
+	set, tag := l.split(block)
+	base := set * l.cfg.Assoc
+	for w := 0; w < l.cfg.Assoc; w++ {
+		f := &l.sets[base+w]
+		if f.live && f.tag == tag {
+			return f
+		}
+	}
+	return nil
+}
+
+// HasBlock reports whether the block's tag is installed.
+func (l *L2) HasBlock(block uint64) bool { return l.frame(block) != nil }
+
+// UnitState returns the MOESI state of a coherence unit (Invalid if the
+// block is absent).
+func (l *L2) UnitState(unit uint64) State {
+	f := l.frame(l.cfg.Geom.BlockOfUnit(unit))
+	if f == nil {
+		return Invalid
+	}
+	return f.state[int(unit%uint64(l.cfg.Geom.UnitsPerBlock))]
+}
+
+// Touch promotes the block to most-recently-used. No-op if absent.
+func (l *L2) Touch(block uint64) {
+	set, tag := l.split(block)
+	base := set * l.cfg.Assoc
+	for w := 0; w < l.cfg.Assoc; w++ {
+		if f := &l.sets[base+w]; f.live && f.tag == tag {
+			l.promote(set, w)
+			return
+		}
+	}
+}
+
+func (l *L2) promote(set, w int) {
+	base := set * l.cfg.Assoc
+	old := l.sets[base+w].lru
+	for i := 0; i < l.cfg.Assoc; i++ {
+		if l.sets[base+i].lru < old {
+			l.sets[base+i].lru++
+		}
+	}
+	l.sets[base+w].lru = 0
+}
+
+// EnsureBlock installs the block's tag if absent, evicting a victim frame
+// when the set is full. It returns the eviction (nil if none) and whether
+// a new tag was installed (an IJ BlockAllocated event).
+func (l *L2) EnsureBlock(block uint64) (*Eviction, bool) {
+	if l.frame(block) != nil {
+		return nil, false
+	}
+	set, tag := l.split(block)
+	base := set * l.cfg.Assoc
+
+	victim, worst := -1, uint8(0)
+	for w := 0; w < l.cfg.Assoc; w++ {
+		f := &l.sets[base+w]
+		if !f.live {
+			victim = w
+			break
+		}
+		if f.lru >= worst {
+			victim, worst = w, f.lru
+		}
+	}
+
+	f := &l.sets[base+victim]
+	var ev *Eviction
+	if f.live {
+		ev = &Eviction{Block: f.tag<<uint(l.setBits) | uint64(set)}
+		for i, s := range f.state {
+			if s.Valid() {
+				ev.Units = append(ev.Units, EvictedUnit{
+					Unit:  l.cfg.Geom.UnitOfBlock(ev.Block, i),
+					State: s,
+					InL1:  f.inL1[i],
+				})
+			}
+		}
+	}
+	f.tag = tag
+	f.live = true
+	for i := range f.state {
+		f.state[i] = Invalid
+		f.inL1[i] = false
+	}
+	l.promote(set, victim)
+	return ev, true
+}
+
+// SetUnitState sets the MOESI state of a unit whose block tag must be
+// installed (EnsureBlock first); it panics otherwise — the protocol layer
+// must never touch units of absent blocks.
+func (l *L2) SetUnitState(unit uint64, s State) {
+	f := l.frame(l.cfg.Geom.BlockOfUnit(unit))
+	if f == nil {
+		panic(fmt.Sprintf("cache: SetUnitState(%#x) on absent block", unit))
+	}
+	f.state[int(unit%uint64(l.cfg.Geom.UnitsPerBlock))] = s
+}
+
+// InvalidateUnit invalidates a unit (snoop-induced). If that empties the
+// block, the tag is freed. It returns the unit's prior state and whether
+// the block was deallocated (an IJ BlockEvicted event).
+func (l *L2) InvalidateUnit(unit uint64) (prior State, blockFreed bool) {
+	block := l.cfg.Geom.BlockOfUnit(unit)
+	f := l.frame(block)
+	if f == nil {
+		return Invalid, false
+	}
+	idx := int(unit % uint64(l.cfg.Geom.UnitsPerBlock))
+	prior = f.state[idx]
+	f.state[idx] = Invalid
+	f.inL1[idx] = false
+	if !f.anyValid() {
+		f.live = false
+		return prior, true
+	}
+	return prior, false
+}
+
+// SetInL1 records whether a covered L1 line may exist for the unit.
+func (l *L2) SetInL1(unit uint64, v bool) {
+	f := l.frame(l.cfg.Geom.BlockOfUnit(unit))
+	if f == nil {
+		return
+	}
+	f.inL1[int(unit%uint64(l.cfg.Geom.UnitsPerBlock))] = v
+}
+
+// InL1 reports the L1-inclusion hint for the unit.
+func (l *L2) InL1(unit uint64) bool {
+	f := l.frame(l.cfg.Geom.BlockOfUnit(unit))
+	if f == nil {
+		return false
+	}
+	return f.inL1[int(unit%uint64(l.cfg.Geom.UnitsPerBlock))]
+}
+
+// LiveBlocks returns the number of installed block tags.
+func (l *L2) LiveBlocks() int {
+	n := 0
+	for i := range l.sets {
+		if l.sets[i].live {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValidUnit calls fn for every valid unit. Iteration order is
+// arbitrary but deterministic. Intended for invariant checks and tests.
+func (l *L2) ForEachValidUnit(fn func(unit uint64, s State)) {
+	sets := l.cfg.Sets()
+	for set := 0; set < sets; set++ {
+		for w := 0; w < l.cfg.Assoc; w++ {
+			f := &l.sets[set*l.cfg.Assoc+w]
+			if !f.live {
+				continue
+			}
+			block := f.tag<<uint(l.setBits) | uint64(set)
+			for i, s := range f.state {
+				if s.Valid() {
+					fn(l.cfg.Geom.UnitOfBlock(block, i), s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package cache provides the tag-array mechanics of the simulated memory
+// hierarchy: a set-associative, subblocked L2 keeping MOESI state per
+// coherence unit, and a direct-mapped write-back L1. The packages above
+// (internal/smp) drive the coherence protocol; this package only provides
+// the state containers and their replacement behaviour.
+//
+// The simulation is data-less: only tags and states are modeled, which is
+// all the paper's coverage and energy evaluation needs.
+package cache
+
+// State is a MOESI coherence state.
+type State uint8
+
+// MOESI states. The zero value is Invalid.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+// String returns the one-letter state name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Valid reports whether the unit holds data.
+func (s State) Valid() bool { return s != Invalid }
+
+// Dirty reports whether the unit holds data newer than memory (must be
+// written back on eviction).
+func (s State) Dirty() bool { return s == Modified || s == Owned }
+
+// CanSupply reports whether a cache in this state responds to a bus read
+// with data, inhibiting memory (owner responsibility).
+func (s State) CanSupply() bool { return s == Modified || s == Owned || s == Exclusive }
+
+// Writable reports whether a store can proceed without a bus transaction.
+func (s State) Writable() bool { return s == Modified || s == Exclusive }

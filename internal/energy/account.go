@@ -1,0 +1,172 @@
+package energy
+
+// Mode selects how the L2 tag and data arrays are sequenced.
+type Mode int
+
+const (
+	// SerialTagData probes tags first and touches the data array only on a
+	// hit (Alpha 21164 / Intel Xeon style; the paper's energy-optimized L2).
+	SerialTagData Mode = iota
+	// ParallelTagData reads all ways' data concurrently with the tag probe
+	// (latency-optimized; paper Fig. 6(c)(d)).
+	ParallelTagData
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ParallelTagData {
+		return "parallel"
+	}
+	return "serial"
+}
+
+// Counts aggregates the L2-relevant event counts of one simulation run
+// (all CPUs). The simulator fills this in; Account turns it into joules.
+type Counts struct {
+	// Processor-side (local) L2 activity.
+	LocalReads      uint64 // tag probes from L1 read misses
+	LocalWrites     uint64 // tag probes from L1 writebacks / write misses
+	LocalReadHits   uint64
+	LocalWriteHits  uint64
+	LocalFills      uint64 // coherence units installed (tag write + data write)
+	LocalStateWrite uint64 // tag-entry state updates on local hits (e.g. S->M)
+	TagAllocs       uint64 // block tags installed (drives IJ counters)
+	TagEvictions    uint64 // block tags removed (drives IJ counters)
+	DirtyWBUnits    uint64 // dirty units read out on eviction/supply writeback
+
+	// Snoop-side activity (counts are for the *unfiltered* machine; the
+	// filter's Filtered count is subtracted at accounting time).
+	Snoops           uint64 // snoop-induced tag probes
+	SnoopHits        uint64
+	SnoopMisses      uint64
+	SnoopSupplies    uint64 // snoop hits that read data out to the bus
+	SnoopStateWrites uint64 // snoop hits that updated tag state
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.LocalReads += other.LocalReads
+	c.LocalWrites += other.LocalWrites
+	c.LocalReadHits += other.LocalReadHits
+	c.LocalWriteHits += other.LocalWriteHits
+	c.LocalFills += other.LocalFills
+	c.LocalStateWrite += other.LocalStateWrite
+	c.TagAllocs += other.TagAllocs
+	c.TagEvictions += other.TagEvictions
+	c.DirtyWBUnits += other.DirtyWBUnits
+	c.Snoops += other.Snoops
+	c.SnoopHits += other.SnoopHits
+	c.SnoopMisses += other.SnoopMisses
+	c.SnoopSupplies += other.SnoopSupplies
+	c.SnoopStateWrites += other.SnoopStateWrites
+}
+
+// LocalProbes returns all processor-side tag probes.
+func (c Counts) LocalProbes() uint64 { return c.LocalReads + c.LocalWrites }
+
+// FilterCounts aggregates the activity of one JETTY configuration across
+// all CPUs of a run.
+type FilterCounts struct {
+	Probes       uint64 // every snoop probes the local JETTY
+	Filtered     uint64 // snoops answered "guaranteed absent"
+	EJWrites     uint64 // EJ allocations + present-bit clears
+	CntUpdates   uint64 // block alloc/evict events (each touches all sub-arrays)
+	PBitWrites   uint64 // presence-bit transitions
+	FilteredHits uint64 // MUST stay 0: filtered snoops that would have hit
+}
+
+// Add accumulates other into f.
+func (f *FilterCounts) Add(other FilterCounts) {
+	f.Probes += other.Probes
+	f.Filtered += other.Filtered
+	f.EJWrites += other.EJWrites
+	f.CntUpdates += other.CntUpdates
+	f.PBitWrites += other.PBitWrites
+	f.FilteredHits += other.FilteredHits
+}
+
+// Breakdown is the energy (J) of one run split by component.
+type Breakdown struct {
+	LocalTag   float64
+	LocalData  float64
+	SnoopTag   float64
+	SnoopData  float64 // data read out for supplies; in parallel mode, the per-probe way reads
+	SnoopState float64 // tag writes caused by snoop hits
+	SnoopWB    float64 // write-buffer CAM probes: every snoop, never filtered
+	Jetty      float64 // all filter energy (probes + updates); 0 for baseline
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.LocalTag + b.LocalData + b.SnoopTag + b.SnoopData + b.SnoopState + b.SnoopWB + b.Jetty
+}
+
+// SnoopTotal returns the energy attributable to snoop handling, the
+// denominator of the paper's "over all snoop accesses" metric.
+func (b Breakdown) SnoopTotal() float64 {
+	return b.SnoopTag + b.SnoopData + b.SnoopState + b.SnoopWB + b.Jetty
+}
+
+// Account computes the baseline (no JETTY) energy breakdown of a run.
+func Account(c Counts, costs CacheCosts, assoc int, mode Mode) Breakdown {
+	return accountWith(c, costs, assoc, mode, 0, FilterCounts{}, FilterCosts{})
+}
+
+// AccountFiltered computes the energy breakdown with a JETTY in place:
+// filtered snoops skip the L2 tag probe (and, in parallel mode, the
+// concurrent data-way reads); the filter's own probe and update energy is
+// charged on every snoop and every L2 block alloc/evict.
+func AccountFiltered(c Counts, costs CacheCosts, assoc int, mode Mode, fc FilterCounts, fcost FilterCosts) Breakdown {
+	return accountWith(c, costs, assoc, mode, fc.Filtered, fc, fcost)
+}
+
+func accountWith(c Counts, costs CacheCosts, assoc int, mode Mode, filtered uint64, fc FilterCounts, fcost FilterCosts) Breakdown {
+	var b Breakdown
+	way := float64(assoc)
+	snoopProbes := float64(c.Snoops - min64(filtered, c.Snoops))
+
+	// Tag energy.
+	b.LocalTag = float64(c.LocalProbes())*costs.TagRead +
+		float64(c.LocalFills+c.LocalStateWrite+c.TagEvictions)*costs.TagWrite
+	b.SnoopTag = snoopProbes * costs.TagRead
+	b.SnoopState = float64(c.SnoopStateWrites) * costs.TagWrite
+	// The write buffer is probed by every snoop, filtered or not.
+	b.SnoopWB = float64(c.Snoops) * costs.WBProbe
+
+	// Data energy.
+	switch mode {
+	case SerialTagData:
+		b.LocalData = float64(c.LocalReadHits)*costs.DataReadUnit +
+			float64(c.LocalWriteHits+c.LocalFills)*costs.DataWriteUnit +
+			float64(c.DirtyWBUnits)*costs.DataReadUnit
+		b.SnoopData = float64(c.SnoopSupplies) * costs.DataReadUnit
+	case ParallelTagData:
+		// Every probe reads all ways' data concurrently with the tags.
+		b.LocalData = float64(c.LocalProbes())*way*costs.DataReadUnit +
+			float64(c.LocalWriteHits+c.LocalFills)*costs.DataWriteUnit +
+			float64(c.DirtyWBUnits)*costs.DataReadUnit
+		b.SnoopData = snoopProbes * way * costs.DataReadUnit
+	}
+
+	// Filter energy.
+	b.Jetty = float64(fc.Probes)*fcost.Probe +
+		float64(fc.EJWrites)*fcost.EJWrite +
+		float64(fc.CntUpdates)*fcost.CntUpdate +
+		float64(fc.PBitWrites)*fcost.PBitWrite
+	return b
+}
+
+// Reduction returns (base - with) / base, clamped to 0 when base is 0.
+func Reduction(base, with float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (base - with) / base
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleCounts() Counts {
+	return Counts{
+		LocalReads: 1000, LocalWrites: 400,
+		LocalReadHits: 800, LocalWriteHits: 350,
+		LocalFills: 250, LocalStateWrite: 60,
+		TagAllocs: 120, TagEvictions: 110, DirtyWBUnits: 90,
+		Snoops: 3000, SnoopHits: 300, SnoopMisses: 2700,
+		SnoopSupplies: 200, SnoopStateWrites: 280,
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := sampleCounts()
+	b := sampleCounts()
+	a.Add(b)
+	if a.Snoops != 6000 || a.LocalReads != 2000 || a.DirtyWBUnits != 180 {
+		t.Errorf("Add mismatch: %+v", a)
+	}
+}
+
+func TestFilterCountsAdd(t *testing.T) {
+	a := FilterCounts{Probes: 10, Filtered: 6, EJWrites: 2, CntUpdates: 3, PBitWrites: 1}
+	a.Add(FilterCounts{Probes: 5, Filtered: 1, FilteredHits: 2})
+	if a.Probes != 15 || a.Filtered != 7 || a.FilteredHits != 2 {
+		t.Errorf("Add mismatch: %+v", a)
+	}
+}
+
+func TestBaselineBreakdownPositive(t *testing.T) {
+	tech := Tech180()
+	costs := tech.Costs(PaperL2())
+	b := Account(sampleCounts(), costs, 4, SerialTagData)
+	if b.LocalTag <= 0 || b.SnoopTag <= 0 || b.LocalData <= 0 || b.SnoopData <= 0 {
+		t.Errorf("breakdown has non-positive components: %+v", b)
+	}
+	if b.Jetty != 0 {
+		t.Errorf("baseline must have no jetty energy, got %g", b.Jetty)
+	}
+	if b.SnoopWB <= 0 {
+		t.Error("write-buffer probe energy must be charged on snoops")
+	}
+	if math.Abs(b.Total()-(b.LocalTag+b.LocalData+b.SnoopTag+b.SnoopData+b.SnoopState+b.SnoopWB)) > 1e-18 {
+		t.Error("Total() mismatch")
+	}
+}
+
+func TestParallelCostsMoreThanSerial(t *testing.T) {
+	tech := Tech180()
+	costs := tech.Costs(PaperL2())
+	c := sampleCounts()
+	ser := Account(c, costs, 4, SerialTagData)
+	par := Account(c, costs, 4, ParallelTagData)
+	if par.Total() <= ser.Total() {
+		t.Errorf("parallel (%.3e) should cost more than serial (%.3e)", par.Total(), ser.Total())
+	}
+	if par.SnoopData <= ser.SnoopData {
+		t.Error("parallel snoop data energy should exceed serial's")
+	}
+}
+
+func TestFilteringReducesSnoopTag(t *testing.T) {
+	tech := Tech180()
+	costs := tech.Costs(PaperL2())
+	c := sampleCounts()
+	fcost := HybridCosts(
+		tech.IncludeCosts(IncludeOrg{Entries: 512, NumArrays: 4, CntBits: 14}),
+		tech.ExcludeCosts(ExcludeOrg{Sets: 32, Ways: 4, TagBits: 24, VectorBits: 1}),
+	)
+	fc := FilterCounts{Probes: c.Snoops, Filtered: 2000, EJWrites: 500,
+		CntUpdates: c.TagAllocs + c.TagEvictions, PBitWrites: 100}
+
+	base := Account(c, costs, 4, SerialTagData)
+	with := AccountFiltered(c, costs, 4, SerialTagData, fc, fcost)
+
+	if with.SnoopTag >= base.SnoopTag {
+		t.Error("filtering should cut snoop tag energy")
+	}
+	if with.Jetty <= 0 {
+		t.Error("filter energy must be charged")
+	}
+	if with.Total() >= base.Total() {
+		t.Errorf("with-jetty total (%.4e) should beat baseline (%.4e) at 2/3 filter rate", with.Total(), base.Total())
+	}
+	// Local components must be identical: jetty never touches local accesses.
+	if with.LocalTag != base.LocalTag || with.LocalData != base.LocalData {
+		t.Error("local energy must be unchanged by filtering")
+	}
+}
+
+func TestZeroCoverageCostsExtra(t *testing.T) {
+	// A filter that never filters anything strictly adds energy — the
+	// paper's "worst case" (§2, widely-shared data).
+	tech := Tech180()
+	costs := tech.Costs(PaperL2())
+	c := sampleCounts()
+	fcost := tech.ExcludeCosts(ExcludeOrg{Sets: 32, Ways: 4, TagBits: 24, VectorBits: 1})
+	fc := FilterCounts{Probes: c.Snoops, Filtered: 0, EJWrites: 2500}
+	base := Account(c, costs, 4, SerialTagData)
+	with := AccountFiltered(c, costs, 4, SerialTagData, fc, fcost)
+	if with.Total() <= base.Total() {
+		t.Error("useless filter must increase total energy")
+	}
+}
+
+func TestFilteredClampedToSnoops(t *testing.T) {
+	tech := Tech180()
+	costs := tech.Costs(PaperL2())
+	c := sampleCounts()
+	fc := FilterCounts{Probes: c.Snoops, Filtered: c.Snoops * 10}
+	b := AccountFiltered(c, costs, 4, SerialTagData, fc, FilterCosts{})
+	if b.SnoopTag != 0 {
+		t.Errorf("over-filtering should clamp snoop tag to 0, got %g", b.SnoopTag)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(10, 7); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Reduction(10,7) = %g, want 0.3", got)
+	}
+	if got := Reduction(0, 5); got != 0 {
+		t.Errorf("Reduction(0,5) = %g, want 0", got)
+	}
+	if got := Reduction(10, 12); got >= 0 {
+		// More energy than baseline is a negative reduction.
+		if got != -0.2 {
+			t.Errorf("Reduction(10,12) = %g, want -0.2", got)
+		}
+	}
+}
+
+func TestReductionMonotoneInCoverage(t *testing.T) {
+	tech := Tech180()
+	costs := tech.Costs(PaperL2())
+	c := sampleCounts()
+	fcost := tech.ExcludeCosts(ExcludeOrg{Sets: 32, Ways: 4, TagBits: 24, VectorBits: 1})
+	base := Account(c, costs, 4, SerialTagData).Total()
+
+	f := func(f1, f2 uint16) bool {
+		a, b := uint64(f1)%c.Snoops, uint64(f2)%c.Snoops
+		if a > b {
+			a, b = b, a
+		}
+		lo := AccountFiltered(c, costs, 4, SerialTagData,
+			FilterCounts{Probes: c.Snoops, Filtered: a}, fcost).Total()
+		hi := AccountFiltered(c, costs, 4, SerialTagData,
+			FilterCounts{Probes: c.Snoops, Filtered: b}, fcost).Total()
+		return Reduction(base, hi) >= Reduction(base, lo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJettyProbeTinyVsL2Tag(t *testing.T) {
+	// Paper §2.2: "JETTY is much smaller than the tag hierarchy". The
+	// largest structures used must probe at a small fraction of the L2 tag
+	// probe energy or the whole scheme cannot win.
+	tech := Tech180()
+	l2 := tech.Costs(PaperL2())
+	biggest := HybridCosts(
+		tech.IncludeCosts(IncludeOrg{Entries: 1024, NumArrays: 4, CntBits: 14}),
+		tech.ExcludeCosts(ExcludeOrg{Sets: 32, Ways: 4, TagBits: 26, VectorBits: 1}),
+	)
+	if ratio := biggest.Probe / l2.TagRead; ratio > 0.5 {
+		t.Errorf("largest HJ probe is %.2fx the L2 tag probe; filter cannot save energy", ratio)
+	}
+}
+
+func TestIncludeStorageArithmetic(t *testing.T) {
+	o := IncludeOrg{Entries: 1024, NumArrays: 4, CntBits: 14}
+	if o.PBitStorageBits() != 4096 {
+		t.Errorf("p-bits = %d, want 4096", o.PBitStorageBits())
+	}
+	if o.CntStorageBits() != 4*1024*14 {
+		t.Errorf("cnt bits = %d", o.CntStorageBits())
+	}
+}
+
+func TestHybridCostsCombine(t *testing.T) {
+	tech := Tech180()
+	ij := tech.IncludeCosts(IncludeOrg{Entries: 256, NumArrays: 4, CntBits: 14})
+	ej := tech.ExcludeCosts(ExcludeOrg{Sets: 16, Ways: 2, TagBits: 25, VectorBits: 1})
+	hj := HybridCosts(ij, ej)
+	if hj.Probe != ij.Probe+ej.Probe {
+		t.Error("hybrid probe must pay both structures")
+	}
+	if hj.EJWrite != ej.EJWrite || hj.CntUpdate != ij.CntUpdate {
+		t.Error("hybrid write costs must come from the constituent parts")
+	}
+}
+
+func TestVectorEntryCheaperPerCoveredUnit(t *testing.T) {
+	tech := Tech180()
+	ej := tech.ExcludeCosts(ExcludeOrg{Sets: 32, Ways: 4, TagBits: 26, VectorBits: 1})
+	vej := tech.ExcludeCosts(ExcludeOrg{Sets: 32, Ways: 4, TagBits: 23, VectorBits: 8})
+	// A VEJ entry covers 8 units; probing should not cost 8x the EJ probe.
+	if vej.Probe > 2*ej.Probe {
+		t.Errorf("VEJ probe %.3e unexpectedly large vs EJ %.3e", vej.Probe, ej.Probe)
+	}
+}
+
+func TestWBProbeEnergyNotFilterable(t *testing.T) {
+	// The write-buffer probe is paid by every snoop even at 100% coverage
+	// (the paper's Fig. 1: only the L2 tag probe is skipped).
+	tech := Tech180()
+	costs := tech.Costs(PaperL2())
+	c := sampleCounts()
+	fc := FilterCounts{Probes: c.Snoops, Filtered: c.Snoops}
+	with := AccountFiltered(c, costs, 4, SerialTagData, fc, FilterCosts{})
+	base := Account(c, costs, 4, SerialTagData)
+	if with.SnoopWB != base.SnoopWB {
+		t.Errorf("WB energy changed under filtering: %g vs %g", with.SnoopWB, base.SnoopWB)
+	}
+	if with.SnoopWB <= 0 {
+		t.Error("WB energy missing")
+	}
+}

@@ -1,0 +1,42 @@
+package energy
+
+// Area estimation: the paper's conclusion points at "performance and cost
+// optimizations" as further applications of snoop filters; cost means
+// silicon area. The model below is deliberately simple — SRAM cell area
+// times bit count, plus a periphery overhead factor per array — but it is
+// consistent across structures, which is all comparisons need.
+
+// peripheryFactor inflates raw cell area for decoders, sense amplifiers
+// and drivers (a standard ~30% adder for small SRAM macros).
+const peripheryFactor = 1.3
+
+// cellAreaUM2 returns the area of one SRAM cell in µm².
+func (t Tech) cellAreaUM2() float64 { return t.CellWidthUM * t.CellHeightUM }
+
+// ArrayAreaUM2 returns the estimated silicon area of an array in µm².
+func (t Tech) ArrayAreaUM2(a Array) float64 {
+	bits := float64(a.Rows) * float64(a.Cols)
+	return bits * t.cellAreaUM2() * peripheryFactor
+}
+
+// CacheAreaUM2 returns the estimated area of a cache's tag and data
+// arrays in µm².
+func (t Tech) CacheAreaUM2(o CacheOrg) (tag, data float64) {
+	tagBits := float64(o.Sets()) * float64(o.Assoc*o.TagEntryBits())
+	dataBits := float64(o.SizeBytes) * 8
+	return tagBits * t.cellAreaUM2() * peripheryFactor,
+		dataBits * t.cellAreaUM2() * peripheryFactor
+}
+
+// ExcludeAreaUM2 returns the estimated area of an EJ/VEJ array in µm².
+func (t Tech) ExcludeAreaUM2(o ExcludeOrg) float64 {
+	bits := float64(o.Sets*o.Ways) * float64(o.TagBits+o.VectorBits)
+	return bits * t.cellAreaUM2() * peripheryFactor
+}
+
+// IncludeAreaUM2 returns the estimated area of an IJ (p-bit arrays plus
+// counter arrays) in µm².
+func (t Tech) IncludeAreaUM2(o IncludeOrg) float64 {
+	bits := float64(o.PBitStorageBits() + o.CntStorageBits())
+	return bits * t.cellAreaUM2() * peripheryFactor
+}

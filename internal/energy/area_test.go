@@ -1,0 +1,49 @@
+package energy
+
+import "testing"
+
+func TestAreaPositiveAndMonotone(t *testing.T) {
+	tech := Tech180()
+	small := Array{Rows: 32, Cols: 32, Banks: Unbanked, BitsOut: 32}
+	big := Array{Rows: 1024, Cols: 256, Banks: Unbanked, BitsOut: 32}
+	as, ab := tech.ArrayAreaUM2(small), tech.ArrayAreaUM2(big)
+	if as <= 0 || ab <= as {
+		t.Errorf("area not positive/monotone: %g vs %g", as, ab)
+	}
+}
+
+func TestJettyAreaTinyVsL2(t *testing.T) {
+	// The paper's cost argument: the largest JETTY is a rounding error
+	// next to the L2 it guards.
+	tech := Tech180()
+	tag, data := tech.CacheAreaUM2(PaperL2())
+	hjArea := tech.IncludeAreaUM2(IncludeOrg{Entries: 1024, NumArrays: 4, CntBits: 14}) +
+		tech.ExcludeAreaUM2(ExcludeOrg{Sets: 32, Ways: 4, TagBits: 26, VectorBits: 1})
+	if hjArea <= 0 {
+		t.Fatal("non-positive filter area")
+	}
+	if ratio := hjArea / (tag + data); ratio > 0.01 {
+		t.Errorf("largest HJ is %.3f%% of the L2 area; expected well under 1%%", ratio*100)
+	}
+}
+
+func TestCacheAreaSplit(t *testing.T) {
+	tech := Tech180()
+	tag, data := tech.CacheAreaUM2(PaperL2())
+	if tag <= 0 || data <= 0 {
+		t.Fatal("non-positive cache area")
+	}
+	// 1MB data vs ~26-bit-entry tags: data dominates by far.
+	if tag >= data/10 {
+		t.Errorf("tag area %g should be well under a tenth of data area %g", tag, data)
+	}
+}
+
+func TestExcludeAreaScalesWithEntries(t *testing.T) {
+	tech := Tech180()
+	a := tech.ExcludeAreaUM2(ExcludeOrg{Sets: 8, Ways: 2, TagBits: 26, VectorBits: 1})
+	b := tech.ExcludeAreaUM2(ExcludeOrg{Sets: 32, Ways: 4, TagBits: 26, VectorBits: 1})
+	if b <= a {
+		t.Error("bigger EJ should occupy more area")
+	}
+}

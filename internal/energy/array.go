@@ -1,0 +1,167 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Array describes one logical SRAM array: Rows word lines by Cols bit-line
+// pairs, physically split into Banks independent sub-banks (only one bank
+// activates per access). BitsOut is how many bits leave the array on a read
+// (the rest are read internally but not driven out).
+type Array struct {
+	Rows, Cols int
+	Banks      Banking
+	BitsOut    int
+}
+
+// Banking is a bank organization: the array is split into Ndwl column
+// slices and Ndbl row slices; one of the Ndwl*Ndbl sub-banks activates per
+// access, at the cost of routing address and data over an H-tree whose wire
+// length grows with the number of banks.
+type Banking struct {
+	Ndwl, Ndbl int
+}
+
+// Unbanked is the trivial organization: one monolithic bank.
+var Unbanked = Banking{Ndwl: 1, Ndbl: 1}
+
+// String returns "Ndwl x Ndbl".
+func (b Banking) String() string { return fmt.Sprintf("%dx%d", b.Ndwl, b.Ndbl) }
+
+// subRows and subCols return the active sub-bank dimensions.
+func (a Array) subRows() int { return ceilDiv(a.Rows, a.Banks.Ndbl) }
+func (a Array) subCols() int { return ceilDiv(a.Cols, a.Banks.Ndwl) }
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// bitLineCap returns the capacitance of one bit line in the active sub-bank.
+func (t Tech) bitLineCap(a Array) float64 {
+	rows := float64(a.subRows())
+	return rows*t.CBitDrain + rows*t.CellHeightUM*t.CWirePerUM
+}
+
+// wordLineCap returns the capacitance of one word line in the active sub-bank.
+func (t Tech) wordLineCap(a Array) float64 {
+	cols := float64(a.subCols())
+	return cols*t.CWordGate + cols*t.CellWidthUM*t.CWirePerUM
+}
+
+// routeEnergy returns the H-tree routing energy paid per access for a
+// banked organization: address plus data bits travel global wires whose
+// length scales with the physical extent of the whole array. Global
+// interconnect is driven low-swing (differential), as large-cache designs
+// do, so it scales with Vdd*SwingRead rather than Vdd^2.
+func (t Tech) routeEnergy(a Array) float64 {
+	nb := a.Banks.Ndwl * a.Banks.Ndbl
+	if nb <= 1 {
+		return 0
+	}
+	// H-tree half-span of the whole array in µm, deepening with banks.
+	w := float64(a.Cols) * t.CellWidthUM
+	h := float64(a.Rows) * t.CellHeightUM
+	span := math.Sqrt(w*h) * (1 + math.Log2(float64(nb))/8)
+	bits := float64(a.BitsOut + 32) // data out + address/control distribution
+	wire := bits * span * t.CWirePerUM * t.Vdd * t.SwingRead
+	// Each extra sub-bank carries its own decoder/sense periphery; the
+	// per-access share keeps tiny arrays from banking absurdly.
+	periphery := float64(nb-1) * t.EBankFixed
+	return wire + periphery
+}
+
+// ReadEnergy returns the energy (J) of one read access to the array.
+func (t Tech) ReadEnergy(a Array) float64 {
+	cols := float64(a.subCols())
+	ebit := cols * t.bitLineCap(a) * t.Vdd * t.SwingRead // limited-swing read
+	eword := t.wordLineCap(a) * t.Vdd * t.Vdd
+	edec := float64(log2ceil(a.Rows)) * t.CDecodeFF * t.Vdd * t.Vdd
+	esense := cols * t.ESenseAmp
+	eout := float64(a.BitsOut) * t.COutBit * t.Vdd * t.Vdd
+	eroute := t.routeEnergy(a)
+	return ebit + eword + edec + esense + eout + eroute
+}
+
+// WriteEnergy returns the energy (J) of one write of wbits bits into the
+// array (full-rail bit-line swing on the written columns).
+func (t Tech) WriteEnergy(a Array, wbits int) float64 {
+	eb := float64(wbits) * t.bitLineCap(a) * t.Vdd * t.Vdd
+	eword := t.wordLineCap(a) * t.Vdd * t.Vdd
+	edec := float64(log2ceil(a.Rows)) * t.CDecodeFF * t.Vdd * t.Vdd
+	eroute := t.routeEnergy(a)
+	return eb + eword + edec + eroute
+}
+
+// CompareEnergy returns the energy of comparing nbits of tag against a
+// stored value (one comparator activation).
+func (t Tech) CompareEnergy(nbits int) float64 {
+	return float64(nbits) * t.ECompareBit
+}
+
+// OptimalBanking searches power-of-two bank splits (up to 32x32) for the
+// organization minimizing ReadEnergy — the role CACTI plays in the paper.
+// Degenerate arrays (a single row or column) stay unbanked.
+func (t Tech) OptimalBanking(a Array) Banking {
+	return t.OptimalBankingLimited(a, 32, 32)
+}
+
+// OptimalBankingLimited is OptimalBanking with upper bounds on the column
+// (maxNdwl) and row (maxNdbl) splits. Latency-critical arrays — the L2 tag
+// array sits on the snoop-response path — cannot be row-banked arbitrarily
+// deep, which CACTI models via its time/energy objective; we expose it as a
+// cap. A bank's column slice is never allowed to be narrower than BitsOut:
+// an access must deliver all its bits from the one active bank.
+func (t Tech) OptimalBankingLimited(a Array, maxNdwl, maxNdbl int) Banking {
+	best := Unbanked
+	a.Banks = Unbanked
+	bestE := t.ReadEnergy(a)
+	minCols := a.BitsOut
+	if minCols > a.Cols {
+		minCols = a.Cols
+	}
+	for ndwl := 1; ndwl <= maxNdwl; ndwl *= 2 {
+		for ndbl := 1; ndbl <= maxNdbl; ndbl *= 2 {
+			if ndwl > a.Cols || ndbl > a.Rows || a.Cols/ndwl < minCols {
+				continue
+			}
+			cand := Banking{Ndwl: ndwl, Ndbl: ndbl}
+			a.Banks = cand
+			if e := t.ReadEnergy(a); e < bestE {
+				bestE, best = e, cand
+			}
+		}
+	}
+	return best
+}
+
+// OptimizedArray returns the array with its banking set to the optimum.
+func (t Tech) OptimizedArray(rows, cols, bitsOut int) Array {
+	a := Array{Rows: rows, Cols: cols, BitsOut: bitsOut, Banks: Unbanked}
+	a.Banks = t.OptimalBanking(a)
+	return a
+}
+
+// maxTagNdbl caps row-banking of tag arrays: the tag match must answer
+// snoops with minimal latency, so tag arrays stay monolithic (the paper
+// applies CACTI banking to reduce access energy where latency allows —
+// i.e., the data array).
+const maxTagNdbl = 1
+
+// OptimizedTagArray returns a tag array banked under the latency cap.
+func (t Tech) OptimizedTagArray(rows, cols, bitsOut int) Array {
+	a := Array{Rows: rows, Cols: cols, BitsOut: bitsOut, Banks: Unbanked}
+	a.Banks = t.OptimalBankingLimited(a, 32, maxTagNdbl)
+	return a
+}
+
+func log2ceil(v int) int {
+	n := 0
+	for (1 << n) < v {
+		n++
+	}
+	return n
+}

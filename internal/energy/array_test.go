@@ -1,0 +1,124 @@
+package energy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTech180Valid(t *testing.T) {
+	if !Tech180().Validate() {
+		t.Fatal("Tech180 constants are not physically sane")
+	}
+}
+
+func TestValidateRejectsBadTech(t *testing.T) {
+	bad := Tech180()
+	bad.Vdd = 0
+	if bad.Validate() {
+		t.Error("zero Vdd accepted")
+	}
+	bad = Tech180()
+	bad.SwingRead = bad.Vdd * 2
+	if bad.Validate() {
+		t.Error("swing above rail accepted")
+	}
+}
+
+func TestReadEnergyGrowsWithRows(t *testing.T) {
+	tech := Tech180()
+	small := Array{Rows: 64, Cols: 128, Banks: Unbanked, BitsOut: 32}
+	big := Array{Rows: 4096, Cols: 128, Banks: Unbanked, BitsOut: 32}
+	if tech.ReadEnergy(big) <= tech.ReadEnergy(small) {
+		t.Error("read energy should grow with rows (longer bit lines)")
+	}
+}
+
+func TestReadEnergyGrowsWithCols(t *testing.T) {
+	tech := Tech180()
+	small := Array{Rows: 256, Cols: 64, Banks: Unbanked, BitsOut: 32}
+	big := Array{Rows: 256, Cols: 2048, Banks: Unbanked, BitsOut: 32}
+	if tech.ReadEnergy(big) <= tech.ReadEnergy(small) {
+		t.Error("read energy should grow with cols (more bit lines switched)")
+	}
+}
+
+func TestBankingReducesLargeArrayEnergy(t *testing.T) {
+	tech := Tech180()
+	a := Array{Rows: 4096, Cols: 2048, Banks: Unbanked, BitsOut: 256}
+	unbanked := tech.ReadEnergy(a)
+	a.Banks = tech.OptimalBanking(a)
+	banked := tech.ReadEnergy(a)
+	if banked >= unbanked {
+		t.Errorf("optimal banking (%v) did not reduce energy: %g >= %g", a.Banks, banked, unbanked)
+	}
+}
+
+func TestOptimalBankingNeverWorse(t *testing.T) {
+	tech := Tech180()
+	f := func(r, c uint16) bool {
+		rows := 1 << (int(r)%8 + 2) // 4..2048
+		cols := 1 << (int(c)%8 + 2)
+		a := Array{Rows: rows, Cols: cols, Banks: Unbanked, BitsOut: 32}
+		base := tech.ReadEnergy(a)
+		a.Banks = tech.OptimalBanking(a)
+		return tech.ReadEnergy(a) <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTinyArrayStaysUnbanked(t *testing.T) {
+	tech := Tech180()
+	a := Array{Rows: 32, Cols: 32, Banks: Unbanked, BitsOut: 32}
+	if got := tech.OptimalBanking(a); got != Unbanked {
+		// Not a hard requirement, but banking a register-file-sized array
+		// should never pay off with routing overheads modeled.
+		t.Errorf("32x32 array banked as %v", got)
+	}
+}
+
+func TestWriteEnergyScalesWithBits(t *testing.T) {
+	tech := Tech180()
+	a := Array{Rows: 256, Cols: 256, Banks: Unbanked, BitsOut: 32}
+	if tech.WriteEnergy(a, 256) <= tech.WriteEnergy(a, 8) {
+		t.Error("writing more bits should cost more")
+	}
+}
+
+func TestEnergiesPositive(t *testing.T) {
+	tech := Tech180()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		a := Array{
+			Rows: 1 << (r.Intn(12) + 1), Cols: 1 << (r.Intn(12) + 1),
+			Banks: Unbanked, BitsOut: 1 + r.Intn(256),
+		}
+		if tech.ReadEnergy(a) <= 0 {
+			t.Fatalf("non-positive read energy for %+v", a)
+		}
+		if tech.WriteEnergy(a, 16) <= 0 {
+			t.Fatalf("non-positive write energy for %+v", a)
+		}
+	}
+}
+
+func TestCompareEnergyLinear(t *testing.T) {
+	tech := Tech180()
+	if tech.CompareEnergy(40) != 2*tech.CompareEnergy(20) {
+		t.Error("compare energy should be linear in bits")
+	}
+}
+
+func TestBankingString(t *testing.T) {
+	if got := (Banking{Ndwl: 4, Ndbl: 2}).String(); got != "4x2" {
+		t.Errorf("Banking.String() = %q", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if SerialTagData.String() != "serial" || ParallelTagData.String() != "parallel" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,122 @@
+package energy
+
+import (
+	"fmt"
+
+	"jetty/internal/addr"
+)
+
+// CacheOrg describes a cache for energy purposes.
+type CacheOrg struct {
+	Name          string
+	SizeBytes     int
+	Assoc         int
+	BlockBytes    int
+	UnitsPerBlock int // coherence subblocks per block (>= 1)
+	StateBits     int // coherence state bits per unit (paper: 2 for MOSI; we use 3 for MOESI)
+}
+
+// Sets returns the number of cache sets.
+func (o CacheOrg) Sets() int { return o.SizeBytes / (o.BlockBytes * o.Assoc) }
+
+// Blocks returns the total number of blocks (tag entries).
+func (o CacheOrg) Blocks() int { return o.SizeBytes / o.BlockBytes }
+
+// TagBits returns the stored tag width: physical address bits minus set
+// index bits minus block offset bits.
+func (o CacheOrg) TagBits() int {
+	return addr.PhysBits - addr.Log2(uint64(o.Sets())) - addr.Log2(uint64(o.BlockBytes))
+}
+
+// TagEntryBits returns the full width of one tag entry: tag, per-unit
+// coherence state, and for associative caches the replacement bookkeeping.
+func (o CacheOrg) TagEntryBits() int {
+	bits := o.TagBits() + o.UnitsPerBlock*o.StateBits
+	if o.Assoc > 1 {
+		bits += addr.Log2(uint64(o.Assoc)) // LRU rank
+	}
+	return bits
+}
+
+// UnitBits returns the coherence-unit (subblock) size in bits.
+func (o CacheOrg) UnitBits() int { return o.BlockBytes / o.UnitsPerBlock * 8 }
+
+// Validate reports configuration errors.
+func (o CacheOrg) Validate() error {
+	switch {
+	case o.SizeBytes <= 0 || !addr.IsPow2(o.SizeBytes):
+		return fmt.Errorf("energy: %s size %d not a power of two", o.Name, o.SizeBytes)
+	case o.Assoc <= 0 || !addr.IsPow2(o.Assoc):
+		return fmt.Errorf("energy: %s assoc %d not a power of two", o.Name, o.Assoc)
+	case o.BlockBytes <= 0 || !addr.IsPow2(o.BlockBytes):
+		return fmt.Errorf("energy: %s block %d not a power of two", o.Name, o.BlockBytes)
+	case o.UnitsPerBlock <= 0 || !addr.IsPow2(o.UnitsPerBlock):
+		return fmt.Errorf("energy: %s units/block %d not a power of two", o.Name, o.UnitsPerBlock)
+	case o.Sets() < 1:
+		return fmt.Errorf("energy: %s has no sets", o.Name)
+	case o.StateBits <= 0:
+		return fmt.Errorf("energy: %s needs state bits", o.Name)
+	}
+	return nil
+}
+
+// CacheCosts holds per-operation energies (J) of one cache.
+type CacheCosts struct {
+	// TagRead is one tag probe: all ways of one set are read and compared.
+	TagRead float64
+	// TagWrite updates one way's tag entry (fill, state change, invalidate).
+	TagWrite float64
+	// DataReadUnit reads one coherence unit from one way.
+	DataReadUnit float64
+	// DataWriteUnit writes one coherence unit into one way.
+	DataWriteUnit float64
+	// WBProbe is the write-buffer CAM probe paid by EVERY snoop — the
+	// paper's Fig. 1: a JETTY never filters snoops to the write buffer,
+	// so this energy is common to the baseline and the filtered machine.
+	WBProbe float64
+}
+
+// Costs derives the per-operation energy catalog for a cache, with the tag
+// and data arrays banked optimally (CACTI-lite).
+func (t Tech) Costs(o CacheOrg) CacheCosts {
+	entry := o.TagEntryBits()
+	tag := t.OptimizedTagArray(o.Sets(), o.Assoc*entry, o.Assoc*entry)
+	// Data array: rows = sets, cols = all ways' block bits; a unit access
+	// activates one bank column slice and drives one unit out.
+	data := t.OptimizedArray(o.Sets(), o.Assoc*o.BlockBytes*8, o.UnitBits())
+
+	return CacheCosts{
+		TagRead:       t.ReadEnergy(tag) + float64(o.Assoc)*t.CompareEnergy(o.TagBits()),
+		TagWrite:      t.WriteEnergy(tag, entry),
+		DataReadUnit:  t.ReadEnergy(data),
+		DataWriteUnit: t.WriteEnergy(data, o.UnitBits()),
+		// 8-entry write buffer holding unit addresses (paper's machine).
+		WBProbe: t.WriteBufferCosts(8, addr.PhysBits-addr.Log2(uint64(o.BlockBytes/o.UnitsPerBlock))),
+	}
+}
+
+// WriteBufferCosts returns the per-probe energy of an n-entry write-buffer
+// CAM holding unit addresses: every snoop compares the snooped address
+// against all entries (never filtered by JETTY).
+func (t Tech) WriteBufferCosts(entries, tagBits int) float64 {
+	a := Array{Rows: entries, Cols: tagBits, Banks: Unbanked, BitsOut: 1}
+	return t.ReadEnergy(a) + float64(entries)*t.CompareEnergy(tagBits)
+}
+
+// PaperL2 returns the paper's L2 organization: 1 MB, 4-way, 64-byte blocks
+// of two 32-byte subblocks (§4.1), MOESI state per subblock.
+func PaperL2() CacheOrg {
+	return CacheOrg{
+		Name: "L2", SizeBytes: 1 << 20, Assoc: 4, BlockBytes: 64,
+		UnitsPerBlock: 2, StateBits: 3,
+	}
+}
+
+// PaperL1 returns the paper's L1 organization: 64 KB direct-mapped,
+// 32-byte lines.
+func PaperL1() CacheOrg {
+	return CacheOrg{
+		Name: "L1", SizeBytes: 64 << 10, Assoc: 1, BlockBytes: 32,
+		UnitsPerBlock: 1, StateBits: 2, // valid + dirty
+	}
+}

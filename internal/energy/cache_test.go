@@ -1,0 +1,120 @@
+package energy
+
+import "testing"
+
+func TestPaperOrgsValid(t *testing.T) {
+	if err := PaperL2().Validate(); err != nil {
+		t.Errorf("PaperL2 invalid: %v", err)
+	}
+	if err := PaperL1().Validate(); err != nil {
+		t.Errorf("PaperL1 invalid: %v", err)
+	}
+}
+
+func TestPaperL2Geometry(t *testing.T) {
+	o := PaperL2()
+	if got := o.Sets(); got != 4096 {
+		t.Errorf("L2 sets = %d, want 4096 (1MB / (64B * 4 ways))", got)
+	}
+	if got := o.Blocks(); got != 16384 {
+		t.Errorf("L2 blocks = %d, want 16384", got)
+	}
+	// 36-bit PA - 12 set bits - 6 offset bits = 18 tag bits.
+	if got := o.TagBits(); got != 18 {
+		t.Errorf("L2 tag bits = %d, want 18", got)
+	}
+	if got := o.UnitBits(); got != 256 {
+		t.Errorf("L2 unit bits = %d, want 256 (32B subblock)", got)
+	}
+}
+
+func TestPaperL1Geometry(t *testing.T) {
+	o := PaperL1()
+	if got := o.Sets(); got != 2048 {
+		t.Errorf("L1 sets = %d, want 2048", got)
+	}
+	// 36 - 11 - 5 = 20 tag bits.
+	if got := o.TagBits(); got != 20 {
+		t.Errorf("L1 tag bits = %d, want 20", got)
+	}
+}
+
+func TestCacheOrgValidateErrors(t *testing.T) {
+	bads := []CacheOrg{
+		{Name: "sz", SizeBytes: 3000, Assoc: 1, BlockBytes: 64, UnitsPerBlock: 1, StateBits: 2},
+		{Name: "as", SizeBytes: 1 << 20, Assoc: 3, BlockBytes: 64, UnitsPerBlock: 1, StateBits: 2},
+		{Name: "bl", SizeBytes: 1 << 20, Assoc: 1, BlockBytes: 48, UnitsPerBlock: 1, StateBits: 2},
+		{Name: "un", SizeBytes: 1 << 20, Assoc: 1, BlockBytes: 64, UnitsPerBlock: 3, StateBits: 2},
+		{Name: "st", SizeBytes: 1 << 20, Assoc: 1, BlockBytes: 64, UnitsPerBlock: 1, StateBits: 0},
+	}
+	for _, o := range bads {
+		if err := o.Validate(); err == nil {
+			t.Errorf("org %q: expected validation error", o.Name)
+		}
+	}
+}
+
+func TestTagEntryIncludesLRU(t *testing.T) {
+	dm := CacheOrg{Name: "dm", SizeBytes: 1 << 20, Assoc: 1, BlockBytes: 64, UnitsPerBlock: 1, StateBits: 3}
+	sa := dm
+	sa.Assoc = 4
+	// 4-way loses 2 set-index bits -> +2 tag bits, plus 2 LRU bits.
+	if sa.TagEntryBits() != dm.TagEntryBits()+4 {
+		t.Errorf("entry bits: dm=%d sa=%d", dm.TagEntryBits(), sa.TagEntryBits())
+	}
+}
+
+func TestCostsOrdering(t *testing.T) {
+	tech := Tech180()
+	l2 := tech.Costs(PaperL2())
+	l1 := tech.Costs(PaperL1())
+
+	if l2.TagRead <= 0 || l2.DataReadUnit <= 0 {
+		t.Fatal("non-positive L2 costs")
+	}
+	// The paper's motivation (§1): in large high-associativity L2s, tag
+	// lookups read multiple block tags and "account for a significant
+	// fraction of the overall energy consumed" — tag and data accesses are
+	// of comparable magnitude, not orders apart.
+	if r := l2.TagRead / l2.DataReadUnit; r < 0.25 || r > 4 {
+		t.Errorf("L2 tag/data-unit energy ratio = %.2f, want comparable (0.25..4)", r)
+	}
+	if l1.TagRead >= l2.TagRead {
+		t.Errorf("L1 tag probe (%.3e) should be cheaper than L2's 4-way probe (%.3e)", l1.TagRead, l2.TagRead)
+	}
+}
+
+func TestHigherAssocCostsMoreTagEnergy(t *testing.T) {
+	tech := Tech180()
+	base := PaperL2()
+	wide := base
+	wide.Assoc = 8
+	if tech.Costs(wide).TagRead <= tech.Costs(base).TagRead {
+		t.Error("8-way tag probe should cost more than 4-way (reads more tags)")
+	}
+}
+
+func TestBiggerCacheCostsMore(t *testing.T) {
+	tech := Tech180()
+	small := PaperL2()
+	big := small
+	big.SizeBytes = 4 << 20
+	if tech.Costs(big).TagRead <= tech.Costs(small).TagRead {
+		t.Error("4MB tag probe should cost more than 1MB")
+	}
+	if tech.Costs(big).DataReadUnit <= tech.Costs(small).DataReadUnit {
+		t.Error("4MB data access should cost more than 1MB")
+	}
+}
+
+func TestWriteBufferProbeTiny(t *testing.T) {
+	tech := Tech180()
+	wb := tech.WriteBufferCosts(8, 31)
+	l2 := tech.Costs(PaperL2())
+	if wb <= 0 {
+		t.Fatal("WB probe energy must be positive")
+	}
+	if wb >= l2.TagRead/4 {
+		t.Errorf("8-entry WB probe (%.3e) should be well under the L2 tag probe (%.3e)", wb, l2.TagRead)
+	}
+}

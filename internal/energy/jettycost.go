@@ -1,0 +1,92 @@
+package energy
+
+// ExcludeOrg describes an exclude-JETTY (EJ) or vector-exclude-JETTY (VEJ)
+// storage array for energy purposes: Sets x Ways entries of
+// (TagBits tag + VectorBits presence). Plain EJ has VectorBits == 1.
+type ExcludeOrg struct {
+	Sets, Ways, TagBits, VectorBits int
+}
+
+// entryBits returns one EJ entry's width.
+func (o ExcludeOrg) entryBits() int { return o.TagBits + o.VectorBits }
+
+// IncludeOrg describes an include-JETTY (IJ) for energy purposes:
+// NumArrays sub-arrays of Entries (= 2^E) positions, each with a presence
+// bit and a CntBits counter. On a snoop only the p-bit arrays are read
+// (paper §3.2/Fig. 3(c)); counters are touched only on L2 block
+// allocation/eviction.
+type IncludeOrg struct {
+	Entries, NumArrays, CntBits int
+}
+
+// PBitStorageBits returns total presence-bit storage.
+func (o IncludeOrg) PBitStorageBits() int { return o.Entries * o.NumArrays }
+
+// CntStorageBits returns total counter storage.
+func (o IncludeOrg) CntStorageBits() int { return o.Entries * o.NumArrays * o.CntBits }
+
+// FilterCosts holds the per-operation energies (J) of one JETTY instance.
+type FilterCosts struct {
+	// Probe is charged on every snoop: the EJ set read+compare plus every
+	// IJ p-bit array read (hybrids pay both; pure variants pay one part).
+	Probe float64
+	// EJWrite is one exclude-array entry write (allocation or present-bit
+	// clear on a local fill).
+	EJWrite float64
+	// CntUpdate is the counter read-modify-write across all IJ sub-arrays
+	// for one L2 block allocation or eviction.
+	CntUpdate float64
+	// PBitWrite is one presence-bit array write (p-bit set/clear).
+	PBitWrite float64
+}
+
+// ExcludeCosts returns the probe/write energies of an EJ/VEJ array.
+func (t Tech) ExcludeCosts(o ExcludeOrg) FilterCosts {
+	entry := o.entryBits()
+	a := Array{Rows: o.Sets, Cols: o.Ways * entry, Banks: Unbanked, BitsOut: o.Ways * entry}
+	probe := t.ReadEnergy(a) + float64(o.Ways)*t.CompareEnergy(o.TagBits)
+	return FilterCosts{
+		Probe:   probe,
+		EJWrite: t.WriteEnergy(a, entry),
+	}
+}
+
+// pbitArray returns the square-ish physical organization of one IJ p-bit
+// sub-array (paper Fig. 3(c): 256 entries as 16x16, 1024 as 32x32).
+func pbitArray(entries int) Array {
+	rows := 1
+	for rows*rows < entries {
+		rows *= 2
+	}
+	cols := entries / rows
+	if cols < 1 {
+		cols = 1
+	}
+	return Array{Rows: rows, Cols: cols, Banks: Unbanked, BitsOut: 1}
+}
+
+// IncludeCosts returns the probe/update energies of an IJ.
+func (t Tech) IncludeCosts(o IncludeOrg) FilterCosts {
+	pb := pbitArray(o.Entries)
+	probe := float64(o.NumArrays) * t.ReadEnergy(pb)
+
+	cnt := t.OptimizedArray(o.Entries, o.CntBits, o.CntBits)
+	update := float64(o.NumArrays) * (t.ReadEnergy(cnt) + t.WriteEnergy(cnt, o.CntBits))
+
+	return FilterCosts{
+		Probe:     probe,
+		CntUpdate: update,
+		PBitWrite: t.WriteEnergy(pb, 1),
+	}
+}
+
+// HybridCosts combines an IJ and an EJ probed in parallel (paper §3.3):
+// every probe pays both structures; writes keep their own costs.
+func HybridCosts(ij, ej FilterCosts) FilterCosts {
+	return FilterCosts{
+		Probe:     ij.Probe + ej.Probe,
+		EJWrite:   ej.EJWrite,
+		CntUpdate: ij.CntUpdate,
+		PBitWrite: ij.PBitWrite,
+	}
+}

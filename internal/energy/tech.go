@@ -1,0 +1,65 @@
+// Package energy implements the analytical cache-energy model the paper
+// uses to evaluate JETTY: a Kamble–Ghose-style per-access model of SRAM
+// array energy (bit lines, word lines, sense amps, decode and output
+// drivers), a CACTI-lite bank-organization optimizer (the paper "used CACTI
+// to determine the optimal number of banks"), per-operation energy catalogs
+// for the L2/L1/write-buffer and for every JETTY structure, and an
+// accounting layer that maps simulator event counts to joules and to the
+// paper's two reduction metrics (over snoop accesses, over all L2 accesses).
+//
+// Absolute joule values depend on process constants that the paper takes
+// from a 0.18 µm tutorial; what the evaluation actually relies on is the
+// *ratio* between structures (a JETTY probe must be tiny next to an L2 tag
+// probe, data arrays dwarf tag arrays, …), and those ratios derive from
+// array geometry exactly as in Kamble–Ghose.
+package energy
+
+// Tech holds the process/circuit constants of the energy model.
+// The defaults (Tech180) are representative published values for a
+// 0.18 µm CMOS process at 1.8 V, the paper's technology point.
+type Tech struct {
+	Vdd       float64 // supply voltage (V)
+	SwingRead float64 // bit-line read swing (V); writes swing full rail
+
+	CBitDrain  float64 // drain capacitance each cell adds to its bit line (F)
+	CWordGate  float64 // gate capacitance each cell adds to its word line (F)
+	CWirePerUM float64 // metal wire capacitance (F/µm)
+
+	CellWidthUM  float64 // SRAM cell width (µm), sets word-line wire length
+	CellHeightUM float64 // SRAM cell height (µm), sets bit-line wire length
+
+	ESenseAmp float64 // energy per activated sense amplifier (J)
+	CDecodeFF float64 // effective decoder capacitance per address bit (F)
+	COutBit   float64 // capacitance driven per output bit (F)
+
+	ECompareBit float64 // energy per compared tag bit (comparator) (J)
+	EBankFixed  float64 // per-access periphery overhead of each extra sub-bank (J)
+}
+
+// Tech180 returns the 0.18 µm / 1.8 V technology point used throughout the
+// reproduction (paper §4.1: "0.18µm CMOS technology operating at 1.8V").
+func Tech180() Tech {
+	return Tech{
+		Vdd:          1.8,
+		SwingRead:    0.3,
+		CBitDrain:    1.5e-15, // 1.5 fF drain load per cell
+		CWordGate:    1.8e-15, // 1.8 fF of pass-gate load per cell
+		CWirePerUM:   0.27e-15,
+		CellWidthUM:  2.4,
+		CellHeightUM: 1.8,
+		ESenseAmp:    6.0e-14, // 0.06 pJ per sensed column
+		CDecodeFF:    40e-15,  // per address bit, lumped
+		COutBit:      25e-15,
+		ECompareBit:  4.0e-15,
+		EBankFixed:   2.0e-13, // 0.2 pJ of decoder/sense periphery per extra bank
+	}
+}
+
+// Validate reports whether the technology constants are physically sane
+// (all positive, read swing below the rail).
+func (t Tech) Validate() bool {
+	pos := t.Vdd > 0 && t.SwingRead > 0 && t.CBitDrain > 0 && t.CWordGate > 0 &&
+		t.CWirePerUM > 0 && t.CellWidthUM > 0 && t.CellHeightUM > 0 &&
+		t.ESenseAmp > 0 && t.CDecodeFF > 0 && t.COutBit > 0 && t.ECompareBit > 0 && t.EBankFixed > 0
+	return pos && t.SwingRead < t.Vdd
+}

@@ -1,0 +1,196 @@
+package jetty
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jetty/internal/energy"
+)
+
+// Config names one JETTY configuration of any variant. Exactly one of the
+// following holds: only Exclude set (EJ/VEJ), only Include set (IJ), or
+// both set (HJ).
+type Config struct {
+	Exclude *ExcludeConfig
+	Include *IncludeConfig
+}
+
+// Name returns the paper-style configuration name.
+func (c Config) Name() string {
+	switch {
+	case c.Include != nil && c.Exclude != nil:
+		return fmt.Sprintf("HJ(%s,%s)", c.Include.Name(), c.Exclude.Name())
+	case c.Include != nil:
+		return c.Include.Name()
+	case c.Exclude != nil:
+		return c.Exclude.Name()
+	default:
+		return "none"
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Include == nil && c.Exclude == nil {
+		return fmt.Errorf("jetty: empty configuration")
+	}
+	if c.Exclude != nil {
+		if err := c.Exclude.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Include != nil {
+		return c.Include.Validate()
+	}
+	return nil
+}
+
+// New instantiates the configured filter for a machine whose L2 blocks
+// hold unitsPerBlock coherence units (1 for non-subblocked caches).
+func (c Config) New(unitsPerBlock int) Filter {
+	switch {
+	case c.Include != nil && c.Exclude != nil:
+		return NewHybrid(*c.Include, *c.Exclude, unitsPerBlock)
+	case c.Include != nil:
+		return NewInclude(*c.Include)
+	case c.Exclude != nil:
+		return NewExclude(*c.Exclude, unitsPerBlock)
+	default:
+		panic("jetty: empty configuration")
+	}
+}
+
+// Costs derives the per-operation energy catalog of this configuration.
+// unitAddrBits sizes the exclude tags; cntBits the include counters.
+func (c Config) Costs(t energy.Tech, unitAddrBits, cntBits int) energy.FilterCosts {
+	switch {
+	case c.Include != nil && c.Exclude != nil:
+		return energy.HybridCosts(
+			t.IncludeCosts(c.Include.EnergyOrg(cntBits)),
+			t.ExcludeCosts(c.Exclude.EnergyOrg(unitAddrBits)),
+		)
+	case c.Include != nil:
+		return t.IncludeCosts(c.Include.EnergyOrg(cntBits))
+	case c.Exclude != nil:
+		return t.ExcludeCosts(c.Exclude.EnergyOrg(unitAddrBits))
+	default:
+		return energy.FilterCosts{}
+	}
+}
+
+// Parse parses a paper-style configuration name:
+//
+//	EJ-32x4          32-set 4-way exclude-JETTY
+//	VEJ-32x4-8       as above with 8-bit present vectors
+//	IJ-10x4x7        include-JETTY, four 1K-entry sub-arrays, skip 7
+//	HJ(IJ-10x4x7,EJ-32x4)   hybrid of the two
+func Parse(s string) (Config, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "HJ(") && strings.HasSuffix(s, ")"):
+		inner := s[len("HJ(") : len(s)-1]
+		parts := strings.SplitN(inner, ",", 2)
+		if len(parts) != 2 {
+			return Config{}, fmt.Errorf("jetty: malformed hybrid %q", s)
+		}
+		ij, err := Parse(parts[0])
+		if err != nil {
+			return Config{}, err
+		}
+		ej, err := Parse(parts[1])
+		if err != nil {
+			return Config{}, err
+		}
+		if ij.Include == nil || ij.Exclude != nil || ej.Exclude == nil || ej.Include != nil {
+			return Config{}, fmt.Errorf("jetty: hybrid %q must be HJ(IJ-...,EJ-...)", s)
+		}
+		return Config{Include: ij.Include, Exclude: ej.Exclude}, nil
+
+	case strings.HasPrefix(s, "VEJ-"):
+		nums, err := splitInts(s[len("VEJ-"):], 3)
+		if err != nil {
+			return Config{}, fmt.Errorf("jetty: malformed VEJ config %q: %v", s, err)
+		}
+		cfg := Config{Exclude: &ExcludeConfig{Sets: nums[0], Ways: nums[1], Vector: nums[2]}}
+		return cfg, cfg.Validate()
+
+	case strings.HasPrefix(s, "EJ-"):
+		nums, err := splitInts(s[len("EJ-"):], 2)
+		if err != nil {
+			return Config{}, fmt.Errorf("jetty: malformed EJ config %q: %v", s, err)
+		}
+		cfg := Config{Exclude: &ExcludeConfig{Sets: nums[0], Ways: nums[1], Vector: 1}}
+		return cfg, cfg.Validate()
+
+	case strings.HasPrefix(s, "IJ-"):
+		nums, err := splitInts(s[len("IJ-"):], 3)
+		if err != nil {
+			return Config{}, fmt.Errorf("jetty: malformed IJ config %q: %v", s, err)
+		}
+		cfg := Config{Include: &IncludeConfig{IndexBits: nums[0], Arrays: nums[1], SkipBits: nums[2]}}
+		return cfg, cfg.Validate()
+	}
+	return Config{}, fmt.Errorf("jetty: unrecognized configuration %q", s)
+}
+
+// MustParse is Parse for static configuration literals; it panics on error.
+func MustParse(s string) Config {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// splitInts splits "a x b [x|-] c" forms like "32x4" or "32x4-8" into n ints.
+func splitInts(s string, n int) ([]int, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == 'x' || r == '-' })
+	if len(fields) != n {
+		return nil, fmt.Errorf("want %d fields, got %d", n, len(fields))
+	}
+	out := make([]int, n)
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// The paper's evaluated configuration sets, one per figure.
+var (
+	// Fig4aConfigs are the six exclude-JETTYs of Figure 4(a).
+	Fig4aConfigs = []string{"EJ-32x4", "EJ-32x2", "EJ-16x4", "EJ-16x2", "EJ-8x4", "EJ-8x2"}
+	// Fig4bConfigs are the vector-exclude-JETTYs of Figure 4(b), with their
+	// plain-EJ baselines for comparison.
+	Fig4bConfigs = []string{"VEJ-32x4-8", "VEJ-32x4-4", "EJ-32x4", "VEJ-16x4-8", "VEJ-16x4-4", "EJ-16x4"}
+	// Fig5aConfigs are the five include-JETTYs of Figure 5(a).
+	Fig5aConfigs = []string{"IJ-10x4x7", "IJ-9x4x7", "IJ-8x4x7", "IJ-7x5x6", "IJ-6x5x6"}
+	// Fig5bConfigs are the six hybrids of Figure 5(b): (Ia..Ic, Ea|Eb) with
+	// Ia=IJ-10x4x7, Ib=IJ-9x4x7, Ic=IJ-8x4x7, Ea=EJ-32x4, Eb=EJ-16x2.
+	Fig5bConfigs = []string{
+		"HJ(IJ-10x4x7,EJ-32x4)", "HJ(IJ-9x4x7,EJ-32x4)", "HJ(IJ-8x4x7,EJ-32x4)",
+		"HJ(IJ-10x4x7,EJ-16x2)", "HJ(IJ-9x4x7,EJ-16x2)", "HJ(IJ-8x4x7,EJ-16x2)",
+	}
+	// Fig6Configs are the hybrids whose energy Figure 6 reports; parts
+	// (b)-(d) focus on the EJ-32x4 hybrids (left three).
+	Fig6Configs = Fig5bConfigs
+	// Table4Configs are the include-JETTYs whose storage Table 4 lists.
+	Table4Configs = Fig5aConfigs
+)
+
+// ParseAll parses a list of configuration names.
+func ParseAll(names []string) ([]Config, error) {
+	out := make([]Config, len(names))
+	for i, n := range names {
+		c, err := Parse(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package jetty
+
+import (
+	"testing"
+
+	"jetty/internal/energy"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	names := []string{
+		"EJ-32x4", "EJ-8x2", "VEJ-32x4-8", "VEJ-16x4-4",
+		"IJ-10x4x7", "IJ-6x5x6", "HJ(IJ-10x4x7,EJ-32x4)", "HJ(IJ-8x4x7,EJ-16x2)",
+	}
+	for _, n := range names {
+		c, err := Parse(n)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", n, err)
+			continue
+		}
+		if got := c.Name(); got != n {
+			t.Errorf("round trip: %q -> %q", n, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "XJ-32x4", "EJ-32", "EJ-32x4x2", "VEJ-32x4", "IJ-10x4",
+		"HJ(EJ-32x4,IJ-10x4x7)", "HJ(IJ-10x4x7)", "EJ-ax4", "IJ-10x4xz",
+		"EJ-0x4", "VEJ-32x4-3", "HJ(IJ-10x4x7,EJ-32x4", "HJ(IJ-10x4x7,VEJ-32x4)",
+	}
+	for _, n := range bad {
+		if _, err := Parse(n); err == nil {
+			t.Errorf("Parse(%q): expected error", n)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on garbage should panic")
+		}
+	}()
+	MustParse("nope")
+}
+
+func TestPaperConfigListsParse(t *testing.T) {
+	for _, list := range [][]string{Fig4aConfigs, Fig4bConfigs, Fig5aConfigs, Fig5bConfigs, Fig6Configs, Table4Configs} {
+		cfgs, err := ParseAll(list)
+		if err != nil {
+			t.Fatalf("paper config list failed to parse: %v", err)
+		}
+		for i, c := range cfgs {
+			if err := c.Validate(); err != nil {
+				t.Errorf("%s: %v", list[i], err)
+			}
+			f := c.New(2)
+			if f.Name() != list[i] {
+				t.Errorf("instantiated name %q != %q", f.Name(), list[i])
+			}
+		}
+	}
+}
+
+func TestParseAllPropagatesError(t *testing.T) {
+	if _, err := ParseAll([]string{"EJ-32x4", "bogus"}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestConfigNewKinds(t *testing.T) {
+	if _, ok := MustParse("EJ-32x4").New(2).(*Exclude); !ok {
+		t.Error("EJ config should build *Exclude")
+	}
+	if _, ok := MustParse("VEJ-32x4-8").New(2).(*Exclude); !ok {
+		t.Error("VEJ config should build *Exclude")
+	}
+	if _, ok := MustParse("IJ-9x4x7").New(2).(*Include); !ok {
+		t.Error("IJ config should build *Include")
+	}
+	if _, ok := MustParse("HJ(IJ-9x4x7,EJ-32x4)").New(2).(*Hybrid); !ok {
+		t.Error("HJ config should build *Hybrid")
+	}
+}
+
+func TestConfigValidateEmpty(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("empty config should not validate")
+	}
+	if got := (Config{}).Name(); got != "none" {
+		t.Errorf("empty config name = %q", got)
+	}
+}
+
+func TestConfigCostsPositiveAndOrdered(t *testing.T) {
+	tech := energy.Tech180()
+	const unitBits, cntBits = 31, 14
+	ej := MustParse("EJ-32x4").Costs(tech, unitBits, cntBits)
+	ij := MustParse("IJ-10x4x7").Costs(tech, unitBits, cntBits)
+	hj := MustParse("HJ(IJ-10x4x7,EJ-32x4)").Costs(tech, unitBits, cntBits)
+	if ej.Probe <= 0 || ij.Probe <= 0 {
+		t.Fatal("non-positive probe costs")
+	}
+	if hj.Probe != ej.Probe+ij.Probe {
+		t.Error("hybrid probe cost must equal the sum of its parts")
+	}
+	if ej.EJWrite <= 0 || ij.CntUpdate <= 0 {
+		t.Error("write costs must be positive")
+	}
+	// Bigger exclude arrays cost more to probe.
+	small := MustParse("EJ-8x2").Costs(tech, unitBits, cntBits)
+	if small.Probe >= ej.Probe {
+		t.Error("EJ-8x2 probe should cost less than EJ-32x4")
+	}
+	// Bigger include arrays cost more to probe.
+	smallIJ := MustParse("IJ-6x5x6").Costs(tech, unitBits, cntBits)
+	bigIJ := MustParse("IJ-10x4x7").Costs(tech, unitBits, cntBits)
+	if smallIJ.Probe/float64(5) >= bigIJ.Probe/float64(4) {
+		t.Error("per-array probe cost should grow with sub-array size")
+	}
+}
+
+func TestExcludeEnergyOrgTagBits(t *testing.T) {
+	// 31-bit unit address, 32 sets (5 bits), vector 8 (3 bits) -> 23 tag bits.
+	org := (ExcludeConfig{Sets: 32, Ways: 4, Vector: 8}).EnergyOrg(31)
+	if org.TagBits != 23 {
+		t.Errorf("tag bits = %d, want 23", org.TagBits)
+	}
+	if org.VectorBits != 8 || org.Sets != 32 || org.Ways != 4 {
+		t.Errorf("org mismatch: %+v", org)
+	}
+	// Degenerate: never below 1 bit.
+	tiny := (ExcludeConfig{Sets: 32, Ways: 4, Vector: 8}).EnergyOrg(4)
+	if tiny.TagBits != 1 {
+		t.Errorf("clamped tag bits = %d, want 1", tiny.TagBits)
+	}
+}

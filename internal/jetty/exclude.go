@@ -1,0 +1,299 @@
+package jetty
+
+import (
+	"fmt"
+
+	"jetty/internal/energy"
+)
+
+// ExcludeConfig describes an exclude-JETTY: Sets x Ways entries, each
+// covering Vector coherence units (Vector == 1 is the plain EJ of §3.1;
+// Vector > 1 is the VEJ of Fig. 3(a)).
+type ExcludeConfig struct {
+	Sets   int // number of sets (power of two)
+	Ways   int // associativity
+	Vector int // present-vector bits per entry (power of two, >= 1)
+}
+
+// Name returns the paper-style name: EJ-SxA or VEJ-SxA-V.
+func (c ExcludeConfig) Name() string {
+	if c.Vector > 1 {
+		return fmt.Sprintf("VEJ-%dx%d-%d", c.Sets, c.Ways, c.Vector)
+	}
+	return fmt.Sprintf("EJ-%dx%d", c.Sets, c.Ways)
+}
+
+// Entries returns the total entry count.
+func (c ExcludeConfig) Entries() int { return c.Sets * c.Ways }
+
+// Validate reports configuration errors.
+func (c ExcludeConfig) Validate() error {
+	switch {
+	case c.Sets <= 0 || c.Sets&(c.Sets-1) != 0:
+		return fmt.Errorf("jetty: exclude sets %d not a positive power of two", c.Sets)
+	case c.Ways <= 0:
+		return fmt.Errorf("jetty: exclude ways %d must be positive", c.Ways)
+	case c.Vector <= 0 || c.Vector&(c.Vector-1) != 0 || c.Vector > 64:
+		return fmt.Errorf("jetty: exclude vector %d must be a power of two in 1..64", c.Vector)
+	}
+	return nil
+}
+
+// EnergyOrg returns the storage organization used for energy costing,
+// given the coherence-unit address width of the machine.
+func (c ExcludeConfig) EnergyOrg(unitAddrBits int) energy.ExcludeOrg {
+	tag := unitAddrBits - log2(c.Sets) - log2(c.Vector)
+	if tag < 1 {
+		tag = 1
+	}
+	return energy.ExcludeOrg{Sets: c.Sets, Ways: c.Ways, TagBits: tag, VectorBits: c.Vector}
+}
+
+// Exclude is the exclude-JETTY (EJ / VEJ), recording a subset of what is
+// known NOT to be cached.
+//
+// The plain EJ (Vector == 1) works at *block* granularity: "EJ keeps a
+// record of blocks that ... missed in the local L2 and are still not
+// cached" (§3.1). An entry is allocated only when a snoop found no
+// matching L2 tag at all — a whole-block guarantee — so a later snoop to
+// *any* subblock of that block is safely filtered. This is why the paper
+// observes that "accesses to the different subblocks within the same L2
+// block will result in a miss" creates EJ locality.
+//
+// The VEJ (Vector > 1) refines this to coherence-unit granularity: each
+// entry carries a present-vector over Vector consecutive units. A snoop
+// miss sets the missed unit's bit; when the whole block was absent, the
+// bits of every unit of that block (they share an entry chunk) are set —
+// the spatial-locality capture of Fig. 3(a).
+//
+// Address split for a VEJ entry: the low log2(V) unit-address bits select
+// the vector bit; the next log2(S) bits the set; the rest is the tag. A
+// plain EJ indexes sets with *block*-address bits. The two therefore use
+// different PA bits for the set index — the effect §4.3.2 observes.
+type Exclude struct {
+	cfg           ExcludeConfig
+	unitsPerBlock int
+	vecBits       int
+	setBits       int
+
+	tags  []uint64 // sets*ways
+	pv    []uint64 // present-vector bitmask per entry; 0 == invalid
+	lru   []uint8  // LRU rank per entry; 0 == most recent
+	count energy.FilterCounts
+}
+
+// NewExclude builds an EJ/VEJ for a machine whose L2 blocks hold
+// unitsPerBlock coherence units. It panics on an invalid configuration
+// (construction is programmer-controlled; see Validate).
+func NewExclude(cfg ExcludeConfig, unitsPerBlock int) *Exclude {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if unitsPerBlock < 1 || unitsPerBlock&(unitsPerBlock-1) != 0 {
+		panic(fmt.Sprintf("jetty: units per block %d not a positive power of two", unitsPerBlock))
+	}
+	if cfg.Vector > 1 && cfg.Vector < unitsPerBlock {
+		// A vector entry must cover whole blocks for the block-absent
+		// fan-out to stay within one entry.
+		panic(fmt.Sprintf("jetty: vector %d smaller than units per block %d", cfg.Vector, unitsPerBlock))
+	}
+	n := cfg.Entries()
+	e := &Exclude{
+		cfg:           cfg,
+		unitsPerBlock: unitsPerBlock,
+		vecBits:       log2(cfg.Vector),
+		setBits:       log2(cfg.Sets),
+		tags:          make([]uint64, n),
+		pv:            make([]uint64, n),
+		lru:           make([]uint8, n),
+	}
+	e.Reset()
+	return e
+}
+
+// Name implements Filter.
+func (e *Exclude) Name() string { return e.cfg.Name() }
+
+// Config returns the filter's configuration.
+func (e *Exclude) Config() ExcludeConfig { return e.cfg }
+
+// key returns the address the filter tracks an entry under: the block
+// address for plain EJ, the unit address for VEJ.
+func (e *Exclude) key(unit, block uint64) uint64 {
+	if e.cfg.Vector > 1 {
+		return unit
+	}
+	return block
+}
+
+// split decomposes a tracked address into (set, tag, vector bit mask).
+func (e *Exclude) split(key uint64) (set int, tag uint64, bit uint64) {
+	bit = uint64(1) << (key & mask(e.vecBits))
+	set = int((key >> uint(e.vecBits)) & mask(e.setBits))
+	tag = key >> uint(e.vecBits+e.setBits)
+	return set, tag, bit
+}
+
+// find returns the way holding tag in set, or -1.
+func (e *Exclude) find(set int, tag uint64) int {
+	base := set * e.cfg.Ways
+	for w := 0; w < e.cfg.Ways; w++ {
+		if e.pv[base+w] != 0 && e.tags[base+w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// touch promotes way w of set to most-recently-used.
+func (e *Exclude) touch(set, w int) {
+	base := set * e.cfg.Ways
+	old := e.lru[base+w]
+	for i := 0; i < e.cfg.Ways; i++ {
+		if e.lru[base+i] < old {
+			e.lru[base+i]++
+		}
+	}
+	e.lru[base+w] = 0
+}
+
+// victim returns the way to replace in set: an invalid way if one exists,
+// else the LRU way.
+func (e *Exclude) victim(set int) int {
+	base := set * e.cfg.Ways
+	v, worst := 0, e.lru[base]
+	for w := 0; w < e.cfg.Ways; w++ {
+		if e.pv[base+w] == 0 {
+			return w
+		}
+		if e.lru[base+w] > worst {
+			v, worst = w, e.lru[base+w]
+		}
+	}
+	return v
+}
+
+// Probe implements Filter: a snoop is filtered iff a matching entry has
+// the tracked address's present bit set (guaranteed absent from L2).
+func (e *Exclude) Probe(unit, block uint64) bool {
+	e.count.Probes++
+	if e.probe(unit, block) {
+		e.count.Filtered++
+		return true
+	}
+	return false
+}
+
+// probe is the uncounted lookup, shared with the hybrid. A hit refreshes
+// the entry's recency: addresses that keep being snooped stay resident.
+func (e *Exclude) probe(unit, block uint64) bool {
+	set, tag, bit := e.split(e.key(unit, block))
+	w := e.find(set, tag)
+	if w >= 0 && e.pv[set*e.cfg.Ways+w]&bit != 0 {
+		e.touch(set, w)
+		return true
+	}
+	return false
+}
+
+// Peek implements Filter: a side-effect-free Probe.
+func (e *Exclude) Peek(unit, block uint64) bool {
+	set, tag, bit := e.split(e.key(unit, block))
+	w := e.find(set, tag)
+	return w >= 0 && e.pv[set*e.cfg.Ways+w]&bit != 0
+}
+
+// SnoopMiss implements Filter: record that a snoop missed in the local
+// L2. blockAbsent reports whether the whole block's tag missed (rather
+// than a tag hit with the snooped unit invalid). The plain EJ can only
+// learn whole-block absences; the VEJ records the unit — and on a whole-
+// block absence, every unit of that block.
+func (e *Exclude) SnoopMiss(unit, block uint64, blockAbsent bool) {
+	if e.cfg.Vector == 1 {
+		if !blockAbsent {
+			return // only a subblock missed: no block-level guarantee
+		}
+		e.recordKeyBits(block, 1)
+		return
+	}
+	if blockAbsent {
+		// All units of the block share this entry (Vector >= units/block):
+		// set the whole block's bit group.
+		first := block * uint64(e.unitsPerBlock)
+		groupBits := uint64(0)
+		for i := 0; i < e.unitsPerBlock; i++ {
+			_, _, b := e.split(first + uint64(i))
+			groupBits |= b
+		}
+		e.recordKeyBits(unit, groupBits)
+		return
+	}
+	_, _, bit := e.split(unit)
+	e.recordKeyBits(unit, bit)
+}
+
+// recordKeyBits sets present bits in the entry tracking key, allocating
+// (with LRU replacement) if needed.
+func (e *Exclude) recordKeyBits(key uint64, bits uint64) {
+	set, tag, _ := e.split(key)
+	base := set * e.cfg.Ways
+	if w := e.find(set, tag); w >= 0 {
+		if e.pv[base+w]&bits != bits {
+			e.pv[base+w] |= bits
+			e.count.EJWrites++
+		}
+		e.touch(set, w)
+		return
+	}
+	w := e.victim(set)
+	e.tags[base+w] = tag
+	e.pv[base+w] = bits
+	e.touch(set, w)
+	e.count.EJWrites++
+}
+
+// Fill implements Filter: the local L2 gained unit, so any matching
+// present bit must be cleared to preserve safety. For the plain EJ the
+// whole block entry clears (the block is no longer wholly absent); for
+// the VEJ only the filled unit's bit clears.
+func (e *Exclude) Fill(unit, block uint64) {
+	set, tag, bit := e.split(e.key(unit, block))
+	base := set * e.cfg.Ways
+	if w := e.find(set, tag); w >= 0 && e.pv[base+w]&bit != 0 {
+		e.pv[base+w] &^= bit
+		e.count.EJWrites++
+	}
+}
+
+// BlockAllocated implements Filter; exclude structures ignore tag events
+// (Fill already clears entries).
+func (e *Exclude) BlockAllocated(block uint64) {}
+
+// BlockEvicted implements Filter; exclude structures ignore tag events.
+// (An eviction makes units *absent*, which an EJ only learns from future
+// snoop misses — recording it here would be an optimization the paper
+// does not perform.)
+func (e *Exclude) BlockEvicted(block uint64) {}
+
+// Counts implements Filter.
+func (e *Exclude) Counts() energy.FilterCounts { return e.count }
+
+// Reset implements Filter.
+func (e *Exclude) Reset() {
+	for i := range e.pv {
+		e.pv[i] = 0
+		e.tags[i] = 0
+		e.lru[i] = uint8(i % e.cfg.Ways) // distinct ranks within each set
+	}
+	e.count = energy.FilterCounts{}
+}
+
+// log2 returns log2 for exact powers of two.
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+package jetty
+
+import (
+	"fmt"
+
+	"jetty/internal/energy"
+)
+
+// Hybrid is the hybrid-JETTY (§3.3): an include-JETTY and an exclude-JETTY
+// probed in parallel. A snoop is filtered if either part can guarantee
+// absence. Because the EJ serves as backup for the IJ, EJ entries are
+// allocated only for snoops the IJ failed to filter — which is every
+// snoop that reaches SnoopMiss, since a hybrid-filtered snoop never
+// probes the L2 at all.
+type Hybrid struct {
+	ij *Include
+	ej *Exclude
+
+	count energy.FilterCounts
+}
+
+// NewHybrid builds an HJ from its two constituent configurations, for a
+// machine whose L2 blocks hold unitsPerBlock coherence units.
+func NewHybrid(ijCfg IncludeConfig, ejCfg ExcludeConfig, unitsPerBlock int) *Hybrid {
+	return &Hybrid{ij: NewInclude(ijCfg), ej: NewExclude(ejCfg, unitsPerBlock)}
+}
+
+// Name returns the paper-style name HJ(IJ-..., EJ-...).
+func (h *Hybrid) Name() string {
+	return fmt.Sprintf("HJ(%s,%s)", h.ij.Name(), h.ej.Name())
+}
+
+// Include returns the constituent include-JETTY.
+func (h *Hybrid) Include() *Include { return h.ij }
+
+// Exclude returns the constituent exclude-JETTY.
+func (h *Hybrid) Exclude() *Exclude { return h.ej }
+
+// Probe implements Filter: both parts are consulted in parallel (the
+// energy model charges both); either may filter.
+func (h *Hybrid) Probe(unit, block uint64) bool {
+	h.count.Probes++
+	if h.ij.probe(block) || h.ej.probe(unit, block) {
+		h.count.Filtered++
+		return true
+	}
+	return false
+}
+
+// Peek implements Filter: a side-effect-free Probe of both parts.
+func (h *Hybrid) Peek(unit, block uint64) bool {
+	return h.ij.Peek(unit, block) || h.ej.Peek(unit, block)
+}
+
+// SnoopMiss implements Filter: only the EJ learns from snoop misses, and
+// by construction only for snoops the IJ failed to filter.
+func (h *Hybrid) SnoopMiss(unit, block uint64, blockAbsent bool) {
+	h.ej.SnoopMiss(unit, block, blockAbsent)
+}
+
+// Fill implements Filter.
+func (h *Hybrid) Fill(unit, block uint64) { h.ej.Fill(unit, block) }
+
+// BlockAllocated implements Filter.
+func (h *Hybrid) BlockAllocated(block uint64) { h.ij.BlockAllocated(block) }
+
+// BlockEvicted implements Filter.
+func (h *Hybrid) BlockEvicted(block uint64) { h.ij.BlockEvicted(block) }
+
+// Counts implements Filter: the hybrid's own probe/filter counts combined
+// with the constituents' write activity.
+func (h *Hybrid) Counts() energy.FilterCounts {
+	c := h.count
+	c.EJWrites = h.ej.Counts().EJWrites
+	c.CntUpdates = h.ij.Counts().CntUpdates
+	c.PBitWrites = h.ij.Counts().PBitWrites
+	return c
+}
+
+// Reset implements Filter.
+func (h *Hybrid) Reset() {
+	h.ij.Reset()
+	h.ej.Reset()
+	h.count = energy.FilterCounts{}
+}

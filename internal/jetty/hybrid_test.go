@@ -1,0 +1,291 @@
+package jetty
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newTestHybrid() *Hybrid {
+	return NewHybrid(
+		IncludeConfig{IndexBits: 8, Arrays: 4, SkipBits: 7},
+		ExcludeConfig{Sets: 32, Ways: 4, Vector: 1},
+		upb,
+	)
+}
+
+func TestHybridName(t *testing.T) {
+	if got := newTestHybrid().Name(); got != "HJ(IJ-8x4x7,EJ-32x4)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestHybridFiltersViaEitherPart(t *testing.T) {
+	h := newTestHybrid()
+	b := uint64(0x77)
+	u := b * 2
+
+	// Empty IJ filters everything.
+	if !h.Probe(u, b) {
+		t.Fatal("empty hybrid should filter via IJ")
+	}
+	// Allocate the block: IJ can no longer filter it.
+	h.BlockAllocated(b)
+	if h.Probe(u, b) {
+		t.Fatal("hybrid filtered an allocated block")
+	}
+	// Evict and snoop-miss elsewhere: suppose block b is re-allocated so
+	// IJ says maybe, but the EJ has learned unit u is absent.
+	h.BlockEvicted(b)
+	h.BlockAllocated(b + 4096) // aliases nothing relevant; IJ may or may not filter b now
+	if !h.Probe(u, b) {
+		// IJ couldn't filter: record the miss and the EJ takes over.
+		h.SnoopMiss(u, b, true)
+		if !h.Probe(u, b) {
+			t.Fatal("EJ part did not learn the snoop miss")
+		}
+	}
+}
+
+func TestHybridEJBackstopsIJ(t *testing.T) {
+	// Construct the §3.3 scenario: a block the IJ cannot filter (aliased
+	// with live blocks in every sub-array) is caught by the EJ after one
+	// snoop miss.
+	cfg := IncludeConfig{IndexBits: 4, Arrays: 2, SkipBits: 4}
+	h := NewHybrid(cfg, ExcludeConfig{Sets: 16, Ways: 2, Vector: 1}, upb)
+	a, b := uint64(0x05), uint64(0x070)
+	ghost := uint64(0x075) // aliases a in array 0 and b in array 1
+	h.BlockAllocated(a)
+	h.BlockAllocated(b)
+	if h.Probe(ghost*2, ghost) {
+		t.Fatal("IJ should false-positive on the ghost block")
+	}
+	h.SnoopMiss(ghost*2, ghost, true)
+	if !h.Probe(ghost*2, ghost) {
+		t.Fatal("EJ should filter the ghost after its snoop miss")
+	}
+}
+
+func TestHybridFillClearsEJ(t *testing.T) {
+	h := newTestHybrid()
+	b := uint64(0x31)
+	u := b * 2
+	h.BlockAllocated(b + 1) // make IJ unable to filter nothing in particular
+	// Teach the EJ, then fill the unit locally.
+	h.SnoopMiss(u, b, true)
+	h.Fill(u, b)
+	h.BlockAllocated(b)
+	if h.Probe(u, b) {
+		t.Fatal("hybrid filtered a cached unit after fill (safety violation)")
+	}
+}
+
+func TestHybridCountsCombineParts(t *testing.T) {
+	h := newTestHybrid()
+	h.BlockAllocated(1)
+	h.Probe(2, 1) // IJ can't filter block 1... probes counted on hybrid
+	h.Probe(40, 20)
+	h.SnoopMiss(2, 1, true)
+	c := h.Counts()
+	if c.Probes != 2 {
+		t.Errorf("Probes = %d, want 2", c.Probes)
+	}
+	if c.CntUpdates != 1 {
+		t.Errorf("CntUpdates = %d, want 1", c.CntUpdates)
+	}
+	if c.EJWrites != 1 {
+		t.Errorf("EJWrites = %d, want 1", c.EJWrites)
+	}
+	// Constituents must not double-count hybrid probes.
+	if h.Include().Counts().Probes != 0 || h.Exclude().Counts().Probes != 0 {
+		t.Error("constituent probe counters should stay untouched by hybrid probes")
+	}
+}
+
+func TestHybridReset(t *testing.T) {
+	h := newTestHybrid()
+	h.BlockAllocated(1)
+	h.SnoopMiss(10, 5, true)
+	h.Probe(10, 5)
+	h.Reset()
+	if c := h.Counts(); c.Probes != 0 || c.EJWrites != 0 || c.CntUpdates != 0 {
+		t.Errorf("reset left counters: %+v", c)
+	}
+	if h.Include().Live() != 0 {
+		t.Error("reset did not drain IJ")
+	}
+}
+
+// TestHybridSafety runs the full random workout of the combined filter
+// against a reference model of L2 content at both granularities.
+func TestHybridSafety(t *testing.T) {
+	h := NewHybrid(
+		IncludeConfig{IndexBits: 6, Arrays: 4, SkipBits: 5},
+		ExcludeConfig{Sets: 16, Ways: 2, Vector: 4},
+		upb,
+	)
+	type blockState struct{ units map[uint64]bool }
+	blocks := map[uint64]*blockState{}
+	unitsPerBlock := uint64(2)
+	r := rand.New(rand.NewSource(1234))
+	const span = 1 << 10
+
+	cachedUnit := func(u uint64) bool {
+		b := u / unitsPerBlock
+		st := blocks[b]
+		return st != nil && st.units[u]
+	}
+
+	for step := 0; step < 300000; step++ {
+		b := uint64(r.Intn(span))
+		u := b*unitsPerBlock + uint64(r.Intn(int(unitsPerBlock)))
+		switch r.Intn(5) {
+		case 0: // local fill of a unit (allocating the block if needed)
+			st := blocks[b]
+			if st == nil {
+				st = &blockState{units: map[uint64]bool{}}
+				blocks[b] = st
+				h.BlockAllocated(b)
+			}
+			if !st.units[u] {
+				st.units[u] = true
+				h.Fill(u, b)
+			}
+		case 1: // evict the whole block
+			if blocks[b] != nil {
+				delete(blocks, b)
+				h.BlockEvicted(b)
+			}
+		default: // snoop
+			filtered := h.Probe(u, b)
+			if filtered && cachedUnit(u) {
+				t.Fatalf("SAFETY VIOLATION at step %d: filtered snoop to cached unit %#x", step, u)
+			}
+			if !filtered && !cachedUnit(u) {
+				h.SnoopMiss(u, b, blocks[b] == nil)
+			}
+		}
+	}
+	// Sanity: the workout should have exercised both filtering and misses.
+	c := h.Counts()
+	if c.Filtered == 0 || c.Filtered == c.Probes {
+		t.Errorf("degenerate workout: %d/%d filtered", c.Filtered, c.Probes)
+	}
+}
+
+// TestHybridBeatsParts reproduces the paper's §4.3.4 observation on a
+// mixed snoop stream: the hybrid's coverage is at least that of each part.
+func TestHybridBeatsParts(t *testing.T) {
+	ijCfg := IncludeConfig{IndexBits: 6, Arrays: 4, SkipBits: 5}
+	ejCfg := ExcludeConfig{Sets: 16, Ways: 2, Vector: 1}
+	h := NewHybrid(ijCfg, ejCfg, upb)
+	ij := NewInclude(ijCfg)
+	ej := NewExclude(ejCfg, upb)
+
+	r := rand.New(rand.NewSource(77))
+	live := map[uint64]bool{}
+	coverProbes, coverH, coverIJ, coverEJ := 0, 0, 0, 0
+	for step := 0; step < 200000; step++ {
+		b := uint64(r.Intn(1 << 9))
+		u := b * 2
+		switch r.Intn(6) {
+		case 0:
+			if !live[b] {
+				live[b] = true
+				h.BlockAllocated(b)
+				ij.BlockAllocated(b)
+				ej.Fill(u, b)
+			}
+		case 1:
+			if live[b] {
+				delete(live, b)
+				h.BlockEvicted(b)
+				ij.BlockEvicted(b)
+			}
+		default:
+			if live[b] {
+				continue
+			}
+			coverProbes++
+			if h.Probe(u, b) {
+				coverH++
+			} else {
+				h.SnoopMiss(u, b, true)
+			}
+			if ij.Probe(u, b) {
+				coverIJ++
+			}
+			if ej.Probe(u, b) {
+				coverEJ++
+			} else {
+				ej.SnoopMiss(u, b, true)
+			}
+		}
+	}
+	if coverProbes == 0 {
+		t.Fatal("no snoop misses exercised")
+	}
+	if coverH < coverIJ || coverH < coverEJ {
+		t.Errorf("hybrid coverage %d below parts (IJ %d, EJ %d) over %d probes",
+			coverH, coverIJ, coverEJ, coverProbes)
+	}
+}
+
+func TestPeekHasNoSideEffects(t *testing.T) {
+	// Peek must not perturb counters or replacement state: a peeked entry
+	// must still be the LRU victim it was before.
+	e := NewExclude(ExcludeConfig{Sets: 1, Ways: 2, Vector: 1}, upb)
+	e.SnoopMiss(2, 1, true)
+	e.SnoopMiss(4, 2, true)
+	// Entry for block 1 is LRU. Peeking it must NOT refresh it.
+	if !e.Peek(2, 1) {
+		t.Fatal("Peek failed to see the entry")
+	}
+	pre := e.Counts()
+	e.SnoopMiss(6, 3, true) // should evict block 1 (still LRU)
+	if e.Peek(2, 1) {
+		t.Error("peeked entry was refreshed (side effect)")
+	}
+	if got := e.Counts().Probes; got != pre.Probes {
+		t.Errorf("Peek counted probes: %d -> %d", pre.Probes, got)
+	}
+
+	// Probe, by contrast, refreshes.
+	e2 := NewExclude(ExcludeConfig{Sets: 1, Ways: 2, Vector: 1}, upb)
+	e2.SnoopMiss(2, 1, true)
+	e2.SnoopMiss(4, 2, true)
+	e2.Probe(2, 1)           // touch block 1 -> block 2 becomes LRU
+	e2.SnoopMiss(6, 3, true) // evicts block 2
+	if !e2.Peek(2, 1) {
+		t.Error("probed entry should have been retained")
+	}
+	if e2.Peek(4, 2) {
+		t.Error("LRU entry should have been evicted")
+	}
+}
+
+func TestHybridPeekMatchesProbeVerdict(t *testing.T) {
+	h := newTestHybrid()
+	h.BlockAllocated(10)
+	h.SnoopMiss(44, 22, true)
+	cases := []struct{ u, b uint64 }{{20, 10}, {44, 22}, {999, 499}}
+	for _, c := range cases {
+		peek := h.Peek(c.u, c.b)
+		probe := h.Probe(c.u, c.b)
+		if peek != probe {
+			t.Errorf("unit %d: Peek=%v Probe=%v", c.u, peek, probe)
+		}
+	}
+}
+
+func TestIncludePeekPure(t *testing.T) {
+	ij := NewInclude(IncludeConfig{IndexBits: 6, Arrays: 3, SkipBits: 5})
+	ij.BlockAllocated(7)
+	pre := ij.Counts()
+	for i := 0; i < 100; i++ {
+		ij.Peek(14, 7)
+		ij.Peek(2000, 1000)
+	}
+	if ij.Counts() != pre {
+		t.Error("Peek mutated IJ counters")
+	}
+}

@@ -1,0 +1,181 @@
+package jetty
+
+import (
+	"fmt"
+
+	"jetty/internal/energy"
+)
+
+// IncludeConfig describes an include-JETTY, named IJ-ExNxS in the paper:
+// N sub-arrays of 2^E counting entries; sub-array i is indexed by E bits
+// of the block address starting at bit i*S. SkipBits < IndexBits gives the
+// partially-overlapping indexes the paper found more accurate (§3.2).
+type IncludeConfig struct {
+	IndexBits int // E: log2(entries per sub-array)
+	Arrays    int // N: number of sub-arrays
+	SkipBits  int // S: bit offset between consecutive sub-array indexes
+}
+
+// Name returns the paper-style name IJ-ExNxS.
+func (c IncludeConfig) Name() string {
+	return fmt.Sprintf("IJ-%dx%dx%d", c.IndexBits, c.Arrays, c.SkipBits)
+}
+
+// Entries returns the number of entries in each sub-array.
+func (c IncludeConfig) Entries() int { return 1 << uint(c.IndexBits) }
+
+// Validate reports configuration errors.
+func (c IncludeConfig) Validate() error {
+	switch {
+	case c.IndexBits < 1 || c.IndexBits > 24:
+		return fmt.Errorf("jetty: include index bits %d out of range 1..24", c.IndexBits)
+	case c.Arrays < 1 || c.Arrays > 16:
+		return fmt.Errorf("jetty: include arrays %d out of range 1..16", c.Arrays)
+	case c.SkipBits < 1:
+		return fmt.Errorf("jetty: include skip bits %d must be positive", c.SkipBits)
+	}
+	return nil
+}
+
+// EnergyOrg returns the storage organization for energy costing. cntBits
+// is the counter width; the paper pessimistically sizes counters to cover
+// every L2 block mapping to one entry (14 bits for a 16K-block L2).
+func (c IncludeConfig) EnergyOrg(cntBits int) energy.IncludeOrg {
+	return energy.IncludeOrg{Entries: c.Entries(), NumArrays: c.Arrays, CntBits: cntBits}
+}
+
+// CntBitsFor returns the pessimistic counter width for an L2 with the
+// given number of blocks: every block could map to the same entry.
+func CntBitsFor(l2Blocks int) int {
+	bits := 0
+	for (1 << uint(bits)) < l2Blocks {
+		bits++
+	}
+	return bits
+}
+
+// Include is the include-JETTY: a counting-Bloom-like encoding of a
+// superset of the blocks currently cached in the local L2. Each sub-array
+// entry counts how many live L2 blocks match its index slice; a snoop
+// whose block address hits a zero count in *any* sub-array is guaranteed
+// absent and filtered. The paper stores presence bits separately from the
+// counters (Fig. 3(c)) so snoops read only the tiny p-bit arrays; here the
+// p-bit is derived (count > 0) and the energy accounting distinguishes
+// p-bit reads from counter updates via the event counters.
+type Include struct {
+	cfg  IncludeConfig
+	cnt  [][]uint32 // [array][entry] live-block counts
+	live uint64     // total allocated blocks, for invariant checks
+
+	count energy.FilterCounts
+}
+
+// NewInclude builds an IJ. It panics on an invalid configuration.
+func NewInclude(cfg IncludeConfig) *Include {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	ij := &Include{cfg: cfg}
+	ij.cnt = make([][]uint32, cfg.Arrays)
+	for i := range ij.cnt {
+		ij.cnt[i] = make([]uint32, cfg.Entries())
+	}
+	return ij
+}
+
+// Name implements Filter.
+func (ij *Include) Name() string { return ij.cfg.Name() }
+
+// Config returns the filter's configuration.
+func (ij *Include) Config() IncludeConfig { return ij.cfg }
+
+// index returns sub-array i's entry index for a block address.
+func (ij *Include) index(i int, block uint64) int {
+	return int((block >> uint(i*ij.cfg.SkipBits)) & mask(ij.cfg.IndexBits))
+}
+
+// Probe implements Filter: filtered iff any sub-array's count is zero.
+func (ij *Include) Probe(unit, block uint64) bool {
+	ij.count.Probes++
+	if ij.probe(block) {
+		ij.count.Filtered++
+		return true
+	}
+	return false
+}
+
+// Peek implements Filter: a side-effect-free Probe (IJ probes are already
+// pure; this just skips the counters).
+func (ij *Include) Peek(unit, block uint64) bool { return ij.probe(block) }
+
+// probe is the uncounted lookup, shared with the hybrid.
+func (ij *Include) probe(block uint64) bool {
+	for i := 0; i < ij.cfg.Arrays; i++ {
+		if ij.cnt[i][ij.index(i, block)] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SnoopMiss implements Filter; include structures learn nothing from
+// snoop misses (they track what *is* cached).
+func (ij *Include) SnoopMiss(unit, block uint64, blockAbsent bool) {}
+
+// Fill implements Filter; unit fills within an already-allocated block do
+// not change tag-level presence.
+func (ij *Include) Fill(unit, block uint64) {}
+
+// BlockAllocated implements Filter: the L2 installed a block tag; every
+// sub-array's matching counter is incremented (one counter per sub-array,
+// §3.2), setting the derived p-bit on a 0->1 transition.
+func (ij *Include) BlockAllocated(block uint64) {
+	ij.count.CntUpdates++
+	ij.live++
+	for i := 0; i < ij.cfg.Arrays; i++ {
+		idx := ij.index(i, block)
+		if ij.cnt[i][idx] == 0 {
+			ij.count.PBitWrites++
+		}
+		ij.cnt[i][idx]++
+	}
+}
+
+// BlockEvicted implements Filter: the L2 removed a block tag; counters are
+// decremented, clearing the derived p-bit on a 1->0 transition. A counter
+// underflow means the caller violated the alloc/evict pairing contract and
+// panics — silently continuing would let the filter turn unsafe.
+func (ij *Include) BlockEvicted(block uint64) {
+	ij.count.CntUpdates++
+	if ij.live == 0 {
+		panic("jetty: include filter: eviction without allocation")
+	}
+	ij.live--
+	for i := 0; i < ij.cfg.Arrays; i++ {
+		idx := ij.index(i, block)
+		if ij.cnt[i][idx] == 0 {
+			panic(fmt.Sprintf("jetty: include filter: counter underflow in sub-array %d (block %#x never allocated)", i, block))
+		}
+		ij.cnt[i][idx]--
+		if ij.cnt[i][idx] == 0 {
+			ij.count.PBitWrites++
+		}
+	}
+}
+
+// Live returns the number of currently allocated blocks the filter knows of.
+func (ij *Include) Live() uint64 { return ij.live }
+
+// Counts implements Filter.
+func (ij *Include) Counts() energy.FilterCounts { return ij.count }
+
+// Reset implements Filter.
+func (ij *Include) Reset() {
+	for i := range ij.cnt {
+		for j := range ij.cnt[i] {
+			ij.cnt[i][j] = 0
+		}
+	}
+	ij.live = 0
+	ij.count = energy.FilterCounts{}
+}

@@ -1,0 +1,70 @@
+// Package jetty implements the paper's primary contribution: the JETTY
+// family of snoop filters (HPCA 2001). A JETTY sits between the shared bus
+// and the backside of each processor's L2; every incoming snoop probes it
+// first. The filter answers either "guaranteed not cached locally" — the
+// L2 tag probe is skipped and its energy saved — or "maybe cached", in
+// which case the snoop proceeds normally. Three variants are provided:
+//
+//   - Exclude-JETTY (EJ) and its Vector variant (VEJ): a small associative
+//     array recording a *subset of the blocks known absent* — recently
+//     snooped units that missed in the local L2 and have not been fetched
+//     since (§3.1).
+//   - Include-JETTY (IJ): counting sub-arrays encoding a *superset of the
+//     blocks present* — a counting-Bloom-like structure updated on L2
+//     block allocation and eviction (§3.2).
+//   - Hybrid-JETTY (HJ): an IJ and an EJ probed in parallel; either may
+//     filter, and the EJ learns only the snoops the IJ failed to filter
+//     (§3.3).
+//
+// All variants obey the paper's safety requirement: they may fail to
+// filter, but they must never report "absent" while a copy is cached.
+package jetty
+
+import "jetty/internal/energy"
+
+// Filter is the interface every JETTY variant implements. The simulator
+// (or any cache controller embedding a JETTY) drives it with five events:
+//
+//   - Probe on every incoming snoop; a true result means the snoop is
+//     filtered (the block is guaranteed absent from the local L2).
+//   - SnoopMiss after an unfiltered snoop probed the L2 and missed.
+//   - Fill when the local L2 gains a coherence unit.
+//   - BlockAllocated / BlockEvicted when the local L2 installs or removes
+//     a block tag (the include structures track tags, not units).
+//
+// unit is the coherence-unit (subblock) address; block the L2 block
+// address. Implementations are not safe for concurrent use: each CPU owns
+// one private instance, mirroring the hardware.
+type Filter interface {
+	// Name returns the paper-style configuration name, e.g. "EJ-32x4".
+	Name() string
+	// Probe consults the filter for a snoop. true = guaranteed absent.
+	Probe(unit, block uint64) bool
+	// Peek is Probe without side effects: no counters, no recency update.
+	// Verification sweeps use it to audit the filter against actual cache
+	// contents without perturbing the experiment.
+	Peek(unit, block uint64) bool
+	// SnoopMiss records that an unfiltered snoop missed in the local L2.
+	// blockAbsent reports whether the whole block's tag missed (true) or
+	// only the snooped unit was invalid under a matching tag (false) —
+	// the distinction decides what an exclude structure may safely learn.
+	SnoopMiss(unit, block uint64, blockAbsent bool)
+	// Fill records that the local L2 gained the coherence unit.
+	Fill(unit, block uint64)
+	// BlockAllocated records that the local L2 installed a block tag.
+	BlockAllocated(block uint64)
+	// BlockEvicted records that the local L2 removed a block tag.
+	BlockEvicted(block uint64)
+	// Counts exposes the filter's accumulated event counters.
+	Counts() energy.FilterCounts
+	// Reset clears all state and counters.
+	Reset()
+}
+
+// mask returns a bit mask of n low bits.
+func mask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}

@@ -1,0 +1,167 @@
+package jetty
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over RANDOM filter geometries: whatever the
+// configuration, no sequence of legal events may ever produce a false
+// "absent" verdict. These generalize the fixed-geometry safety tests.
+
+// randExcludeConfig derives a valid ExcludeConfig from raw fuzz input.
+func randExcludeConfig(a, b, c uint8) ExcludeConfig {
+	sets := 1 << (a % 7)   // 1..64
+	ways := 1 + int(b%4)   // 1..4
+	vector := 1 << (c % 4) // 1,2,4,8
+	return ExcludeConfig{Sets: sets, Ways: ways, Vector: vector}
+}
+
+func TestExcludeSafetyAnyGeometry(t *testing.T) {
+	f := func(a, b, c uint8, seed int64) bool {
+		cfg := randExcludeConfig(a, b, c)
+		if cfg.Vector > 1 && cfg.Vector < upb {
+			cfg.Vector = upb
+		}
+		e := NewExclude(cfg, upb)
+		cached := map[uint64]bool{}
+		blockPresent := func(blk uint64) bool {
+			return cached[unitOf(blk, 0)] || cached[unitOf(blk, 1)]
+		}
+		r := rand.New(rand.NewSource(seed))
+		for step := 0; step < 4000; step++ {
+			blk := uint64(r.Intn(256))
+			u := unitOf(blk, r.Intn(upb))
+			switch r.Intn(4) {
+			case 0:
+				cached[u] = true
+				e.Fill(u, blk)
+			case 1:
+				delete(cached, unitOf(blk, 0))
+				delete(cached, unitOf(blk, 1))
+			default:
+				if e.Probe(u, blk) && cached[u] {
+					return false // safety violation
+				}
+				if !cached[u] {
+					e.SnoopMiss(u, blk, !blockPresent(blk))
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncludeSafetyAnyGeometry(t *testing.T) {
+	f := func(a, b, c uint8, seed int64) bool {
+		cfg := IncludeConfig{
+			IndexBits: 2 + int(a%9), // 2..10
+			Arrays:    1 + int(b%5), // 1..5
+			SkipBits:  1 + int(c%9), // 1..9
+		}
+		ij := NewInclude(cfg)
+		live := map[uint64]int{}
+		r := rand.New(rand.NewSource(seed))
+		for step := 0; step < 4000; step++ {
+			blk := uint64(r.Intn(512))
+			switch r.Intn(4) {
+			case 0:
+				ij.BlockAllocated(blk)
+				live[blk]++
+			case 1:
+				if live[blk] > 0 {
+					ij.BlockEvicted(blk)
+					live[blk]--
+				}
+			default:
+				if ij.Probe(blk*2, blk) && live[blk] > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybridSafetyAnyGeometry(t *testing.T) {
+	f := func(a, b, c, d uint8, seed int64) bool {
+		ejCfg := randExcludeConfig(a, b, c)
+		if ejCfg.Vector > 1 && ejCfg.Vector < upb {
+			ejCfg.Vector = upb
+		}
+		ijCfg := IncludeConfig{
+			IndexBits: 3 + int(d%7),
+			Arrays:    1 + int(a%4),
+			SkipBits:  1 + int(b%7),
+		}
+		h := NewHybrid(ijCfg, ejCfg, upb)
+		blocks := map[uint64]map[uint64]bool{} // block -> unit set
+		r := rand.New(rand.NewSource(seed))
+		for step := 0; step < 4000; step++ {
+			blk := uint64(r.Intn(256))
+			u := unitOf(blk, r.Intn(upb))
+			switch r.Intn(5) {
+			case 0:
+				set := blocks[blk]
+				if set == nil {
+					set = map[uint64]bool{}
+					blocks[blk] = set
+					h.BlockAllocated(blk)
+				}
+				if !set[u] {
+					set[u] = true
+					h.Fill(u, blk)
+				}
+			case 1:
+				if blocks[blk] != nil {
+					delete(blocks, blk)
+					h.BlockEvicted(blk)
+				}
+			default:
+				present := blocks[blk] != nil && blocks[blk][u]
+				if h.Probe(u, blk) && present {
+					return false
+				}
+				if !present {
+					h.SnoopMiss(u, blk, blocks[blk] == nil)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExcludeNeverExceedsCapacity: the number of live entries can never
+// exceed Sets x Ways regardless of the reference stream (a structural
+// sanity property exercised via the counters: filtered implies resident).
+func TestExcludeBoundedResidency(t *testing.T) {
+	cfg := ExcludeConfig{Sets: 4, Ways: 2, Vector: 1}
+	e := NewExclude(cfg, upb)
+	// Record far more blocks than capacity.
+	for blk := uint64(0); blk < 1000; blk++ {
+		e.SnoopMiss(unitOf(blk, 0), blk, true)
+	}
+	// At most Sets*Ways distinct blocks may still be filterable.
+	resident := 0
+	for blk := uint64(0); blk < 1000; blk++ {
+		if e.Peek(unitOf(blk, 0), blk) {
+			resident++
+		}
+	}
+	if resident > cfg.Entries() {
+		t.Errorf("%d blocks filterable with only %d entries", resident, cfg.Entries())
+	}
+	if resident == 0 {
+		t.Error("no residual entries at all")
+	}
+}

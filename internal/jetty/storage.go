@@ -1,0 +1,41 @@
+package jetty
+
+import "fmt"
+
+// StorageRow is one row of Table 4: the storage requirements of an
+// include-JETTY configuration. On a snoop only the p-bit arrays are read;
+// the counters exist to keep the p-bits coherent across evictions.
+type StorageRow struct {
+	Config    IncludeConfig
+	PBitBits  int    // total presence bits: N x 2^E
+	PBitOrg   string // "N x entries" as the paper prints it
+	CntOrg    string // square-ish counter organization, "N x rows x cols"
+	CntBits   int    // counter width per entry
+	TotalBits int    // p-bits + counters
+}
+
+// TotalBytes returns the total storage in bytes, rounded up.
+func (r StorageRow) TotalBytes() int { return (r.TotalBits + 7) / 8 }
+
+// Storage computes the Table 4 row for an include configuration with the
+// given counter width (the paper pessimistically uses 14 bits for a
+// 16K-block L2; see CntBitsFor).
+func (c IncludeConfig) Storage(cntBits int) StorageRow {
+	entries := c.Entries()
+	rows := 1
+	for rows*rows < entries {
+		rows *= 2
+	}
+	cols := entries / rows
+	if cols < 1 {
+		cols = 1
+	}
+	return StorageRow{
+		Config:    c,
+		PBitBits:  c.Arrays * entries,
+		PBitOrg:   fmt.Sprintf("%d x %d", c.Arrays, entries),
+		CntOrg:    fmt.Sprintf("%d x %d x %d", c.Arrays, rows, cols),
+		CntBits:   cntBits,
+		TotalBits: c.Arrays*entries + c.Arrays*entries*cntBits,
+	}
+}

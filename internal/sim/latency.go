@@ -1,0 +1,73 @@
+package sim
+
+import "jetty/internal/energy"
+
+// Snoop-latency analysis (paper §2.2): a JETTY sits in series with the L2
+// tag array, so unfiltered snoops pay its latency on top of the tag probe;
+// filtered snoops answer from the JETTY alone. The paper argues the
+// addition is negligible — the JETTY is register-file-sized (a fraction of
+// a cycle) while an L2 tag probe takes many cycles and the bus runs 4-10x
+// slower than the core. This module quantifies that argument, and also the
+// tag-port-pressure relief the conclusion hints at when it mentions
+// performance optimizations: every filtered snoop is an L2 tag-array slot
+// the local processor does not compete with.
+
+// LatencyParams are the §2.2 timing assumptions, in processor cycles.
+type LatencyParams struct {
+	JettyCycles  float64 // JETTY probe ("half a cycle in many processors")
+	L2TagCycles  float64 // "it takes several (e.g., 12) cycles to access a reasonably sized L2"
+	BusClockMult float64 // bus cycle in CPU cycles ("4~10 times slower")
+}
+
+// PaperLatency returns the §2.2 reference numbers.
+func PaperLatency() LatencyParams {
+	return LatencyParams{JettyCycles: 0.5, L2TagCycles: 12, BusClockMult: 6}
+}
+
+// LatencyReport quantifies the latency/occupancy effects of one filter.
+type LatencyReport struct {
+	// BaseSnoopResponse is the mean snoop response latency without a
+	// JETTY (every snoop probes the L2 tags), in CPU cycles.
+	BaseSnoopResponse float64
+	// WithSnoopResponse is the mean with the filter: filtered snoops
+	// answer from the JETTY; unfiltered ones pay JETTY + tag probe.
+	WithSnoopResponse float64
+	// WorstCasePenalty is the added latency of a non-filtered snoop in
+	// bus cycles — the §2.2 claim is that this is a small fraction.
+	WorstCasePenaltyBusCycles float64
+	// TagPortRelief is the fraction of all L2 tag-array accesses removed
+	// by filtering — bandwidth returned to the local processor.
+	TagPortRelief float64
+}
+
+// Latency computes the report for one filter of a run.
+func Latency(counts energy.Counts, fc energy.FilterCounts, p LatencyParams) LatencyReport {
+	var r LatencyReport
+	snoops := float64(counts.Snoops)
+	if snoops == 0 {
+		return r
+	}
+	filtered := float64(fc.Filtered)
+	if filtered > snoops {
+		filtered = snoops
+	}
+	r.BaseSnoopResponse = p.L2TagCycles
+	r.WithSnoopResponse = (filtered*p.JettyCycles +
+		(snoops-filtered)*(p.JettyCycles+p.L2TagCycles)) / snoops
+	r.WorstCasePenaltyBusCycles = p.JettyCycles / p.BusClockMult
+
+	allTag := snoops + float64(counts.LocalProbes())
+	if allTag > 0 {
+		r.TagPortRelief = filtered / allTag
+	}
+	return r
+}
+
+// LatencyOf computes the report for a named filter in an AppResult.
+func LatencyOf(res AppResult, name string, p LatencyParams) (LatencyReport, error) {
+	fc, err := res.FilterCountsOf(name)
+	if err != nil {
+		return LatencyReport{}, err
+	}
+	return Latency(res.Counts, fc, p), nil
+}

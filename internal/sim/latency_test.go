@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"jetty/internal/energy"
+	"jetty/internal/jetty"
+	"jetty/internal/smp"
+)
+
+func TestLatencyArithmetic(t *testing.T) {
+	p := PaperLatency()
+	counts := energy.Counts{Snoops: 1000, LocalReads: 400, LocalWrites: 100}
+	fc := energy.FilterCounts{Probes: 1000, Filtered: 750}
+	r := Latency(counts, fc, p)
+
+	if r.BaseSnoopResponse != 12 {
+		t.Errorf("base = %v", r.BaseSnoopResponse)
+	}
+	// 750 snoops at 0.5 cycles + 250 at 12.5 = (375 + 3125)/1000 = 3.5.
+	if r.WithSnoopResponse != 3.5 {
+		t.Errorf("with = %v, want 3.5", r.WithSnoopResponse)
+	}
+	// The §2.2 claim: the serial penalty is a small fraction of a bus cycle.
+	if r.WorstCasePenaltyBusCycles >= 0.25 {
+		t.Errorf("worst-case penalty %v bus cycles; paper expects a small fraction", r.WorstCasePenaltyBusCycles)
+	}
+	// 750 of 1500 total tag accesses removed.
+	if r.TagPortRelief != 0.5 {
+		t.Errorf("relief = %v, want 0.5", r.TagPortRelief)
+	}
+}
+
+func TestLatencyDegenerateInputs(t *testing.T) {
+	r := Latency(energy.Counts{}, energy.FilterCounts{}, PaperLatency())
+	if r.WithSnoopResponse != 0 || r.TagPortRelief != 0 {
+		t.Errorf("zero-snoop run should produce zero report: %+v", r)
+	}
+	// Filtered beyond snoops clamps.
+	r = Latency(energy.Counts{Snoops: 10}, energy.FilterCounts{Filtered: 100}, PaperLatency())
+	if r.WithSnoopResponse != 0.5 {
+		t.Errorf("full filtering should answer at JETTY latency, got %v", r.WithSnoopResponse)
+	}
+}
+
+func TestLatencyEndToEnd(t *testing.T) {
+	best := jetty.MustParse("HJ(IJ-9x4x7,EJ-32x4)")
+	cfg := smp.PaperConfig(4).WithFilters(best)
+	res, err := RunApp(quickSpec(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := LatencyOf(res, best.Name(), PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WithSnoopResponse >= r.BaseSnoopResponse {
+		t.Errorf("filtering should cut mean snoop response: %v vs %v",
+			r.WithSnoopResponse, r.BaseSnoopResponse)
+	}
+	if r.TagPortRelief <= 0 {
+		t.Error("no tag-port relief measured")
+	}
+	if _, err := LatencyOf(res, "nope", PaperLatency()); err == nil {
+		t.Error("unknown filter should error")
+	}
+}

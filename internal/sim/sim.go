@@ -1,0 +1,182 @@
+// Package sim is the experiment runner: it ties the synthetic workloads,
+// the SMP machine and the JETTY filter bank together and derives the
+// paper's metrics (Table 2/3 statistics, per-filter coverage, and the
+// Figure 6 energy reductions) from one simulation pass per application.
+package sim
+
+import (
+	"fmt"
+
+	"jetty/internal/bus"
+	"jetty/internal/energy"
+	"jetty/internal/jetty"
+	"jetty/internal/smp"
+	"jetty/internal/workload"
+)
+
+// AppResult holds everything measured for one application run.
+type AppResult struct {
+	Spec workload.Spec
+	CPUs int
+
+	Refs        uint64 // references processed
+	MemoryBytes uint64 // allocated footprint (Table 2 "MA")
+
+	L1HitRate      float64
+	L2LocalHitRate float64
+
+	Counts energy.Counts // aggregated L2 event counts
+	CPU    smp.CPUStats
+	Bus    bus.Stats
+
+	RemoteHitFrac     []float64 // Table 3 "Remote Cache Hits" 0..N-1
+	SnoopMissOfSnoops float64   // Table 3 "% of Snoop Accesses"
+	SnoopMissOfAll    float64   // Table 3 "% of All Accesses"
+
+	FilterNames  []string
+	FilterCounts []energy.FilterCounts
+	Coverage     []float64
+}
+
+// CoverageOf returns the coverage of the named filter.
+func (r AppResult) CoverageOf(name string) (float64, error) {
+	for i, n := range r.FilterNames {
+		if n == name {
+			return r.Coverage[i], nil
+		}
+	}
+	return 0, fmt.Errorf("sim: filter %q not in run", name)
+}
+
+// FilterCountsOf returns the event counts of the named filter.
+func (r AppResult) FilterCountsOf(name string) (energy.FilterCounts, error) {
+	for i, n := range r.FilterNames {
+		if n == name {
+			return r.FilterCounts[i], nil
+		}
+	}
+	return energy.FilterCounts{}, fmt.Errorf("sim: filter %q not in run", name)
+}
+
+// RunApp simulates one application on the given machine. The run length is
+// spec.Accesses references (all CPUs combined). It returns an error if any
+// filter violated the safety requirement or the machine ended incoherent.
+func RunApp(sp workload.Spec, cfg smp.Config) (AppResult, error) {
+	if err := sp.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	sys := smp.New(cfg)
+	src := sp.Source(cfg.CPUs)
+	sys.Run(src, sp.Accesses)
+	sys.DrainWriteBuffers()
+
+	if err := sys.CheckFilterSafety(); err != nil {
+		return AppResult{}, err
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		return AppResult{}, err
+	}
+
+	res := AppResult{
+		Spec:              sp,
+		CPUs:              cfg.CPUs,
+		Refs:              sys.Refs(),
+		MemoryBytes:       sp.MemoryBytes(cfg.CPUs),
+		L1HitRate:         sys.L1HitRate(),
+		L2LocalHitRate:    sys.L2LocalHitRate(),
+		Counts:            sys.EnergyCounts(),
+		CPU:               sys.CPUStatsTotal(),
+		Bus:               *sys.BusStats(),
+		RemoteHitFrac:     sys.BusStats().RemoteHitFractions(),
+		SnoopMissOfSnoops: sys.SnoopMissFracOfSnoops(),
+		SnoopMissOfAll:    sys.SnoopMissFracOfAll(),
+		FilterNames:       sys.FilterNames(),
+	}
+	for i := range cfg.Filters {
+		res.FilterCounts = append(res.FilterCounts, sys.FilterCounts(i))
+		res.Coverage = append(res.Coverage, sys.Coverage(i))
+	}
+	return res, nil
+}
+
+// RunSuite runs every application of the paper's benchmark suite on the
+// given machine, scaling each access budget by scale (1 = the default
+// budgets; benchmarks use smaller values).
+func RunSuite(cfg smp.Config, scale float64) ([]AppResult, error) {
+	var out []AppResult
+	for _, sp := range workload.Specs() {
+		res, err := RunApp(sp.Scale(scale), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", sp.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// L2EnergyOrg derives the energy model's cache organization from the
+// machine configuration (MOESI needs 3 state bits per unit).
+func L2EnergyOrg(cfg smp.Config) energy.CacheOrg {
+	return energy.CacheOrg{
+		Name:          "L2",
+		SizeBytes:     cfg.L2.SizeBytes,
+		Assoc:         cfg.L2.Assoc,
+		BlockBytes:    cfg.L2.Geom.BlockBytes,
+		UnitsPerBlock: cfg.L2.Geom.UnitsPerBlock,
+		StateBits:     3,
+	}
+}
+
+// EnergyReduction holds one filter's Figure 6 numbers for one access mode.
+type EnergyReduction struct {
+	Filter     string
+	Mode       energy.Mode
+	OverSnoops float64 // reduction over all snoop-induced energy (Fig. 6a/6c)
+	OverAll    float64 // reduction over all L2 energy (Fig. 6b/6d)
+	Baseline   energy.Breakdown
+	With       energy.Breakdown
+}
+
+// EnergyReductions computes the energy savings of every filter in the run
+// for the given tag/data access mode, exactly as Figure 6 reports them:
+// filter probe/update energy charged, filtered snoops skipping the L2 tag
+// probe (and, in parallel mode, the concurrent data-way reads).
+func EnergyReductions(res AppResult, cfg smp.Config, tech energy.Tech, mode energy.Mode) []EnergyReduction {
+	org := L2EnergyOrg(cfg)
+	costs := tech.Costs(org)
+	base := energy.Account(res.Counts, costs, org.Assoc, mode)
+
+	unitBits := cfg.L2.Geom.UnitAddrBits()
+	cntBits := jetty.CntBitsFor(cfg.L2.Blocks())
+
+	var out []EnergyReduction
+	for i, name := range res.FilterNames {
+		fcost := cfg.Filters[i].Costs(tech, unitBits, cntBits)
+		with := energy.AccountFiltered(res.Counts, costs, org.Assoc, mode, res.FilterCounts[i], fcost)
+		out = append(out, EnergyReduction{
+			Filter:     name,
+			Mode:       mode,
+			OverSnoops: energy.Reduction(base.SnoopTotal(), with.SnoopTotal()),
+			OverAll:    energy.Reduction(base.Total(), with.Total()),
+			Baseline:   base,
+			With:       with,
+		})
+	}
+	return out
+}
+
+// Average returns the arithmetic mean, 0 for empty input (the paper's
+// "AVG" columns are arithmetic means over the ten applications).
+func Average(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

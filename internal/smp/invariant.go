@@ -1,0 +1,82 @@
+package smp
+
+import (
+	"fmt"
+
+	"jetty/internal/cache"
+)
+
+// CheckCoherence verifies the MOESI single-writer/multiple-reader
+// invariants and L1/L2 inclusion across the whole machine. It is intended
+// for tests and debugging (cost is proportional to cache contents).
+//
+// Invariants checked, per coherence unit:
+//
+//  1. at most one cache holds it Modified or Exclusive, and then no other
+//     cache holds it in any valid state;
+//  2. at most one cache holds it Owned (the owner), and no cache holds it
+//     Modified or Exclusive alongside;
+//  3. every valid L1 line is covered by a valid unit in its own L2, and a
+//     dirty L1 line requires the L2 unit Modified;
+//  4. the L2's inL1 hint covers every present L1 line (it may
+//     over-approximate, never under-approximate).
+func (s *System) CheckCoherence() error {
+	type holders struct {
+		me, o, sh int // modified/exclusive, owned, shared counts
+	}
+	units := map[uint64]*holders{}
+	for _, n := range s.nodes {
+		n.l2.ForEachValidUnit(func(unit uint64, st cache.State) {
+			h := units[unit]
+			if h == nil {
+				h = &holders{}
+				units[unit] = h
+			}
+			switch st {
+			case cache.Modified, cache.Exclusive:
+				h.me++
+			case cache.Owned:
+				h.o++
+			case cache.Shared:
+				h.sh++
+			}
+		})
+	}
+	for unit, h := range units {
+		if h.me > 1 {
+			return fmt.Errorf("smp: unit %#x has %d M/E holders", unit, h.me)
+		}
+		if h.me == 1 && (h.o > 0 || h.sh > 0) {
+			return fmt.Errorf("smp: unit %#x held M/E alongside %d O + %d S copies", unit, h.o, h.sh)
+		}
+		if h.o > 1 {
+			return fmt.Errorf("smp: unit %#x has %d owners", unit, h.o)
+		}
+	}
+
+	for _, n := range s.nodes {
+		var err error
+		n.l1.ForEachValidLine(func(line uint64, dirty bool) {
+			if err != nil {
+				return
+			}
+			unit := s.unitOfLine(line)
+			st := n.l2.UnitState(unit)
+			if !st.Valid() {
+				err = fmt.Errorf("smp: cpu%d L1 line %#x not covered by L2 (inclusion)", n.id, line)
+				return
+			}
+			if dirty && st != cache.Modified {
+				err = fmt.Errorf("smp: cpu%d dirty L1 line %#x over L2 state %v", n.id, line, st)
+				return
+			}
+			if !n.l2.InL1(unit) {
+				err = fmt.Errorf("smp: cpu%d L1 line %#x present but inL1 hint clear", n.id, line)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

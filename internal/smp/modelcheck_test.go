@@ -1,0 +1,206 @@
+package smp
+
+import (
+	"fmt"
+	"testing"
+
+	"jetty/internal/addr"
+	"jetty/internal/cache"
+	"jetty/internal/trace"
+)
+
+// Model checking the coherence protocol (the paper's §2.2 points at
+// protocol verification as the hard part of coherence work): we enumerate
+// the complete reachable state space of one coherence unit across N CPUs
+// under an abstract MOESI transition function, verify the
+// single-writer/reader invariants in every reachable state, and
+// cross-validate that the *simulator* performs exactly the same transition
+// for every (state, operation) pair — the abstract model and the
+// implementation must agree move for move.
+
+// mcState is the per-CPU MOESI state vector of one unit.
+type mcState [4]cache.State
+
+// mcOp is one processor operation.
+type mcOp struct {
+	cpu   int
+	write bool
+}
+
+// abstractStep applies the MOESI transition function to a state vector.
+func abstractStep(s mcState, op mcOp) mcState {
+	n := s
+	me := op.cpu
+	if op.write {
+		switch s[me] {
+		case cache.Modified:
+			// silent
+		case cache.Exclusive:
+			n[me] = cache.Modified // silent upgrade
+		default: // S, O -> BusUpgr; I -> BusRdX: all remote copies die
+			for i := range n {
+				if i != me {
+					n[i] = cache.Invalid
+				}
+			}
+			n[me] = cache.Modified
+		}
+		return n
+	}
+	// Read.
+	if s[me].Valid() {
+		return n // local hit
+	}
+	hits := 0
+	for i := range n {
+		if i == me {
+			continue
+		}
+		switch n[i] {
+		case cache.Modified, cache.Owned:
+			n[i] = cache.Owned
+			hits++
+		case cache.Exclusive:
+			n[i] = cache.Shared
+			hits++
+		case cache.Shared:
+			hits++
+		}
+	}
+	if hits > 0 {
+		n[me] = cache.Shared
+	} else {
+		n[me] = cache.Exclusive
+	}
+	return n
+}
+
+// checkInvariants verifies the MOESI single-writer invariants on a vector.
+func checkInvariants(s mcState) error {
+	me, owned, shared := 0, 0, 0
+	for _, st := range s {
+		switch st {
+		case cache.Modified, cache.Exclusive:
+			me++
+		case cache.Owned:
+			owned++
+		case cache.Shared:
+			shared++
+		}
+	}
+	switch {
+	case me > 1:
+		return fmt.Errorf("%v: multiple M/E holders", s)
+	case me == 1 && (owned > 0 || shared > 0):
+		return fmt.Errorf("%v: M/E alongside other copies", s)
+	case owned > 1:
+		return fmt.Errorf("%v: multiple owners", s)
+	}
+	return nil
+}
+
+// TestMOESIModelExploration exhaustively explores the reachable state
+// space of the abstract protocol and checks invariants everywhere.
+func TestMOESIModelExploration(t *testing.T) {
+	start := mcState{}
+	seen := map[mcState]bool{start: true}
+	frontier := []mcState{start}
+	transitions := 0
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		if err := checkInvariants(s); err != nil {
+			t.Fatal(err)
+		}
+		for cpu := 0; cpu < 4; cpu++ {
+			for _, w := range []bool{false, true} {
+				n := abstractStep(s, mcOp{cpu: cpu, write: w})
+				transitions++
+				if !seen[n] {
+					seen[n] = true
+					frontier = append(frontier, n)
+				}
+			}
+		}
+	}
+	// Sanity: the reachable space must be nontrivial but far below 5^4
+	// (most vectors violate coherence and are unreachable).
+	if len(seen) < 10 || len(seen) > 300 {
+		t.Errorf("reachable states = %d, outside plausible range", len(seen))
+	}
+	t.Logf("explored %d reachable states over %d transitions", len(seen), transitions)
+}
+
+// mcMachine builds a minimal machine and forces one unit into the given
+// abstract state vector.
+func mcMachine(t *testing.T, s mcState, unitAddr uint64) *System {
+	t.Helper()
+	cfg := PaperConfig(4)
+	cfg.L1 = cache.L1Config{SizeBytes: 512, LineBytes: 32}
+	cfg.L2 = cache.L2Config{SizeBytes: 1 << 11, Assoc: 2, Geom: addr.Subblocked}
+	cfg.WBEntries = 0
+	sys := New(cfg)
+	g := sys.Geometry()
+	for cpu, st := range s {
+		if !st.Valid() {
+			continue
+		}
+		n := sys.nodes[cpu]
+		n.l2.EnsureBlock(g.Block(unitAddr))
+		n.l2.SetUnitState(g.Unit(unitAddr), st)
+	}
+	return sys
+}
+
+// TestSimulatorMatchesAbstractModel drives the simulator through every
+// reachable (state, operation) pair and verifies the resulting L2 state
+// vector equals the abstract model's.
+func TestSimulatorMatchesAbstractModel(t *testing.T) {
+	const unitAddr = 0x40 // unit 2, block 1
+	// Enumerate reachable states first.
+	start := mcState{}
+	seen := map[mcState]bool{start: true}
+	frontier := []mcState{start}
+	var reachable []mcState
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		reachable = append(reachable, s)
+		for cpu := 0; cpu < 4; cpu++ {
+			for _, w := range []bool{false, true} {
+				if n := abstractStep(s, mcOp{cpu: cpu, write: w}); !seen[n] {
+					seen[n] = true
+					frontier = append(frontier, n)
+				}
+			}
+		}
+	}
+
+	checked := 0
+	for _, s := range reachable {
+		for cpu := 0; cpu < 4; cpu++ {
+			for _, w := range []bool{false, true} {
+				want := abstractStep(s, mcOp{cpu: cpu, write: w})
+				sys := mcMachine(t, s, unitAddr)
+				op := trace.Read
+				if w {
+					op = trace.Write
+				}
+				sys.Step(cpu, trace.Ref{Op: op, Addr: unitAddr})
+				var got mcState
+				for i := 0; i < 4; i++ {
+					got[i] = sys.nodes[i].l2.UnitState(sys.Geometry().Unit(unitAddr))
+				}
+				if got != want {
+					t.Fatalf("state %v, cpu%d %s: simulator -> %v, model -> %v",
+						s, cpu, op, got, want)
+				}
+				if err := sys.CheckCoherence(); err != nil {
+					t.Fatalf("state %v, cpu%d %s: %v", s, cpu, op, err)
+				}
+				checked++
+			}
+		}
+	}
+	t.Logf("cross-validated %d (state, op) transitions", checked)
+}

@@ -1,0 +1,214 @@
+package smp
+
+import (
+	"jetty/internal/bus"
+	"jetty/internal/cache"
+)
+
+// busRead issues a BusRd for a load miss: every other CPU snoops; owners
+// supply data and downgrade; the requester fills Shared (or Exclusive if
+// no remote copies existed).
+func (s *System) busRead(n *node, unit, block uint64) {
+	remoteHits := 0
+	for _, o := range s.nodes {
+		if o == n {
+			continue
+		}
+		if s.snoop(o, unit, block, bus.Read) {
+			remoteHits++
+		}
+	}
+	s.bus.Record(bus.Read, remoteHits)
+
+	st := cache.Exclusive
+	if remoteHits > 0 {
+		st = cache.Shared
+	}
+	s.fillL2Unit(n, unit, block, st)
+}
+
+// busReadX issues a BusRdX for a store miss: remote copies are
+// invalidated (owners supply the data on the way out); the requester
+// fills Modified.
+func (s *System) busReadX(n *node, unit, block uint64) {
+	remoteHits := 0
+	for _, o := range s.nodes {
+		if o == n {
+			continue
+		}
+		if s.snoop(o, unit, block, bus.ReadX) {
+			remoteHits++
+		}
+	}
+	s.bus.Record(bus.ReadX, remoteHits)
+	s.fillL2Unit(n, unit, block, cache.Modified)
+}
+
+// busUpgrade issues a BusUpgr for a store hitting a Shared/Owned copy:
+// remote copies are invalidated; the local unit becomes Modified without
+// a data transfer.
+func (s *System) busUpgrade(n *node, unit, block uint64) {
+	remoteHits := 0
+	for _, o := range s.nodes {
+		if o == n {
+			continue
+		}
+		if s.snoop(o, unit, block, bus.Upgrade) {
+			remoteHits++
+		}
+	}
+	s.bus.Record(bus.Upgrade, remoteHits)
+	n.l2.SetUnitState(unit, cache.Modified)
+	n.l2c.LocalStateWrite++
+}
+
+// snoop delivers one bus transaction to a remote node's hierarchy and
+// returns whether that node held a copy (a "remote hit"). The JETTY
+// filter bank observes every snoop; the protocol itself always proceeds
+// (filtering would only have skipped the tag probe of snoops that miss,
+// so outcomes are identical — this is what lets one pass measure every
+// filter configuration).
+func (s *System) snoop(o *node, unit, block uint64, kind bus.Kind) bool {
+	o.l2c.Snoops++
+
+	st := o.l2.UnitState(unit)
+	present := st.Valid()
+	blockAbsent := !present && !o.l2.HasBlock(block)
+
+	// Filter bank observes (and is checked for safety violations).
+	for i, f := range o.filters {
+		if f.Probe(unit, block) {
+			if present {
+				o.unsafeFl[i]++
+			}
+		} else if !present {
+			f.SnoopMiss(unit, block, blockAbsent)
+		}
+	}
+
+	if !present {
+		o.l2c.SnoopMisses++
+		return false
+	}
+	o.l2c.SnoopHits++
+
+	switch kind {
+	case bus.Writeback:
+		// Address check only: the departing owner's data goes to memory;
+		// surviving Shared copies stay valid.
+
+	case bus.Read:
+		if st.CanSupply() {
+			o.l2c.SnoopSupplies++
+			// The freshest data may sit in a dirty L1 line (inclusion
+			// hint): probing it is an L1 access, and the line downgrades
+			// to clean as the L2 takes ownership of the merged data.
+			if o.l2.InL1(unit) {
+				s.l1SnoopClean(o, unit)
+			}
+		}
+		var next cache.State
+		switch st {
+		case cache.Modified, cache.Owned:
+			next = cache.Owned // MOESI: dirty data stays on-chip, shared
+		case cache.Exclusive, cache.Shared:
+			next = cache.Shared
+		}
+		if next != st {
+			o.l2.SetUnitState(unit, next)
+			o.l2c.SnoopStateWrites++
+		}
+
+	case bus.ReadX, bus.Upgrade:
+		if kind == bus.ReadX && st.CanSupply() {
+			o.l2c.SnoopSupplies++
+		}
+		if o.l2.InL1(unit) {
+			s.l1SnoopInvalidate(o, unit)
+		}
+		_, freed := o.l2.InvalidateUnit(unit)
+		o.l2c.SnoopStateWrites++
+		if freed {
+			o.l2c.TagEvictions++
+			for _, f := range o.filters {
+				f.BlockEvicted(block)
+			}
+		}
+	}
+	return true
+}
+
+// l1SnoopClean probes the L1 lines covering a unit, cleans any dirty one
+// (its data merges into the L2 copy being supplied) and drops the
+// exclusivity hints: the unit is being downgraded out of M/E.
+func (s *System) l1SnoopClean(o *node, unit uint64) {
+	first, count := s.linesOfUnit(unit)
+	for i := 0; i < count; i++ {
+		o.cpu.L1SnoopProbes++
+		o.l1.Clean(first + uint64(i))
+		o.l1.ClearExclusive(first + uint64(i))
+	}
+}
+
+// l1SnoopInvalidate removes the L1 lines covering a unit (inclusion).
+func (s *System) l1SnoopInvalidate(o *node, unit uint64) {
+	first, count := s.linesOfUnit(unit)
+	for i := 0; i < count; i++ {
+		o.cpu.L1SnoopProbes++
+		o.l1.Invalidate(first + uint64(i))
+	}
+	o.l2.SetInL1(unit, false)
+}
+
+// fillL2Unit installs a unit arriving from the bus, evicting a victim
+// block if the set is full and notifying the filter bank of every tag
+// event.
+func (s *System) fillL2Unit(n *node, unit, block uint64, st cache.State) {
+	ev, allocated := n.l2.EnsureBlock(block)
+	if ev != nil {
+		s.handleEviction(n, ev)
+	}
+	if allocated {
+		n.l2c.TagAllocs++
+		for _, f := range n.filters {
+			f.BlockAllocated(block)
+		}
+	}
+	n.l2.SetUnitState(unit, st)
+	n.l2.Touch(block)
+	n.l2c.LocalFills++
+	for _, f := range n.filters {
+		f.Fill(unit, block)
+	}
+}
+
+// handleEviction processes a block displaced from the L2: dirty units are
+// written back to memory, covered L1 lines are invalidated (inclusion),
+// and the filter bank learns of the deallocation.
+func (s *System) handleEviction(n *node, ev *cache.Eviction) {
+	n.l2c.TagEvictions++
+	for _, f := range n.filters {
+		f.BlockEvicted(ev.Block)
+	}
+	for _, u := range ev.Units {
+		if u.InL1 {
+			s.l1SnoopInvalidate(n, u.Unit)
+		}
+		if !u.State.Dirty() {
+			continue
+		}
+		// One writeback transaction per dirty unit; the whole bus snoops
+		// it (an Owned departure can still hit surviving Shared copies).
+		n.l2c.DirtyWBUnits++
+		hits := 0
+		for _, o := range s.nodes {
+			if o == n {
+				continue
+			}
+			if s.snoop(o, u.Unit, ev.Block, bus.Writeback) {
+				hits++
+			}
+		}
+		s.bus.Record(bus.Writeback, hits)
+	}
+}

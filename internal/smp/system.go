@@ -1,0 +1,320 @@
+package smp
+
+import (
+	"jetty/internal/addr"
+	"jetty/internal/bus"
+	"jetty/internal/cache"
+	"jetty/internal/energy"
+	"jetty/internal/jetty"
+	"jetty/internal/trace"
+)
+
+// CPUStats holds the processor-side counters of one CPU that are not part
+// of the L2 energy accounting (which lives in energy.Counts).
+type CPUStats struct {
+	Loads, Stores uint64
+
+	WBForwards  uint64 // loads served by a pending store
+	WBCoalesced uint64 // stores merged into a pending entry
+	WBDrains    uint64 // stores performed in the hierarchy
+
+	L1Probes     uint64 // L1 tag probes from the core side
+	L1Hits       uint64
+	L1Misses     uint64
+	L1Writebacks uint64 // dirty L1 victims written into L2
+
+	L1SnoopProbes uint64 // L1 probes caused by snoops (inclusion actions)
+}
+
+// Add accumulates other into s.
+func (s *CPUStats) Add(o CPUStats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.WBForwards += o.WBForwards
+	s.WBCoalesced += o.WBCoalesced
+	s.WBDrains += o.WBDrains
+	s.L1Probes += o.L1Probes
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L1Writebacks += o.L1Writebacks
+	s.L1SnoopProbes += o.L1SnoopProbes
+}
+
+// node is one processor: core-side buffers, caches and filter bank.
+type node struct {
+	id  int
+	l1  *cache.L1
+	l2  *cache.L2
+	wb  *writeBuffer
+	cpu CPUStats
+	l2c energy.Counts
+
+	filters  []jetty.Filter
+	unsafeFl []uint64 // per-filter count of filtered-but-present snoops (must stay 0)
+}
+
+// System is the simulated SMP machine.
+type System struct {
+	cfg  Config
+	geom addr.Geometry
+
+	nodes []*node
+	bus   *bus.Stats
+
+	refs uint64 // total references processed
+}
+
+// New builds a system. It panics on an invalid configuration (machine
+// construction is programmer-controlled; use Config.Validate for input
+// checking).
+func New(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{cfg: cfg, geom: cfg.L2.Geom, bus: bus.NewStats(cfg.CPUs)}
+	for i := 0; i < cfg.CPUs; i++ {
+		n := &node{
+			id: i,
+			l1: cache.NewL1(cfg.L1),
+			l2: cache.NewL2(cfg.L2),
+			wb: newWriteBuffer(cfg.WBEntries),
+		}
+		for _, fc := range cfg.Filters {
+			n.filters = append(n.filters, fc.New(cfg.L2.Geom.UnitsPerBlock))
+		}
+		n.unsafeFl = make([]uint64, len(cfg.Filters))
+		s.nodes = append(s.nodes, n)
+	}
+	return s
+}
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Geometry returns the coherence geometry.
+func (s *System) Geometry() addr.Geometry { return s.geom }
+
+// Refs returns the number of references processed so far.
+func (s *System) Refs() uint64 { return s.refs }
+
+// Step processes one memory reference from the given CPU.
+func (s *System) Step(cpu int, ref trace.Ref) {
+	n := s.nodes[cpu]
+	s.refs++
+	line := n.l1.LineAddr(ref.Addr)
+
+	if ref.Op == trace.Write {
+		n.cpu.Stores++
+		if n.wb.contains(line) {
+			n.cpu.WBCoalesced++
+			return
+		}
+		if drain, must := n.wb.push(line); must {
+			s.drainStore(n, drain)
+		}
+		return
+	}
+
+	n.cpu.Loads++
+	if n.wb.contains(line) {
+		n.cpu.WBForwards++
+		return
+	}
+	s.load(n, line)
+}
+
+// Run interleaves the per-CPU streams of src round-robin, one reference
+// per CPU per turn, until every stream is exhausted or maxRefs references
+// have been processed (0 = unlimited). It returns the number processed.
+func (s *System) Run(src trace.Source, maxRefs uint64) uint64 {
+	start := s.refs
+	ncpu := src.CPUs()
+	if ncpu > s.cfg.CPUs {
+		ncpu = s.cfg.CPUs
+	}
+	alive := make([]bool, ncpu)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := ncpu
+	for remaining > 0 {
+		for cpuID := 0; cpuID < ncpu; cpuID++ {
+			if !alive[cpuID] {
+				continue
+			}
+			if maxRefs > 0 && s.refs-start >= maxRefs {
+				return s.refs - start
+			}
+			ref, ok := src.Next(cpuID)
+			if !ok {
+				alive[cpuID] = false
+				remaining--
+				continue
+			}
+			s.Step(cpuID, ref)
+		}
+	}
+	return s.refs - start
+}
+
+// DrainWriteBuffers performs all pending stores (end-of-run cleanup so
+// that store counts reconcile).
+func (s *System) DrainWriteBuffers() {
+	for _, n := range s.nodes {
+		for _, line := range n.wb.drainAll() {
+			s.drainStore(n, line)
+		}
+	}
+}
+
+// load performs a processor load of one L1 line.
+func (s *System) load(n *node, line uint64) {
+	n.cpu.L1Probes++
+	if n.l1.Contains(line) {
+		n.cpu.L1Hits++
+		return
+	}
+	n.cpu.L1Misses++
+
+	unit := s.unitOfLine(line)
+	block := s.geom.BlockOfUnit(unit)
+
+	// L2 local read probe.
+	n.l2c.LocalReads++
+	if n.l2.UnitState(unit).Valid() {
+		n.l2c.LocalReadHits++
+		n.l2.Touch(block)
+	} else {
+		s.busRead(n, unit, block)
+	}
+	s.fillL1(n, line, unit)
+}
+
+// drainStore performs one pending store (an L1-line write) in the
+// hierarchy, acquiring write permission as needed.
+func (s *System) drainStore(n *node, line uint64) {
+	n.cpu.WBDrains++
+	unit := s.unitOfLine(line)
+	block := s.geom.BlockOfUnit(unit)
+
+	n.cpu.L1Probes++
+	if n.l1.Contains(line) {
+		n.cpu.L1Hits++
+		if n.l1.Dirty(line) {
+			// Ownership was acquired when the line was first dirtied.
+			return
+		}
+		if n.l1.Exclusive(line) {
+			// MESI-in-L1 silent upgrade: the L2 unit is still M/E (snoop
+			// downgrades clear the hint), so the store proceeds without
+			// an L2 access; the L2 learns at writeback time.
+			st := n.l2.UnitState(unit)
+			if !st.Writable() {
+				panic("smp: stale L1 exclusivity hint")
+			}
+			if st == cache.Exclusive {
+				n.l2.SetUnitState(unit, cache.Modified)
+			}
+			n.l1.MarkDirty(line)
+			return
+		}
+		s.ensureWritable(n, unit, block)
+		n.l1.MarkDirty(line)
+		return
+	}
+	n.cpu.L1Misses++
+
+	// Write-allocate: obtain the unit writable in L2, then fill L1 dirty.
+	n.l2c.LocalWrites++
+	st := n.l2.UnitState(unit)
+	switch {
+	case st.Writable():
+		n.l2c.LocalWriteHits++
+		n.l2.Touch(block)
+		if st == cache.Exclusive {
+			n.l2.SetUnitState(unit, cache.Modified)
+			n.l2c.LocalStateWrite++
+		}
+	case st.Valid(): // Shared or Owned: upgrade in place
+		n.l2c.LocalWriteHits++
+		n.l2.Touch(block)
+		s.busUpgrade(n, unit, block)
+	default:
+		s.busReadX(n, unit, block)
+	}
+	s.fillL1(n, line, unit)
+	n.l1.MarkDirty(line)
+	// The L2 copy is now stale relative to L1 until the line drains back;
+	// the unit must be (and is) Modified.
+}
+
+// ensureWritable upgrades the L2 unit to Modified for a store hitting a
+// clean L1 line. The unit is valid in L2 (inclusion), but its coherence
+// state must be read — and possibly upgraded — so this is a local L2
+// access (a write hit).
+func (s *System) ensureWritable(n *node, unit, block uint64) {
+	n.l2c.LocalWrites++
+	n.l2c.LocalWriteHits++
+	n.l2.Touch(block)
+	st := n.l2.UnitState(unit)
+	switch st {
+	case cache.Modified:
+		return
+	case cache.Exclusive:
+		n.l2.SetUnitState(unit, cache.Modified)
+		n.l2c.LocalStateWrite++
+	case cache.Shared, cache.Owned:
+		// Write hit on a shared copy: bus upgrade (the "snoop on an L2
+		// hit" case Table 2's caption calls out).
+		s.busUpgrade(n, unit, block)
+	default:
+		panic("smp: dirty/clean L1 line over invalid L2 unit (inclusion violated)")
+	}
+}
+
+// fillL1 installs a line in the L1, handling the displaced victim (dirty
+// victims write back into the L2, which holds them Modified). The line's
+// exclusivity hint mirrors whether the L2 unit is writable right now.
+func (s *System) fillL1(n *node, line, unit uint64) {
+	victim, had := n.l1.Fill(line, n.l2.UnitState(unit).Writable())
+	if had {
+		s.l1VictimWriteback(n, victim)
+	}
+	n.l2.SetInL1(unit, true)
+}
+
+// l1VictimWriteback handles a line displaced from the L1.
+func (s *System) l1VictimWriteback(n *node, v cache.Victim) {
+	vUnit := s.unitOfLine(v.Line)
+	if v.Dirty {
+		// Dirty L1 data merges into the L2 copy: a local L2 write access.
+		n.cpu.L1Writebacks++
+		n.l2c.LocalWrites++
+		n.l2c.LocalWriteHits++ // inclusion guarantees the unit is present (Modified)
+	}
+	s.clearInL1IfGone(n, vUnit)
+}
+
+// clearInL1IfGone drops the L2's inL1 hint when no L1 line covering the
+// unit remains (a unit may span multiple L1 lines in the NSB geometry).
+func (s *System) clearInL1IfGone(n *node, unit uint64) {
+	linesPerUnit := s.geom.UnitBytes() / s.cfg.L1.LineBytes
+	firstLine := unit * uint64(linesPerUnit)
+	for i := 0; i < linesPerUnit; i++ {
+		if n.l1.Contains(firstLine + uint64(i)) {
+			return
+		}
+	}
+	n.l2.SetInL1(unit, false)
+}
+
+// unitOfLine converts an L1 line number to a coherence-unit number.
+func (s *System) unitOfLine(line uint64) uint64 {
+	return line * uint64(s.cfg.L1.LineBytes) / uint64(s.geom.UnitBytes())
+}
+
+// linesOfUnit returns the first L1 line of a unit and the line count.
+func (s *System) linesOfUnit(unit uint64) (uint64, int) {
+	n := s.geom.UnitBytes() / s.cfg.L1.LineBytes
+	return unit * uint64(n), n
+}

@@ -1,0 +1,51 @@
+package smp
+
+// writeBuffer is the per-CPU coalescing store buffer. Entries hold pending
+// stores at L1-line granularity. Stores to a pending line coalesce; loads
+// to a pending line are forwarded; a store arriving at a full buffer
+// drains the oldest entry first. Snoops always probe the buffer (never
+// filtered by JETTY) — its energy is charged per snoop in the accounting.
+type writeBuffer struct {
+	lines []uint64 // FIFO order, oldest first
+	cap   int
+}
+
+func newWriteBuffer(entries int) *writeBuffer {
+	return &writeBuffer{cap: entries}
+}
+
+// contains reports whether a store to the line is pending.
+func (w *writeBuffer) contains(line uint64) bool {
+	for _, l := range w.lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// push enqueues a store. If the buffer is full, the oldest entry is
+// returned for draining. The caller must have checked contains first
+// (coalescing happens there).
+func (w *writeBuffer) push(line uint64) (drain uint64, mustDrain bool) {
+	if w.cap == 0 {
+		// No buffering: drain immediately.
+		return line, true
+	}
+	if len(w.lines) >= w.cap {
+		drain, mustDrain = w.lines[0], true
+		w.lines = append(w.lines[:0], w.lines[1:]...)
+	}
+	w.lines = append(w.lines, line)
+	return drain, mustDrain
+}
+
+// drainAll removes and returns all pending lines, oldest first.
+func (w *writeBuffer) drainAll() []uint64 {
+	out := w.lines
+	w.lines = nil
+	return out
+}
+
+// len returns the number of pending stores.
+func (w *writeBuffer) len() int { return len(w.lines) }

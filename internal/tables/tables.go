@@ -1,0 +1,110 @@
+// Package tables renders fixed-width text tables shaped like the paper's
+// tables and figure data series, so every experiment binary prints rows
+// that can be compared against the publication side by side.
+package tables
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-width text table builder.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Note appends a footnote line printed under the table.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// PctInt formats a fraction as a whole-percent string (paper style).
+func PctInt(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+
+// Millions formats a count in millions with one decimal.
+func Millions(n uint64) string { return fmt.Sprintf("%.1f", float64(n)/1e6) }
+
+// MB formats a byte count in megabytes with one decimal.
+func MB(n uint64) string { return fmt.Sprintf("%.1f", float64(n)/(1<<20)) }
+
+// Series renders one named data series (a figure's bar group) as a line:
+// "name: v1 v2 v3 ..." with percent formatting.
+func Series(name string, values []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s", name)
+	for _, v := range values {
+		fmt.Fprintf(&b, " %6.1f%%", v*100)
+	}
+	return b.String()
+}

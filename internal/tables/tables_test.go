@@ -1,0 +1,56 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Table X: demo", "App", "Value").
+		Row("Barnes", 47.1).
+		Row("Unstructured", 304.8).
+		Note("source: %s", "paper")
+	out := tb.String()
+	for _, want := range []string{"Table X: demo", "App", "Value", "Barnes", "47.1", "Unstructured", "304.8", "source: paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Errorf("want 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	out := New("", "A", "LongHeader").Row("xxxxxxxx", "y").String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and data row must have aligned second column start.
+	hIdx := strings.Index(lines[0], "LongHeader")
+	dIdx := strings.Index(lines[2], "y")
+	if hIdx != dIdx {
+		t.Errorf("columns misaligned: header at %d, data at %d\n%s", hIdx, dIdx, out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.756); got != "75.6%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := PctInt(0.756); got != "76%" {
+		t.Errorf("PctInt = %q", got)
+	}
+	if got := Millions(47_100_000); got != "47.1" {
+		t.Errorf("Millions = %q", got)
+	}
+	if got := MB(57 << 20); got != "57.0" {
+		t.Errorf("MB = %q", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("EJ-32x4", []float64{0.45, 0.5})
+	if !strings.Contains(out, "EJ-32x4") || !strings.Contains(out, "45.0%") || !strings.Contains(out, "50.0%") {
+		t.Errorf("Series = %q", out)
+	}
+}

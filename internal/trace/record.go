@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace file format: traces can be recorded once (e.g. from an expensive
+// generator) and replayed many times, the workflow the paper's WWT2-based
+// methodology uses ("collect snoop activity traces"). The encoding is a
+// compact stream:
+//
+//	magic "JTT1" | uint32 cpus | records...
+//
+// each record: uint8 (cpu<<1 | op) | uvarint address-delta-zigzag, with
+// per-CPU delta encoding so sequential workloads compress well. A cpu byte
+// of 0xFF ends the stream.
+const (
+	traceMagic = "JTT1"
+	endMarker  = 0xFF
+	maxCPUs    = 0x7F // cpu packs into 7 bits of the record byte
+)
+
+// Writer records a reference stream to an io.Writer.
+type Writer struct {
+	w    *bufio.Writer
+	cpus int
+	last []uint64
+	err  error
+}
+
+// NewWriter starts a trace for an nCPU machine.
+func NewWriter(w io.Writer, cpus int) (*Writer, error) {
+	if cpus < 1 || cpus > maxCPUs {
+		return nil, fmt.Errorf("trace: %d cpus out of range 1..%d", cpus, maxCPUs)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(cpus))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, cpus: cpus, last: make([]uint64, cpus)}, nil
+}
+
+// Write appends one reference.
+func (t *Writer) Write(cpu int, r Ref) error {
+	if t.err != nil {
+		return t.err
+	}
+	if cpu < 0 || cpu >= t.cpus {
+		return fmt.Errorf("trace: cpu %d out of range", cpu)
+	}
+	head := byte(cpu << 1)
+	if r.Op == Write {
+		head |= 1
+	}
+	if err := t.w.WriteByte(head); err != nil {
+		t.err = err
+		return err
+	}
+	delta := int64(r.Addr) - int64(t.last[cpu])
+	t.last[cpu] = r.Addr
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], zigzag(delta))
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		t.err = err
+		return err
+	}
+	return nil
+}
+
+// Close terminates and flushes the trace.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.w.WriteByte(endMarker); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Reader replays a recorded trace as a Source. All references arrive in
+// recorded order: Next(cpu) returns the stream's next reference only when
+// it belongs to cpu, buffering one pending record internally — which is
+// exactly the order the round-robin simulator asks for when the trace was
+// recorded round-robin.
+type Reader struct {
+	r    *bufio.Reader
+	cpus int
+	last []uint64
+
+	pendingCPU int
+	pending    Ref
+	hasPending bool
+	done       bool
+	err        error
+}
+
+// NewReader opens a recorded trace.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	cpus := int(binary.LittleEndian.Uint32(hdr))
+	if cpus < 1 || cpus > maxCPUs {
+		return nil, fmt.Errorf("trace: %d cpus out of range", cpus)
+	}
+	return &Reader{r: br, cpus: cpus, last: make([]uint64, cpus)}, nil
+}
+
+// CPUs implements Source.
+func (t *Reader) CPUs() int { return t.cpus }
+
+// Err returns the first decoding error encountered, if any.
+func (t *Reader) Err() error { return t.err }
+
+// Next implements Source. A request for a CPU other than the one owning
+// the stream's next record returns ok=false for that CPU only once the
+// whole stream is drained; otherwise the record is held until its owner
+// asks. (Round-robin replay of a round-robin recording never blocks.)
+func (t *Reader) Next(cpu int) (Ref, bool) {
+	if !t.hasPending && !t.done {
+		t.fetch()
+	}
+	if t.hasPending && t.pendingCPU == cpu {
+		t.hasPending = false
+		return t.pending, true
+	}
+	return Ref{}, false
+}
+
+// fetch decodes the next record into the pending slot.
+func (t *Reader) fetch() {
+	head, err := t.r.ReadByte()
+	if err != nil {
+		t.done = true
+		if err != io.EOF {
+			t.err = err
+		}
+		return
+	}
+	if head == endMarker {
+		t.done = true
+		return
+	}
+	cpu := int(head >> 1)
+	if cpu >= t.cpus {
+		t.done = true
+		t.err = fmt.Errorf("trace: record for cpu %d beyond header's %d", cpu, t.cpus)
+		return
+	}
+	op := Read
+	if head&1 != 0 {
+		op = Write
+	}
+	u, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		t.done = true
+		t.err = fmt.Errorf("trace: truncated record: %w", err)
+		return
+	}
+	addr := uint64(int64(t.last[cpu]) + unzigzag(u))
+	t.last[cpu] = addr
+	t.pendingCPU = cpu
+	t.pending = Ref{Op: op, Addr: addr}
+	t.hasPending = true
+}
+
+// Record drains src in round-robin order (up to maxPerCPU references per
+// CPU; 0 = until exhaustion) into w. It returns the number recorded.
+func Record(w io.Writer, src Source, maxPerCPU uint64) (uint64, error) {
+	tw, err := NewWriter(w, src.CPUs())
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	counts := make([]uint64, src.CPUs())
+	alive := src.CPUs()
+	for alive > 0 {
+		alive = 0
+		for cpu := 0; cpu < src.CPUs(); cpu++ {
+			if maxPerCPU > 0 && counts[cpu] >= maxPerCPU {
+				continue
+			}
+			r, ok := src.Next(cpu)
+			if !ok {
+				continue
+			}
+			if err := tw.Write(cpu, r); err != nil {
+				return total, err
+			}
+			counts[cpu]++
+			total++
+			alive++
+		}
+	}
+	return total, tw.Close()
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	// Generate a deterministic pseudo-random stream, record it, replay it,
+	// and verify reference-for-reference equality.
+	r := rand.New(rand.NewSource(42))
+	const cpus, perCPU = 4, 500
+	streams := make([][]Ref, cpus)
+	for c := range streams {
+		base := uint64(c) << 30
+		for i := 0; i < perCPU; i++ {
+			op := Read
+			if r.Intn(3) == 0 {
+				op = Write
+			}
+			streams[c] = append(streams[c], Ref{Op: op, Addr: base + uint64(r.Intn(1<<20))})
+		}
+	}
+
+	var buf bytes.Buffer
+	n, err := Record(&buf, NewSliceSource(streams...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cpus*perCPU {
+		t.Fatalf("recorded %d refs, want %d", n, cpus*perCPU)
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.CPUs() != cpus {
+		t.Fatalf("CPUs = %d", rd.CPUs())
+	}
+	got := make([][]Ref, cpus)
+	for remaining := cpus * perCPU; remaining > 0; {
+		for cpu := 0; cpu < cpus; cpu++ {
+			if r, ok := rd.Next(cpu); ok {
+				got[cpu] = append(got[cpu], r)
+				remaining--
+			}
+		}
+	}
+	if err := rd.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for c := range streams {
+		if len(got[c]) != perCPU {
+			t.Fatalf("cpu%d: replayed %d refs, want %d", c, len(got[c]), perCPU)
+		}
+		for i := range streams[c] {
+			if got[c][i] != streams[c][i] {
+				t.Fatalf("cpu%d ref %d: %v != %v", c, i, got[c][i], streams[c][i])
+			}
+		}
+	}
+}
+
+func TestRecordMaxPerCPU(t *testing.T) {
+	inner := &FuncSource{NumCPUs: 2, Fn: func(cpu int) (Ref, bool) {
+		return Ref{Op: Read, Addr: uint64(cpu)}, true
+	}}
+	var buf bytes.Buffer
+	n, err := Record(&buf, inner, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("recorded %d, want 20", n)
+	}
+}
+
+func TestSequentialStreamCompressesWell(t *testing.T) {
+	// Delta encoding: a sequential walk should cost ~2 bytes per record.
+	refs := make([]Ref, 10000)
+	for i := range refs {
+		refs[i] = Ref{Op: Read, Addr: uint64(i) * 32}
+	}
+	var buf bytes.Buffer
+	if _, err := Record(&buf, NewSliceSource(refs), 0); err != nil {
+		t.Fatal(err)
+	}
+	if perRef := float64(buf.Len()) / float64(len(refs)); perRef > 2.5 {
+		t.Errorf("sequential encoding costs %.2f bytes/ref, want <= 2.5", perRef)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Valid header, absurd cpu count.
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	buf.Write([]byte{0, 1, 0, 0}) // 256 cpus
+	if _, err := NewReader(&buf); err == nil {
+		t.Error("excessive cpu count accepted")
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(0, Ref{Op: Write, Addr: 12345}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the end marker and part of the varint.
+	data := buf.Bytes()[:buf.Len()-2]
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		rd.Next(0)
+	}
+	if rd.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestWriterRejectsBadInputs(t *testing.T) {
+	if _, err := NewWriter(io.Discard, 0); err == nil {
+		t.Error("0 cpus accepted")
+	}
+	if _, err := NewWriter(io.Discard, 1000); err == nil {
+		t.Error("1000 cpus accepted")
+	}
+	w, err := NewWriter(io.Discard, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(5, Ref{}); err == nil {
+		t.Error("out-of-range cpu accepted")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		if unzigzag(zigzag(v)) != v {
+			t.Errorf("zigzag round trip failed for %d", v)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package trace defines the memory-reference stream types consumed by the
+// SMP simulator. A trace is a per-CPU sequence of read/write byte-address
+// references; the simulator interleaves the per-CPU streams itself.
+package trace
+
+import "fmt"
+
+// Op is a memory operation kind.
+type Op uint8
+
+// Memory operation kinds.
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "R" or "W".
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Ref is a single memory reference issued by one CPU.
+type Ref struct {
+	Op   Op
+	Addr uint64
+}
+
+// Source produces per-CPU reference streams. Implementations must be
+// deterministic for a fixed construction (seeded), so experiments are
+// reproducible. Next returns ok=false when cpu's stream is exhausted.
+type Source interface {
+	// CPUs returns the number of CPU streams the source produces.
+	CPUs() int
+	// Next returns the next reference for the given CPU.
+	Next(cpu int) (Ref, bool)
+}
+
+// SliceSource is a Source backed by in-memory per-CPU slices. It is mainly
+// useful in tests and examples where a hand-written reference sequence is
+// clearer than a generator.
+type SliceSource struct {
+	refs [][]Ref
+	pos  []int
+}
+
+// NewSliceSource returns a SliceSource over the given per-CPU slices.
+func NewSliceSource(perCPU ...[]Ref) *SliceSource {
+	return &SliceSource{refs: perCPU, pos: make([]int, len(perCPU))}
+}
+
+// CPUs implements Source.
+func (s *SliceSource) CPUs() int { return len(s.refs) }
+
+// Next implements Source.
+func (s *SliceSource) Next(cpu int) (Ref, bool) {
+	if s.pos[cpu] >= len(s.refs[cpu]) {
+		return Ref{}, false
+	}
+	r := s.refs[cpu][s.pos[cpu]]
+	s.pos[cpu]++
+	return r, true
+}
+
+// Limit wraps a Source and stops each CPU stream after n references.
+type Limit struct {
+	Src Source
+	N   uint64
+
+	used []uint64
+}
+
+// NewLimit returns a Source that truncates each per-CPU stream of src to n
+// references.
+func NewLimit(src Source, n uint64) *Limit {
+	return &Limit{Src: src, N: n, used: make([]uint64, src.CPUs())}
+}
+
+// CPUs implements Source.
+func (l *Limit) CPUs() int { return l.Src.CPUs() }
+
+// Next implements Source.
+func (l *Limit) Next(cpu int) (Ref, bool) {
+	if l.used[cpu] >= l.N {
+		return Ref{}, false
+	}
+	r, ok := l.Src.Next(cpu)
+	if ok {
+		l.used[cpu]++
+	}
+	return r, ok
+}
+
+// FuncSource adapts a function to the Source interface.
+type FuncSource struct {
+	NumCPUs int
+	Fn      func(cpu int) (Ref, bool)
+}
+
+// CPUs implements Source.
+func (f *FuncSource) CPUs() int { return f.NumCPUs }
+
+// Next implements Source.
+func (f *FuncSource) Next(cpu int) (Ref, bool) { return f.Fn(cpu) }

@@ -1,0 +1,95 @@
+package trace
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Errorf("Op strings: got %q, %q", Read.String(), Write.String())
+	}
+	if got := Op(9).String(); got != "Op(9)" {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource(
+		[]Ref{{Read, 0}, {Write, 64}},
+		[]Ref{{Read, 128}},
+	)
+	if s.CPUs() != 2 {
+		t.Fatalf("CPUs = %d, want 2", s.CPUs())
+	}
+	r, ok := s.Next(0)
+	if !ok || r != (Ref{Read, 0}) {
+		t.Fatalf("cpu0 first = %v,%v", r, ok)
+	}
+	r, ok = s.Next(1)
+	if !ok || r != (Ref{Read, 128}) {
+		t.Fatalf("cpu1 first = %v,%v", r, ok)
+	}
+	if _, ok := s.Next(1); ok {
+		t.Error("cpu1 should be exhausted")
+	}
+	r, ok = s.Next(0)
+	if !ok || r != (Ref{Write, 64}) {
+		t.Fatalf("cpu0 second = %v,%v", r, ok)
+	}
+	if _, ok := s.Next(0); ok {
+		t.Error("cpu0 should be exhausted")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	var n int
+	inner := &FuncSource{NumCPUs: 1, Fn: func(cpu int) (Ref, bool) {
+		n++
+		return Ref{Read, uint64(n)}, true
+	}}
+	l := NewLimit(inner, 3)
+	if l.CPUs() != 1 {
+		t.Fatalf("CPUs = %d", l.CPUs())
+	}
+	got := 0
+	for {
+		_, ok := l.Next(0)
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != 3 {
+		t.Errorf("limit delivered %d refs, want 3", got)
+	}
+	// Underlying source should not be pulled after the limit.
+	if n != 3 {
+		t.Errorf("inner source pulled %d times, want 3", n)
+	}
+}
+
+func TestLimitPerCPU(t *testing.T) {
+	inner := &FuncSource{NumCPUs: 2, Fn: func(cpu int) (Ref, bool) {
+		return Ref{Read, uint64(cpu)}, true
+	}}
+	l := NewLimit(inner, 2)
+	for cpu := 0; cpu < 2; cpu++ {
+		for i := 0; i < 2; i++ {
+			if _, ok := l.Next(cpu); !ok {
+				t.Fatalf("cpu%d ref %d: unexpectedly exhausted", cpu, i)
+			}
+		}
+		if _, ok := l.Next(cpu); ok {
+			t.Errorf("cpu%d: limit not enforced", cpu)
+		}
+	}
+}
+
+func TestLimitExhaustedInner(t *testing.T) {
+	s := NewSliceSource([]Ref{{Read, 1}})
+	l := NewLimit(s, 10)
+	if _, ok := l.Next(0); !ok {
+		t.Fatal("first ref should be available")
+	}
+	if _, ok := l.Next(0); ok {
+		t.Error("inner exhaustion should propagate")
+	}
+}
