@@ -11,10 +11,14 @@
 package jetty_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"jetty/internal/analytic"
 	"jetty/internal/energy"
+	"jetty/internal/engine"
 	"jetty/internal/jetty"
 	"jetty/internal/sim"
 	"jetty/internal/smp"
@@ -51,18 +55,24 @@ func BenchmarkFig2(b *testing.B) {
 }
 
 // suiteOnce runs the benchmark suite once with the full figure filter
-// bank; the result feeds several benchmarks below.
+// bank; the result feeds several benchmarks below. It uses a private,
+// cache-disabled engine so every b.N iteration really re-simulates —
+// the shared DefaultRunner's result cache would otherwise turn all
+// iterations after the first into cache lookups.
 func suiteOnce(b *testing.B, cpus int, nsb bool) ([]sim.AppResult, smp.Config) {
 	b.Helper()
+	eng := engine.New(engine.Options{CacheEntries: -1})
+	defer eng.Close()
+	r := sim.NewRunner(eng)
 	var (
 		results []sim.AppResult
 		cfg     smp.Config
 		err     error
 	)
 	if nsb {
-		results, cfg, err = sim.PaperSuiteNSB(cpus, benchScale)
+		results, cfg, err = r.PaperSuiteNSB(context.Background(), cpus, benchScale)
 	} else {
-		results, cfg, err = sim.PaperSuite(cpus, benchScale)
+		results, cfg, err = r.PaperSuite(context.Background(), cpus, benchScale)
 	}
 	if err != nil {
 		b.Fatal(err)
@@ -258,6 +268,55 @@ func BenchmarkThroughputEngine(b *testing.B) {
 		cov = c
 	}
 	b.ReportMetric(cov*100, "coverage%")
+}
+
+// The engine comparison: BenchmarkSuiteSerial is the one-goroutine
+// reference; BenchmarkSuiteParallel runs the same suite through the
+// internal/engine worker pool at increasing worker counts. The suite is
+// embarrassingly parallel (ten independent seeded passes), so wall-clock
+// time should drop near-linearly until the pool saturates the physical
+// cores or the longest single app dominates. Compare with:
+//
+//	go test -bench 'BenchmarkSuite(Serial|Parallel)' -benchtime 2x .
+//
+// The result cache is disabled here so every iteration really
+// re-simulates (with it on, iterations after the first are free).
+
+// benchSuiteFilters is a representative small bank for the comparison.
+func benchSuiteFilters() smp.Config {
+	return smp.PaperConfig(4).WithFilters(
+		jetty.MustParse("HJ(IJ-10x4x7,EJ-32x4)"),
+		jetty.MustParse("EJ-32x4"),
+	)
+}
+
+func BenchmarkSuiteSerial(b *testing.B) {
+	cfg := benchSuiteFilters()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunSuiteSerial(cfg, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteParallel(b *testing.B) {
+	workers := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workers = append(workers, n)
+	}
+	cfg := benchSuiteFilters()
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(engine.Options{Workers: w, CacheEntries: -1})
+				r := sim.NewRunner(eng)
+				if _, err := r.RunSuite(context.Background(), cfg, benchScale); err != nil {
+					b.Fatal(err)
+				}
+				eng.Close()
+			}
+		})
+	}
 }
 
 // BenchmarkFilterProbe measures raw probe throughput of each variant —

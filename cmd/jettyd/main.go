@@ -1,0 +1,85 @@
+// Command jettyd serves the JETTY experiment engine over HTTP/JSON: many
+// clients submit experiments, poll their progress and fetch the finished
+// tables, while one shared engine enforces the concurrency cap and its
+// content-addressed cache deduplicates identical work.
+//
+// Usage:
+//
+//	jettyd                       # listen on :8077, GOMAXPROCS workers
+//	jettyd -addr :9000 -workers 4 -cache 512
+//
+// Quick tour (see README.md for more):
+//
+//	curl -s localhost:8077/healthz
+//	curl -s -X POST localhost:8077/v1/experiments \
+//	     -d '{"apps":["Barnes","Ocean"],"scale":0.1}'
+//	curl -s localhost:8077/v1/experiments/exp-000001
+//	curl -s localhost:8077/v1/experiments/exp-000001/result
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jetty/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "result-cache entries (0 = default, negative disables)")
+	maxUnfinished := flag.Int("max-unfinished", 0, "max queued+running experiments (0 = default)")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cache, *maxUnfinished); err != nil {
+		fmt.Fprintln(os.Stderr, "jettyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, cache, maxUnfinished int) error {
+	svc := service.New(service.Options{
+		Workers:       workers,
+		CacheEntries:  cache,
+		MaxUnfinished: maxUnfinished,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight HTTP requests
+	// before tearing the engine down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("jettyd: serving on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("jettyd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

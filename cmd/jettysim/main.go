@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"jetty/internal/addr"
@@ -74,7 +76,12 @@ func run(app string, cpus int, accesses uint64, filterList string, l2size, l2ass
 		return err
 	}
 
-	res, err := sim.RunApp(sp, cfg)
+	// One chunked, cancelable pass: Ctrl-C stops the simulation at the
+	// next chunk boundary. A single run needs no worker pool or cache,
+	// so this skips the engine that the suite commands use.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sim.RunAppCtx(ctx, sp, cfg, nil)
 	if err != nil {
 		return err
 	}

@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"jetty/internal/energy"
+	"jetty/internal/engine"
 	"jetty/internal/jetty"
 	"jetty/internal/sim"
 	"jetty/internal/smp"
@@ -33,9 +36,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload access-budget scale factor")
 	cpus := flag.Int("cpus", 4, "number of CPUs for the suite experiments")
 	samples := flag.Int("samples", 11, "local-hit-rate samples for Figure 2")
+	workers := flag.Int("workers", 0, "engine workers running app simulations concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*exp, *scale, *cpus, *samples); err != nil {
+	if err := run(*exp, *scale, *cpus, *samples, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "paper:", err)
 		os.Exit(1)
 	}
@@ -48,19 +52,30 @@ type suiteCache struct {
 	cfg     smp.Config
 }
 
-func run(exp string, scale float64, cpus, samples int) error {
+func run(exp string, scale float64, cpus, samples, workers int) error {
+	// All simulation passes go through one engine: the suite's apps run
+	// concurrently on its worker pool, and its content-addressed cache
+	// means -exp all never simulates the same (app, machine) pair twice.
+	runner := sim.NewRunner(engine.New(engine.Options{Workers: workers}))
+	defer runner.Engine().Close()
+
+	// Ctrl-C cancels every queued and running simulation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var cache *suiteCache
 	suite := func() (*suiteCache, error) {
 		if cache != nil {
 			return cache, nil
 		}
 		start := time.Now()
-		results, cfg, err := sim.PaperSuite(cpus, scale)
+		results, cfg, err := runner.PaperSuite(ctx, cpus, scale)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Printf("[suite: %d apps x %d filter configs on a %d-way SMP in %v]\n\n",
-			len(results), len(cfg.Filters), cpus, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[suite: %d apps x %d filter configs on a %d-way SMP in %v, %d workers]\n\n",
+			len(results), len(cfg.Filters), cpus, time.Since(start).Round(time.Millisecond),
+			runner.Engine().Workers())
 		cache = &suiteCache{results: results, cfg: cfg}
 		return cache, nil
 	}
@@ -159,14 +174,14 @@ func run(exp string, scale float64, cpus, samples int) error {
 				sim.Latency(s.results[0].Counts, energyFilterCountsZero, p).WorstCasePenaltyBusCycles)
 
 		case "sensitivity":
-			points, err := sim.L2Sensitivity("Ocean", scale)
+			points, err := runner.L2Sensitivity(ctx, "Ocean", scale)
 			if err != nil {
 				return err
 			}
 			fmt.Println(sim.SensitivityReport(points, "Ocean"))
 
 		case "nsb":
-			results, _, err := sim.PaperSuiteNSB(cpus, scale)
+			results, _, err := runner.PaperSuiteNSB(ctx, cpus, scale)
 			if err != nil {
 				return err
 			}
@@ -174,7 +189,7 @@ func run(exp string, scale float64, cpus, samples int) error {
 			fmt.Println("  paper: 68% of snoops miss; best HJ coverage 68%")
 
 		case "eightway":
-			results, _, err := sim.PaperSuite(8, scale)
+			results, _, err := runner.PaperSuite(ctx, 8, scale)
 			if err != nil {
 				return err
 			}
@@ -192,7 +207,7 @@ func run(exp string, scale float64, cpus, samples int) error {
 				workload.Throughput(),
 				workload.MigratingThroughput(50_000),
 			} {
-				res, err := sim.RunApp(sp.Scale(scale), cfg)
+				res, err := runner.RunApp(ctx, sp.Scale(scale), cfg)
 				if err != nil {
 					return err
 				}
@@ -207,6 +222,10 @@ func run(exp string, scale float64, cpus, samples int) error {
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
 		}
+	}
+	if st := runner.Engine().Stats(); st.Submitted > 0 {
+		fmt.Printf("[engine: %d submissions, %d simulation passes, %d cache hits, %d coalesced]\n",
+			st.Submitted, st.Executed, st.CacheHits, st.Coalesced)
 	}
 	return nil
 }

@@ -11,11 +11,15 @@
 // (MOESI bus protocol, subblocked L2, write-back L1, write buffers,
 // synthetic SPLASH-2-like workloads), the Kamble–Ghose energy model with
 // CACTI-lite banking, and a harness that regenerates every table and
-// figure of the paper's evaluation.
+// figure of the paper's evaluation — executed on a concurrent experiment
+// engine (internal/engine: worker pool, cancellation, content-addressed
+// result cache) and servable to many clients at once via cmd/jettyd, an
+// HTTP/JSON experiment service.
 //
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/paper -exp all
+//	go run ./cmd/jettyd
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for measured
 // results versus the paper.

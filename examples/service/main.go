@@ -1,0 +1,117 @@
+// Service example: drive the jettyd HTTP API as a client would. To stay
+// self-contained it starts the service in-process on a loopback port,
+// then talks to it over real HTTP: submit an experiment, poll its
+// progress, fetch the finished tables — and submit the same experiment
+// again to show the content-addressed cache answering instantly.
+//
+// Against a standalone daemon (`go run ./cmd/jettyd`), point base at it
+// and delete the in-process setup.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"jetty/internal/service"
+)
+
+func main() {
+	// In-process jettyd on a loopback port.
+	svc := service.New(service.Options{})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, svc.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("jettyd listening on %s\n\n", base)
+
+	// Submit: two Table 2 applications at a tenth of the paper's access
+	// budget, with the paper's best hybrid and its exclude part attached.
+	req := map[string]any{
+		"apps":    []string{"Barnes", "Ocean"},
+		"scale":   0.1,
+		"filters": []string{"HJ(IJ-10x4x7,EJ-32x4)", "EJ-32x4"},
+	}
+	var status struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Jobs  []struct {
+			App string `json:"app"`
+			Key string `json:"key"`
+		} `json:"jobs"`
+	}
+	post(base+"/v1/experiments", req, &status)
+	fmt.Printf("submitted %s with %d jobs:\n", status.ID, len(status.Jobs))
+	for _, j := range status.Jobs {
+		fmt.Printf("  %-8s key %s...\n", j.App, j.Key[:16])
+	}
+
+	// Poll until done.
+	var poll struct {
+		State    string  `json:"state"`
+		Fraction float64 `json:"fraction"`
+	}
+	for {
+		get(base+"/v1/experiments/"+status.ID, &poll)
+		fmt.Printf("  %s: %.0f%%\n", poll.State, poll.Fraction*100)
+		if poll.State == "done" || poll.State == "failed" {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if poll.State != "done" {
+		log.Fatalf("experiment ended %s", poll.State)
+	}
+
+	// Fetch the finished tables.
+	var result struct {
+		Tables map[string]string `json:"tables"`
+	}
+	get(base+"/v1/experiments/"+status.ID+"/result", &result)
+	fmt.Printf("\n%s\n%s", result.Tables["table2"], result.Tables["coverage"])
+
+	// Resubmit the identical experiment: the engine's content-addressed
+	// cache serves it without re-simulating.
+	start := time.Now()
+	post(base+"/v1/experiments", req, &status)
+	get(base+"/v1/experiments/"+status.ID, &poll)
+	fmt.Printf("\nidentical resubmission (%s) finished %q in %v — served from cache\n",
+		status.ID, poll.State, time.Since(start).Round(time.Millisecond))
+}
+
+func post(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		log.Fatalf("%s: HTTP %d", resp.Request.URL, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

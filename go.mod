@@ -1,0 +1,3 @@
+module jetty
+
+go 1.24

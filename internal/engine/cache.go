@@ -1,0 +1,61 @@
+package engine
+
+import "container/list"
+
+// resultCache is a content-addressed LRU of finished task results. The
+// engine only caches successes; values are stored as-is, so cached
+// results must be treated as immutable by every consumer (the sim layer
+// returns defensive copies of its slices for this reason).
+//
+// The cache is externally synchronized: the engine calls it only under
+// its own mutex.
+type resultCache struct {
+	cap   int
+	order *list.List               // front = most recently used
+	byKey map[string]*list.Element // value: *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (any, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// add inserts (or refreshes) a result, evicting the least recently used
+// entry when over capacity.
+func (c *resultCache) add(key string, val any) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *resultCache) len() int { return c.order.Len() }

@@ -1,0 +1,58 @@
+package engine
+
+import "testing"
+
+func TestResultCacheBasics(t *testing.T) {
+	c := newResultCache(2)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.add("a", 1)
+	c.add("b", 2)
+	if v, ok := c.get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("get(a) = %v, %v", v, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", 1)
+	c.add("b", 2)
+	c.get("a")    // refresh a: b is now the LRU entry
+	c.add("c", 3) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestResultCacheRefreshExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", 1)
+	c.add("a", 10) // refresh, not duplicate
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if v, _ := c.get("a"); v.(int) != 10 {
+		t.Errorf("get(a) = %v, want 10", v)
+	}
+}
+
+func TestResultCacheMinimumCapacity(t *testing.T) {
+	c := newResultCache(0) // clamped to 1
+	c.add("a", 1)
+	c.add("b", 2)
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}

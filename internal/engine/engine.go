@@ -1,0 +1,229 @@
+// Package engine is a job-based experiment execution engine: a fixed
+// worker pool sharded across GOMAXPROCS, context cancellation, per-job
+// progress reporting, and a content-addressed in-memory result cache.
+//
+// Tasks are pure computations identified by a content address (the Key):
+// two tasks with the same key MUST compute the same result. The engine
+// exploits that in two ways. Identical in-flight submissions are
+// deduplicated onto one execution (every submitter gets its own Job
+// handle observing the shared run), and finished results are kept in an
+// LRU cache so repeated submissions are served without re-running.
+//
+// The engine is safe for concurrent use by many goroutines; it is the
+// concurrency cap for everything built on top of it (the sim suite
+// runners and the jettyd service submit here rather than spawning their
+// own goroutines).
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the pool size. 0 means runtime.GOMAXPROCS(0) — one
+	// worker per schedulable CPU.
+	Workers int
+	// CacheEntries bounds the result cache. 0 means the default (256);
+	// negative disables caching entirely.
+	CacheEntries int
+}
+
+// DefaultCacheEntries is the result-cache capacity when Options leaves
+// CacheEntries zero.
+const DefaultCacheEntries = 256
+
+// Stats is a snapshot of the engine's lifetime counters.
+type Stats struct {
+	Submitted uint64 // Submit calls
+	Executed  uint64 // tasks actually run by a worker
+	CacheHits uint64 // submissions served from the finished-result cache
+	Coalesced uint64 // submissions attached to an identical in-flight run
+	Canceled  uint64 // executions that ended canceled
+	Failed    uint64 // executions that ended in error
+}
+
+// Engine runs tasks on a fixed worker pool.
+type Engine struct {
+	workers int
+
+	mu       sync.Mutex
+	inflight map[string]*execution // queued or running, by key
+	cache    *resultCache          // nil when caching is disabled
+	stats    Stats
+	closed   bool
+
+	queue *queue
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New starts an engine. Close it when done to release the workers.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	var cache *resultCache
+	if opts.CacheEntries >= 0 {
+		n := opts.CacheEntries
+		if n == 0 {
+			n = DefaultCacheEntries
+		}
+		cache = newResultCache(n)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		workers:    w,
+		inflight:   make(map[string]*execution),
+		cache:      cache,
+		queue:      newQueue(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	e.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Submit schedules a task and returns a handle observing it. Submissions
+// whose key matches a cached result complete immediately; submissions
+// whose key matches an in-flight execution share that execution. Submit
+// never blocks on the work itself.
+//
+// The returned handle must eventually be either Waited on or Canceled if
+// the caller loses interest; an execution is canceled once every handle
+// to it has been canceled.
+func (e *Engine) Submit(t Task) *Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Submitted++
+
+	if e.closed {
+		ex := newExecution(t, context.Background(), func() {})
+		ex.finish(nil, ErrClosed)
+		return ex.attach()
+	}
+	if e.cache != nil {
+		if res, ok := e.cache.get(t.Key); ok {
+			e.stats.CacheHits++
+			ex := newExecution(t, context.Background(), func() {})
+			ex.cacheHit = true
+			ex.done.Store(ex.total.Load())
+			ex.finish(res, nil)
+			return ex.attach()
+		}
+	}
+	// Coalesce onto an identical in-flight run — unless that run is
+	// doomed (its last handle canceled it, even if the worker has not
+	// retired it yet): an innocent new submitter must not inherit the
+	// cancellation, so it gets a fresh execution that replaces the map
+	// entry (runOne retires by identity, not by key). attach makes the
+	// doomed-vs-attach decision atomically under the execution's lock.
+	if ex, ok := e.inflight[t.Key]; ok {
+		if j := ex.attach(); j != nil {
+			e.stats.Coalesced++
+			return j
+		}
+	}
+
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	ex := newExecution(t, ctx, cancel)
+	e.inflight[t.Key] = ex
+	e.queue.push(ex)
+	return ex.attach()
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close cancels every queued and running execution, waits for the
+// workers to drain, and rejects all later submissions with ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	e.baseCancel() // cancels every execution context derived from it
+	e.queue.close()
+	e.wg.Wait()
+
+	// Workers drained the queue (canceled executions finish without
+	// running), so nothing is left in flight.
+	e.mu.Lock()
+	for key, ex := range e.inflight {
+		delete(e.inflight, key)
+		ex.finish(nil, context.Canceled)
+	}
+	e.mu.Unlock()
+}
+
+// worker is one pool goroutine: pop, run, repeat. After close the queue
+// keeps handing out remaining items (their contexts are canceled, so
+// they finish immediately) and reports done when empty.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		ex, ok := e.queue.pop()
+		if !ok {
+			return
+		}
+		e.runOne(ex)
+	}
+}
+
+// runOne executes (or cancels) one queued execution and retires it.
+func (e *Engine) runOne(ex *execution) {
+	var (
+		res any
+		err error
+	)
+	if err = ex.ctx.Err(); err == nil {
+		ex.state.Store(int32(Running))
+		res, err = ex.task.Run(ex.ctx, ex.report)
+	}
+
+	e.mu.Lock()
+	// Delete by identity: a canceled execution's key may have been taken
+	// over by a fresh replacement submission.
+	if e.inflight[ex.task.Key] == ex {
+		delete(e.inflight, ex.task.Key)
+	}
+	switch {
+	case err == nil:
+		e.stats.Executed++
+		if e.cache != nil {
+			e.cache.add(ex.task.Key, res)
+		}
+	case ex.ctx.Err() != nil:
+		e.stats.Canceled++
+	default:
+		e.stats.Executed++
+		e.stats.Failed++
+	}
+	e.mu.Unlock()
+
+	ex.finish(res, err)
+	// Release the execution's context now that it is resolved: without
+	// this, every executed task would leave its cancelCtx registered in
+	// baseCtx's children for the engine's lifetime. Must come after
+	// finish so a plain failure is not misclassified as canceled.
+	ex.cancel()
+}

@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by jobs submitted to a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Task is one schedulable computation.
+type Task struct {
+	// Key is the task's content address. Two tasks with equal keys must
+	// compute equal results: the engine deduplicates and caches by it.
+	Key string
+
+	// Total is the task's progress denominator (e.g. references to
+	// simulate). 0 means progress is not reported.
+	Total uint64
+
+	// Run performs the computation. It must honor ctx (return ctx.Err()
+	// promptly once canceled) and may call report with the number of
+	// progress units completed so far.
+	Run func(ctx context.Context, report func(done uint64)) (any, error)
+}
+
+// State is the lifecycle of an execution.
+type State int32
+
+const (
+	Queued State = iota
+	Running
+	Done
+	Failed
+	Canceled
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	default:
+		return "invalid"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Status is a point-in-time snapshot of a job.
+type Status struct {
+	Key      string
+	State    State
+	Done     uint64 // progress units completed
+	Total    uint64 // progress denominator (0 = unknown)
+	Err      string // non-empty iff State == Failed or Canceled
+	CacheHit bool   // served from the finished-result cache
+}
+
+// Fraction returns completed progress in 0..1 (1 when finished, 0 when
+// the total is unknown and the job is still running).
+func (s Status) Fraction() float64 {
+	if s.State == Done {
+		return 1
+	}
+	if s.Total == 0 {
+		return 0
+	}
+	f := float64(s.Done) / float64(s.Total)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// execution is one underlying run, shared by every handle whose Submit
+// coalesced onto it.
+type execution struct {
+	task   Task
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state atomic.Int32
+	done  atomic.Uint64
+	total atomic.Uint64
+
+	cacheHit bool
+
+	mu      sync.Mutex
+	handles int  // live (not yet canceled) handles
+	doomed  bool // last handle canceled; no further attachment allowed
+	result  any
+	err     error
+
+	finished chan struct{}
+}
+
+func newExecution(t Task, ctx context.Context, cancel context.CancelFunc) *execution {
+	ex := &execution{task: t, ctx: ctx, cancel: cancel, finished: make(chan struct{})}
+	ex.total.Store(t.Total)
+	return ex
+}
+
+// attach registers one more observer of the execution, or returns nil
+// if the execution is doomed (its last handle canceled it). The doomed
+// decision and attachment share ex.mu, so a Cancel racing a coalescing
+// Submit resolves atomically: either the new handle attaches first (and
+// the Cancel is no longer last), or the submitter sees doomed and must
+// start a fresh execution. Never nil for a freshly created execution.
+func (ex *execution) attach() *Job {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ex.doomed || ex.ctx.Err() != nil {
+		return nil
+	}
+	ex.handles++
+	return &Job{exec: ex}
+}
+
+// report is the progress sink passed to Task.Run.
+func (ex *execution) report(done uint64) { ex.done.Store(done) }
+
+// finish resolves the execution exactly once.
+func (ex *execution) finish(res any, err error) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	select {
+	case <-ex.finished:
+		return // already finished
+	default:
+	}
+	ex.result, ex.err = res, err
+	switch {
+	case err == nil:
+		ex.state.Store(int32(Done))
+		ex.done.Store(ex.total.Load())
+	case ex.ctx.Err() != nil || errors.Is(err, context.Canceled):
+		ex.state.Store(int32(Canceled))
+	default:
+		ex.state.Store(int32(Failed))
+	}
+	close(ex.finished)
+}
+
+// Job is one submitter's handle on an execution. Handles created by
+// deduplicated submissions share the execution; canceling one handle
+// only cancels the run once every handle has been canceled.
+type Job struct {
+	exec       *execution
+	cancelOnce sync.Once
+}
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() Status {
+	ex := j.exec
+	st := Status{
+		Key:      ex.task.Key,
+		State:    State(ex.state.Load()),
+		Done:     ex.done.Load(),
+		Total:    ex.total.Load(),
+		CacheHit: ex.cacheHit,
+	}
+	if st.State.Terminal() {
+		ex.mu.Lock()
+		if ex.err != nil {
+			st.Err = ex.err.Error()
+		}
+		ex.mu.Unlock()
+	}
+	return st
+}
+
+// Wait blocks until the job finishes or ctx is done. A ctx expiry
+// abandons the wait without canceling the job.
+func (j *Job) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.exec.finished:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.exec.mu.Lock()
+	defer j.exec.mu.Unlock()
+	return j.exec.result, j.exec.err
+}
+
+// Cancel withdraws this handle's interest. The underlying execution is
+// canceled once all of its handles have been canceled (or the engine is
+// closed). Cancel is idempotent and safe after completion.
+func (j *Job) Cancel() {
+	j.cancelOnce.Do(func() {
+		ex := j.exec
+		ex.mu.Lock()
+		ex.handles--
+		last := ex.handles <= 0
+		if last {
+			ex.doomed = true // no new handle may attach past this point
+		}
+		ex.mu.Unlock()
+		if last {
+			ex.cancel()
+		}
+	})
+}
+
+// State returns the job's current lifecycle state without allocating a
+// full Status snapshot (cheap enough for hot aggregation loops).
+func (j *Job) State() State { return State(j.exec.state.Load()) }

@@ -1,0 +1,53 @@
+package engine
+
+import "sync"
+
+// queue is an unbounded FIFO of executions. After close, pop keeps
+// draining remaining items (so canceled work is still retired by a
+// worker) and reports !ok only once empty.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*execution
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends one execution. Pushing after close is a programming
+// error; the engine never does it (Submit checks closed first).
+func (q *queue) push(ex *execution) {
+	q.mu.Lock()
+	q.items = append(q.items, ex)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop removes the oldest execution, blocking while the queue is open and
+// empty. It returns !ok when the queue is closed and drained.
+func (q *queue) pop() (*execution, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	ex := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return ex, true
+}
+
+// close wakes all poppers; the queue drains and then reports empty.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

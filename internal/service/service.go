@@ -1,0 +1,489 @@
+// Package service implements jettyd's HTTP/JSON API: submit an
+// experiment, poll its status/progress, fetch the finished result
+// tables. It is a thin, stateless-looking shell over the engine — the
+// engine enforces the concurrency cap (worker pool) and deduplicates
+// identical work (in-flight coalescing plus the content-addressed result
+// cache), so any number of concurrent clients can drive one daemon
+// safely.
+//
+// API (all bodies JSON):
+//
+//	GET    /healthz                     liveness + engine stats
+//	GET    /v1/workloads                the Table 2 applications
+//	GET    /v1/filters                  the figure filter configurations
+//	POST   /v1/experiments              submit (SubmitRequest) -> 202 ExperimentStatus
+//	GET    /v1/experiments              list all experiments
+//	GET    /v1/experiments/{id}         status/progress
+//	GET    /v1/experiments/{id}/result  finished results + rendered tables
+//	DELETE /v1/experiments/{id}         cancel and forget
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"jetty/internal/engine"
+	"jetty/internal/sim"
+	"jetty/internal/smp"
+	"jetty/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the engine pool size (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries is the engine result-cache capacity (0 = default).
+	CacheEntries int
+	// MaxUnfinished bounds experiments that are queued or running; extra
+	// submissions get 429. 0 means the default (64).
+	MaxUnfinished int
+	// MaxRetained bounds the registry as a whole: when a submission
+	// would exceed it, the oldest finished experiments (and the results
+	// their jobs pin) are evicted. 0 means the default (512). Clients
+	// that fetch promptly never notice; a long-running daemon never
+	// accumulates results without bound.
+	MaxRetained int
+}
+
+// Defaults for the zero Options values.
+const (
+	DefaultMaxUnfinished = 64
+	DefaultMaxRetained   = 512
+)
+
+// Server owns the engine and the experiment registry.
+type Server struct {
+	runner        *sim.Runner
+	maxUnfinished int
+	maxRetained   int
+
+	mu    sync.Mutex
+	exps  map[string]*experiment
+	order []string // insertion order, for stable listings
+	seq   int
+}
+
+// experiment is one submitted batch of app runs.
+type experiment struct {
+	id    string
+	req   SubmitRequest
+	cfg   smp.Config
+	specs []workload.Spec
+	jobs  []*engine.Job
+}
+
+// New builds a server (and its engine). Close it to stop the workers.
+func New(opts Options) *Server {
+	maxUnfinished := opts.MaxUnfinished
+	if maxUnfinished <= 0 {
+		maxUnfinished = DefaultMaxUnfinished
+	}
+	maxRetained := opts.MaxRetained
+	if maxRetained <= 0 {
+		maxRetained = DefaultMaxRetained
+	}
+	eng := engine.New(engine.Options{Workers: opts.Workers, CacheEntries: opts.CacheEntries})
+	return &Server{
+		runner:        sim.NewRunner(eng),
+		maxUnfinished: maxUnfinished,
+		maxRetained:   maxRetained,
+		exps:          make(map[string]*experiment),
+	}
+}
+
+// Close stops the engine, canceling everything in flight.
+func (s *Server) Close() { s.runner.Engine().Close() }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/filters", s.handleFilters)
+	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
+	return mux
+}
+
+// SubmitRequest describes one experiment.
+type SubmitRequest struct {
+	// Apps are Table 2 application names or abbreviations ("Barnes",
+	// "un", ...), plus "Throughput"/"tp". Empty means the full suite.
+	Apps []string `json:"apps,omitempty"`
+	// CPUs is the machine width (default 4).
+	CPUs int `json:"cpus,omitempty"`
+	// Scale multiplies every access budget (default 1 = the paper's).
+	Scale float64 `json:"scale,omitempty"`
+	// Filters are JETTY configuration names to attach; empty means the
+	// union bank used by all of the paper's figures.
+	Filters []string `json:"filters,omitempty"`
+	// NSB disables L2 subblocking (the §4.3 comparison machine).
+	NSB bool `json:"nsb,omitempty"`
+}
+
+// JobStatus is one app run's progress snapshot.
+type JobStatus struct {
+	App      string  `json:"app"`
+	Key      string  `json:"key"` // content address (cache/dedup key)
+	State    string  `json:"state"`
+	Done     uint64  `json:"done"`
+	Total    uint64  `json:"total"`
+	Fraction float64 `json:"fraction"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// ExperimentStatus is the aggregate progress snapshot.
+type ExperimentStatus struct {
+	ID       string      `json:"id"`
+	State    string      `json:"state"` // queued|running|done|failed|canceled
+	Done     uint64      `json:"done"`
+	Total    uint64      `json:"total"`
+	Fraction float64     `json:"fraction"`
+	Jobs     []JobStatus `json:"jobs"`
+}
+
+// ExperimentResult is the finished payload.
+type ExperimentResult struct {
+	ID      string            `json:"id"`
+	Request SubmitRequest     `json:"request"`
+	Results []sim.AppResult   `json:"results"`
+	Tables  map[string]string `json:"tables"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	eng := s.runner.Engine()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"workers": eng.Workers(),
+		"stats":   eng.Stats(),
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type wl struct {
+		Name     string `json:"name"`
+		Abbrev   string `json:"abbrev"`
+		Accesses uint64 `json:"accesses"`
+	}
+	var out []wl
+	for _, sp := range workload.Specs() {
+		out = append(out, wl{sp.Name, sp.Abbrev, sp.Accesses})
+	}
+	tp := workload.Throughput()
+	out = append(out, wl{tp.Name, tp.Abbrev, tp.Accesses})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFilters(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sim.AllFigureConfigs())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	specs, cfg, err := buildExperiment(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.unfinishedLocked() >= s.maxUnfinished {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("%d experiments already in flight", s.maxUnfinished))
+		return
+	}
+	s.seq++
+	exp := &experiment{
+		id:    fmt.Sprintf("exp-%06d", s.seq),
+		req:   req,
+		cfg:   cfg,
+		specs: specs,
+	}
+	// Submit while holding the registry lock so a canceling client can
+	// never observe the experiment without its jobs. Submit never blocks
+	// on the work itself.
+	for _, sp := range specs {
+		exp.jobs = append(exp.jobs, s.runner.Submit(sp, cfg))
+	}
+	s.exps[exp.id] = exp
+	s.order = append(s.order, exp.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, exp.status())
+}
+
+// Request bounds: everything here arrives from unauthenticated clients,
+// so every dimension a request can grow in is capped.
+const (
+	// MaxScale bounds the access-budget multiplier: the largest Table 2
+	// budget (3M references) times MaxScale stays a finite,
+	// hours-not-years job and far from uint64 conversion overflow.
+	MaxScale = 10_000
+	// maxRequestBytes bounds the submit body size.
+	maxRequestBytes = 1 << 20
+	// maxListLen bounds the apps and filters list lengths (the full
+	// suite is 10 apps; the full figure bank is 21 configurations).
+	maxListLen = 64
+)
+
+// buildExperiment validates a request into runnable specs and a machine.
+func buildExperiment(req SubmitRequest) ([]workload.Spec, smp.Config, error) {
+	if req.Scale < 0 || req.Scale > MaxScale {
+		return nil, smp.Config{}, fmt.Errorf("scale %v out of range (0, %d]", req.Scale, MaxScale)
+	}
+	if len(req.Apps) > maxListLen || len(req.Filters) > maxListLen {
+		return nil, smp.Config{}, fmt.Errorf("apps/filters lists capped at %d entries", maxListLen)
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	cpus := req.CPUs
+	if cpus == 0 {
+		cpus = 4
+	}
+
+	var specs []workload.Spec
+	if len(req.Apps) == 0 {
+		specs = workload.Specs()
+	} else {
+		for _, name := range req.Apps {
+			var sp workload.Spec
+			if strings.EqualFold(name, "Throughput") || name == "tp" {
+				sp = workload.Throughput()
+			} else {
+				var err error
+				sp, err = workload.ByName(name)
+				if err != nil {
+					return nil, smp.Config{}, err
+				}
+			}
+			specs = append(specs, sp)
+		}
+	}
+	for i := range specs {
+		specs[i] = specs[i].Scale(scale)
+	}
+
+	cfg, err := sim.PaperBankConfig(cpus, req.NSB, req.Filters)
+	if err != nil {
+		return nil, smp.Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, smp.Config{}, err
+	}
+	return specs, cfg, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]ExperimentStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.exps[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *experiment {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	exp := s.exps[id]
+	s.mu.Unlock()
+	if exp == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+	}
+	return exp
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if exp := s.lookup(w, r); exp != nil {
+		writeJSON(w, http.StatusOK, exp.status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	exp := s.lookup(w, r)
+	if exp == nil {
+		return
+	}
+	st := exp.status()
+	if st.State != "done" {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  "experiment not finished",
+			"status": st,
+		})
+		return
+	}
+	results := make([]sim.AppResult, len(exp.jobs))
+	for i, j := range exp.jobs {
+		v, err := j.Wait(r.Context())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		results[i] = v.(sim.AppResult).Clone()
+	}
+	writeJSON(w, http.StatusOK, ExperimentResult{
+		ID:      exp.id,
+		Request: exp.req,
+		Results: results,
+		Tables:  renderTables(results, exp.cfg),
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	exp := s.exps[id]
+	if exp != nil {
+		delete(s.exps, id)
+		for i, oid := range s.order {
+			if oid == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if exp == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+		return
+	}
+	for _, j := range exp.jobs {
+		j.Cancel()
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceled"})
+}
+
+// evictLocked drops the oldest finished experiments until the registry
+// is within maxRetained, releasing the results their jobs pin. Unfinished
+// experiments are never evicted (the admission cap bounds those).
+func (s *Server) evictLocked() {
+	if len(s.order) <= s.maxRetained {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.maxRetained
+	for _, id := range s.order {
+		exp := s.exps[id]
+		if excess > 0 && !exp.unfinished() {
+			delete(s.exps, id)
+			for _, j := range exp.jobs {
+				j.Cancel() // no-op on finished jobs; releases the handle
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// unfinishedLocked counts experiments still queued or running.
+func (s *Server) unfinishedLocked() int {
+	n := 0
+	for _, exp := range s.exps {
+		if exp.unfinished() {
+			n++
+		}
+	}
+	return n
+}
+
+// unfinished reports whether any of the experiment's jobs is still
+// queued or running. Unlike status() it allocates nothing: it runs under
+// the registry mutex on every submission.
+func (e *experiment) unfinished() bool {
+	for _, j := range e.jobs {
+		if !j.State().Terminal() {
+			return true
+		}
+	}
+	return false
+}
+
+// status aggregates the per-job snapshots.
+func (e *experiment) status() ExperimentStatus {
+	out := ExperimentStatus{ID: e.id}
+	counts := map[engine.State]int{}
+	for i, j := range e.jobs {
+		js := j.Status()
+		counts[js.State]++
+		out.Done += js.Done
+		out.Total += js.Total
+		out.Jobs = append(out.Jobs, JobStatus{
+			App:      e.specs[i].Name,
+			Key:      js.Key,
+			State:    js.State.String(),
+			Done:     js.Done,
+			Total:    js.Total,
+			Fraction: js.Fraction(),
+			CacheHit: js.CacheHit,
+			Error:    js.Err,
+		})
+	}
+	switch {
+	case counts[engine.Failed] > 0:
+		out.State = "failed"
+	case counts[engine.Canceled] > 0:
+		out.State = "canceled"
+	case counts[engine.Running] > 0 || (counts[engine.Queued] > 0 && counts[engine.Done] > 0):
+		out.State = "running"
+	case counts[engine.Queued] > 0:
+		out.State = "queued"
+	default:
+		out.State = "done"
+	}
+	if out.Total > 0 {
+		out.Fraction = float64(out.Done) / float64(out.Total)
+	}
+	if out.State == "done" {
+		out.Fraction = 1
+	}
+	return out
+}
+
+// renderTables renders the paper's reports that apply to one finished
+// run set: the workload characterization, the coverage of every filter
+// in the bank, and (when the Figure 6 hybrids are attached) the energy
+// figure.
+func renderTables(results []sim.AppResult, cfg smp.Config) map[string]string {
+	tables := map[string]string{
+		"table2": sim.Table2Report(results),
+		"table3": sim.Table3Report(results),
+	}
+	if len(results) > 0 && len(results[0].FilterNames) > 0 {
+		names := append([]string(nil), results[0].FilterNames...)
+		sort.Strings(names)
+		tables["coverage"] = sim.CoverageReport("Filter coverage", results, names, "")
+		tables["fig6"] = sim.Fig6Report(results, cfg)
+	}
+	return tables
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

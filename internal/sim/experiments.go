@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,7 +10,6 @@ import (
 	"jetty/internal/jetty"
 	"jetty/internal/smp"
 	"jetty/internal/tables"
-	"jetty/internal/workload"
 )
 
 // AllFigureConfigs returns the union of every JETTY configuration the
@@ -30,28 +30,46 @@ func AllFigureConfigs() []string {
 	return out
 }
 
-// PaperSuite runs the whole benchmark suite on the paper's machine with
-// the full figure filter bank attached. scale scales the access budgets
-// (1.0 for the full experiment, smaller for benchmarks/smoke tests).
-func PaperSuite(cpus int, scale float64) ([]AppResult, smp.Config, error) {
-	filters, err := jetty.ParseAll(AllFigureConfigs())
-	if err != nil {
-		return nil, smp.Config{}, err
+// bestHybridName is the paper's best hybrid configuration, the
+// representative filter of the summary and sensitivity experiments.
+const bestHybridName = "HJ(IJ-10x4x7,EJ-32x4)"
+
+// PaperBankConfig builds the paper's machine (subblocked or not) with
+// the named filter bank attached; an empty list means the full figure
+// bank. It is the single source of the default experiment machine, used
+// by the suite entry points here and by the jettyd service.
+func PaperBankConfig(cpus int, nsb bool, filterNames []string) (smp.Config, error) {
+	if len(filterNames) == 0 {
+		filterNames = AllFigureConfigs()
 	}
-	cfg := smp.PaperConfig(cpus).WithFilters(filters...)
-	results, err := RunSuite(cfg, scale)
-	return results, cfg, err
+	filters, err := jetty.ParseAll(filterNames)
+	if err != nil {
+		return smp.Config{}, err
+	}
+	base := smp.PaperConfig(cpus)
+	if nsb {
+		base = smp.PaperConfigNSB(cpus)
+	}
+	return base.WithFilters(filters...), nil
+}
+
+// paperSuiteConfig builds the paper's machine with the full figure
+// filter bank attached.
+func paperSuiteConfig(cpus int, nsb bool) (smp.Config, error) {
+	return PaperBankConfig(cpus, nsb, nil)
+}
+
+// PaperSuite runs the whole benchmark suite on the paper's machine with
+// the full figure filter bank attached, concurrently on the shared
+// engine. scale scales the access budgets (1.0 for the full experiment,
+// smaller for benchmarks/smoke tests).
+func PaperSuite(cpus int, scale float64) ([]AppResult, smp.Config, error) {
+	return DefaultRunner().PaperSuite(context.Background(), cpus, scale)
 }
 
 // PaperSuiteNSB is PaperSuite on the non-subblocked machine.
 func PaperSuiteNSB(cpus int, scale float64) ([]AppResult, smp.Config, error) {
-	filters, err := jetty.ParseAll(AllFigureConfigs())
-	if err != nil {
-		return nil, smp.Config{}, err
-	}
-	cfg := smp.PaperConfigNSB(cpus).WithFilters(filters...)
-	results, err := RunSuite(cfg, scale)
-	return results, cfg, err
+	return DefaultRunner().PaperSuiteNSB(context.Background(), cpus, scale)
 }
 
 // Table1Report reproduces Table 1: the Xeon power breakdown with the
@@ -283,37 +301,10 @@ type SensitivityPoint struct {
 // attached, quantifying the paper's §1 motivation: "As L2 size and
 // associativity increase the power required for their operation also
 // increases" — and with it JETTY's savings. One representative workload
-// keeps the sweep fast; scale shortens it further.
+// keeps the sweep fast; scale shortens it further. The eight design
+// points run concurrently on the shared engine.
 func L2Sensitivity(appName string, scale float64) ([]SensitivityPoint, error) {
-	sp, err := workload.ByName(appName)
-	if err != nil {
-		return nil, err
-	}
-	sp = sp.Scale(scale)
-	best := jetty.MustParse("HJ(IJ-10x4x7,EJ-32x4)")
-	tech := energy.Tech180()
-
-	var out []SensitivityPoint
-	for _, size := range []int{1 << 19, 1 << 20, 2 << 20, 4 << 20} {
-		for _, assoc := range []int{4, 8} {
-			cfg := smp.PaperConfig(4).WithFilters(best)
-			cfg.L2.SizeBytes = size
-			cfg.L2.Assoc = assoc
-			res, err := RunApp(sp, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cov, err := res.CoverageOf(best.Name())
-			if err != nil {
-				return nil, err
-			}
-			red := EnergyReductions(res, cfg, tech, energy.SerialTagData)[0]
-			out = append(out, SensitivityPoint{
-				L2Bytes: size, Assoc: assoc, Coverage: cov, OverAll: red.OverAll,
-			})
-		}
-	}
-	return out, nil
+	return DefaultRunner().L2Sensitivity(context.Background(), appName, scale)
 }
 
 // SensitivityReport renders the sweep.

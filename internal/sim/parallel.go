@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"jetty/internal/energy"
+	"jetty/internal/engine"
+	"jetty/internal/jetty"
+	"jetty/internal/smp"
+	"jetty/internal/workload"
+)
+
+// The paper's evaluation is embarrassingly parallel: one independent,
+// fully seeded simulation pass per (application, machine) pair. This
+// file submits those passes to an engine.Engine worker pool instead of
+// running them serially. Each pass is still the exact single-threaded
+// simulation of RunApp — only scheduling changes — so results are
+// bit-identical to the serial path (TestParallelSuiteMatchesSerial
+// asserts it under the race detector).
+
+// Fingerprint returns the content address of one app run: a SHA-256 over
+// the canonical encoding of the workload spec and machine configuration.
+// Everything a run's result depends on is in those two values (every
+// generator is seeded, the interleaving is fixed), so the fingerprint is
+// a sound cache and deduplication key.
+func Fingerprint(sp workload.Spec, cfg smp.Config) string {
+	b, err := json.Marshal(struct {
+		Spec   workload.Spec
+		Config smp.Config
+	}{sp, cfg})
+	if err != nil {
+		// Spec and Config are plain data; encoding cannot fail.
+		panic(fmt.Sprintf("sim: fingerprint encoding: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// progressChunk is roughly how many references run between progress
+// reports and cancellation checks. The actual chunk is rounded down to a
+// multiple of the CPU count so every chunk ends exactly on a round-robin
+// cycle boundary — the run decomposition the serial path would also pass
+// through, keeping chunked execution bit-identical.
+const progressChunk = 1 << 16
+
+// RunAppCtx is RunApp with cooperative cancellation and progress
+// reporting: the simulation runs in interleaving-preserving chunks,
+// calling report (if non-nil) with the references completed so far and
+// returning ctx.Err() promptly after cancellation. Results are
+// bit-identical to RunApp.
+func RunAppCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, report func(done uint64)) (AppResult, error) {
+	if err := sp.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	sys := smp.New(cfg)
+	src := sp.Source(cfg.CPUs)
+
+	ncpu := src.CPUs()
+	if ncpu > cfg.CPUs {
+		ncpu = cfg.CPUs
+	}
+	chunk := uint64(progressChunk)
+	chunk -= chunk % uint64(ncpu)
+	if chunk == 0 {
+		chunk = uint64(ncpu)
+	}
+
+	var done uint64
+	for done < sp.Accesses {
+		if err := ctx.Err(); err != nil {
+			return AppResult{}, err
+		}
+		n := chunk
+		if rem := sp.Accesses - done; rem < n {
+			n = rem
+		}
+		done += sys.Run(src, n)
+		if report != nil {
+			report(done)
+		}
+	}
+	return finishRun(sys, sp, cfg)
+}
+
+// Task wraps one app run as an engine task, content-addressed by
+// Fingerprint and reporting progress in references.
+func Task(sp workload.Spec, cfg smp.Config) engine.Task {
+	return engine.Task{
+		Key:   Fingerprint(sp, cfg),
+		Total: sp.Accesses,
+		Run: func(ctx context.Context, report func(uint64)) (any, error) {
+			res, err := RunAppCtx(ctx, sp, cfg, report)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	}
+}
+
+// Runner executes app runs on an engine worker pool.
+type Runner struct {
+	eng *engine.Engine
+}
+
+// NewRunner wraps an engine. The caller keeps ownership (and the Close
+// responsibility) of the engine.
+func NewRunner(e *engine.Engine) *Runner { return &Runner{eng: e} }
+
+// Engine returns the underlying engine (for stats and job submission).
+func (r *Runner) Engine() *engine.Engine { return r.eng }
+
+// Submit schedules one app run and returns its job handle. The job's
+// result is an AppResult; prefer RunApp/RunApps unless the caller needs
+// asynchronous status (the jettyd service does).
+func (r *Runner) Submit(sp workload.Spec, cfg smp.Config) *engine.Job {
+	return r.eng.Submit(Task(sp, cfg))
+}
+
+// RunApp runs one application through the engine and waits for it.
+func (r *Runner) RunApp(ctx context.Context, sp workload.Spec, cfg smp.Config) (AppResult, error) {
+	return waitResult(ctx, r.Submit(sp, cfg))
+}
+
+// RunApps runs one simulation per spec concurrently and returns the
+// results in spec order. On error the remaining jobs are released.
+func (r *Runner) RunApps(ctx context.Context, specs []workload.Spec, cfg smp.Config) ([]AppResult, error) {
+	jobs := make([]*engine.Job, len(specs))
+	for i, sp := range specs {
+		jobs[i] = r.Submit(sp, cfg)
+	}
+	out := make([]AppResult, len(specs))
+	var firstErr error
+	for i, j := range jobs {
+		if firstErr != nil {
+			j.Cancel()
+			continue
+		}
+		res, err := waitResult(ctx, j)
+		if err != nil {
+			firstErr = fmt.Errorf("sim: %s: %w", specs[i].Name, err)
+			continue
+		}
+		out[i] = res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// RunSuite runs the whole benchmark suite (every Table 2 application at
+// the given access-budget scale) on the engine.
+func (r *Runner) RunSuite(ctx context.Context, cfg smp.Config, scale float64) ([]AppResult, error) {
+	specs := workload.Specs()
+	for i := range specs {
+		specs[i] = specs[i].Scale(scale)
+	}
+	return r.RunApps(ctx, specs, cfg)
+}
+
+// PaperSuite runs the suite on the paper's machine with the full figure
+// filter bank attached.
+func (r *Runner) PaperSuite(ctx context.Context, cpus int, scale float64) ([]AppResult, smp.Config, error) {
+	cfg, err := paperSuiteConfig(cpus, false)
+	if err != nil {
+		return nil, smp.Config{}, err
+	}
+	results, err := r.RunSuite(ctx, cfg, scale)
+	return results, cfg, err
+}
+
+// PaperSuiteNSB is PaperSuite on the non-subblocked machine.
+func (r *Runner) PaperSuiteNSB(ctx context.Context, cpus int, scale float64) ([]AppResult, smp.Config, error) {
+	cfg, err := paperSuiteConfig(cpus, true)
+	if err != nil {
+		return nil, smp.Config{}, err
+	}
+	results, err := r.RunSuite(ctx, cfg, scale)
+	return results, cfg, err
+}
+
+// L2Sensitivity sweeps L2 size and associativity concurrently (see the
+// package-level L2Sensitivity for the experiment's rationale).
+func (r *Runner) L2Sensitivity(ctx context.Context, appName string, scale float64) ([]SensitivityPoint, error) {
+	sp, err := workload.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	sp = sp.Scale(scale)
+	best := jetty.MustParse(bestHybridName)
+	tech := energy.Tech180()
+
+	type point struct {
+		size, assoc int
+		cfg         smp.Config
+		job         *engine.Job
+	}
+	var points []point
+	for _, size := range []int{1 << 19, 1 << 20, 2 << 20, 4 << 20} {
+		for _, assoc := range []int{4, 8} {
+			cfg := smp.PaperConfig(4).WithFilters(best)
+			cfg.L2.SizeBytes = size
+			cfg.L2.Assoc = assoc
+			points = append(points, point{size: size, assoc: assoc, cfg: cfg, job: r.Submit(sp, cfg)})
+		}
+	}
+
+	out := make([]SensitivityPoint, 0, len(points))
+	var firstErr error
+	for _, p := range points {
+		if firstErr != nil {
+			p.job.Cancel()
+			continue
+		}
+		res, err := waitResult(ctx, p.job)
+		if err != nil {
+			firstErr = err
+			continue
+		}
+		cov, err := res.CoverageOf(best.Name())
+		if err != nil {
+			firstErr = err
+			continue
+		}
+		red := EnergyReductions(res, p.cfg, tech, energy.SerialTagData)
+		out = append(out, SensitivityPoint{
+			L2Bytes: p.size, Assoc: p.assoc, Coverage: cov, OverAll: red[0].OverAll,
+		})
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// waitResult waits for one job and returns a defensive copy of its
+// AppResult (engine-cached results are shared between submitters). On
+// any error — including an abandoned Wait when ctx expires — it releases
+// the caller's handle: without that, a still-running execution would
+// keep burning a worker with no remaining consumer.
+func waitResult(ctx context.Context, j *engine.Job) (AppResult, error) {
+	v, err := j.Wait(ctx)
+	if err != nil {
+		j.Cancel()
+		return AppResult{}, err
+	}
+	return v.(AppResult).Clone(), nil
+}
+
+// defaultRunner is the process-wide shared runner backing the package's
+// serial-looking entry points (RunSuite, PaperSuite, ...). One engine
+// sized to GOMAXPROCS is enough for any number of callers: it is the
+// concurrency cap.
+var (
+	defaultMu     sync.Mutex
+	defaultRunner *Runner
+)
+
+// DefaultRunner returns the shared runner, creating it on first use.
+// Callers that need their own pool size build one with NewRunner
+// (cmd/paper does, for its -workers flag).
+func DefaultRunner() *Runner {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultRunner == nil {
+		defaultRunner = NewRunner(engine.New(engine.Options{}))
+	}
+	return defaultRunner
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"jetty/internal/bus"
@@ -38,6 +39,18 @@ type AppResult struct {
 	Coverage     []float64
 }
 
+// Clone returns a deep copy of the result. The engine's content-
+// addressed cache hands the same AppResult to every submitter of an
+// identical run, so engine-backed paths clone before returning.
+func (r AppResult) Clone() AppResult {
+	r.RemoteHitFrac = append([]float64(nil), r.RemoteHitFrac...)
+	r.FilterNames = append([]string(nil), r.FilterNames...)
+	r.FilterCounts = append([]energy.FilterCounts(nil), r.FilterCounts...)
+	r.Coverage = append([]float64(nil), r.Coverage...)
+	r.Bus.RemoteHits = append([]uint64(nil), r.Bus.RemoteHits...)
+	return r
+}
+
 // CoverageOf returns the coverage of the named filter.
 func (r AppResult) CoverageOf(name string) (float64, error) {
 	for i, n := range r.FilterNames {
@@ -58,9 +71,13 @@ func (r AppResult) FilterCountsOf(name string) (energy.FilterCounts, error) {
 	return energy.FilterCounts{}, fmt.Errorf("sim: filter %q not in run", name)
 }
 
-// RunApp simulates one application on the given machine. The run length is
-// spec.Accesses references (all CPUs combined). It returns an error if any
-// filter violated the safety requirement or the machine ended incoherent.
+// RunApp simulates one application on the given machine, serially on the
+// calling goroutine. The run length is spec.Accesses references (all CPUs
+// combined). It returns an error if any filter violated the safety
+// requirement or the machine ended incoherent.
+//
+// RunApp is the reference implementation: the engine-backed paths
+// (Runner, RunSuite, cmd/jettyd) must produce bit-identical results.
 func RunApp(sp workload.Spec, cfg smp.Config) (AppResult, error) {
 	if err := sp.Validate(); err != nil {
 		return AppResult{}, err
@@ -71,6 +88,12 @@ func RunApp(sp workload.Spec, cfg smp.Config) (AppResult, error) {
 	sys := smp.New(cfg)
 	src := sp.Source(cfg.CPUs)
 	sys.Run(src, sp.Accesses)
+	return finishRun(sys, sp, cfg)
+}
+
+// finishRun drains, checks and measures a completed simulation pass. It
+// is shared by the serial (RunApp) and chunked (RunAppCtx) paths.
+func finishRun(sys *smp.System, sp workload.Spec, cfg smp.Config) (AppResult, error) {
 	sys.DrainWriteBuffers()
 
 	if err := sys.CheckFilterSafety(); err != nil {
@@ -104,8 +127,18 @@ func RunApp(sp workload.Spec, cfg smp.Config) (AppResult, error) {
 
 // RunSuite runs every application of the paper's benchmark suite on the
 // given machine, scaling each access budget by scale (1 = the default
-// budgets; benchmarks use smaller values).
+// budgets; benchmarks use smaller values). The apps run concurrently on
+// the shared engine (see DefaultRunner); results are returned in Table 2
+// order and are bit-identical to running each app serially.
 func RunSuite(cfg smp.Config, scale float64) ([]AppResult, error) {
+	return DefaultRunner().RunSuite(context.Background(), cfg, scale)
+}
+
+// RunSuiteSerial is the engine-free reference implementation of
+// RunSuite: every app on the calling goroutine, in order. It exists so
+// tests (and the suite benchmarks) can compare the parallel path against
+// it; prefer RunSuite.
+func RunSuiteSerial(cfg smp.Config, scale float64) ([]AppResult, error) {
 	var out []AppResult
 	for _, sp := range workload.Specs() {
 		res, err := RunApp(sp.Scale(scale), cfg)
