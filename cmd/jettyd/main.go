@@ -15,6 +15,11 @@
 //	     -d '{"apps":["Barnes","Ocean"],"scale":0.1}'
 //	curl -s localhost:8077/v1/experiments/exp-000001
 //	curl -s localhost:8077/v1/experiments/exp-000001/result
+//
+// Bring your own trace (record with tracecat or jettysim -capture):
+//
+//	curl -s --data-binary @ocean.jtrc localhost:8077/v1/traces
+//	curl -s -X POST localhost:8077/v1/experiments -d '{"trace":"<digest>"}'
 package main
 
 import (
@@ -37,20 +42,24 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "result-cache entries (0 = default, negative disables)")
 	maxUnfinished := flag.Int("max-unfinished", 0, "max queued+running experiments (0 = default)")
+	maxTraces := flag.Int("max-traces", 0, "max uploaded traces retained (0 = default)")
+	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "max bytes per uploaded trace (0 = default)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cache, *maxUnfinished); err != nil {
+	if err := run(service.Options{
+		Workers:       *workers,
+		CacheEntries:  *cache,
+		MaxUnfinished: *maxUnfinished,
+		MaxTraces:     *maxTraces,
+		MaxTraceBytes: *maxTraceBytes,
+	}, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "jettyd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cache, maxUnfinished int) error {
-	svc := service.New(service.Options{
-		Workers:       workers,
-		CacheEntries:  cache,
-		MaxUnfinished: maxUnfinished,
-	})
+func run(opts service.Options, addr string) error {
+	svc := service.New(opts)
 	defer svc.Close()
 
 	srv := &http.Server{

@@ -1,6 +1,10 @@
 // Command jettysim runs one workload on one machine configuration and
 // prints the full measurement: hierarchy statistics, bus and snoop
-// activity, per-filter coverage and energy reductions.
+// activity, per-filter coverage and energy reductions. The workload can
+// be a library generator (-app), a generator whose reference stream is
+// simultaneously recorded to a trace file (-capture), or a previously
+// recorded trace replayed from disk (-trace) — the replay reproduces
+// the capturing run's statistics exactly.
 //
 // Examples:
 //
@@ -8,6 +12,8 @@
 //	jettysim -app un -cpus 8 -filters 'HJ(IJ-9x4x7,EJ-32x4),EJ-32x4'
 //	jettysim -app Throughput -nsb -serial=false
 //	jettysim -app Ocean -accesses 500000 -l2 2097152 -assoc 8
+//	jettysim -app WebServer -capture web.jtrc -gzip
+//	jettysim -trace web.jtrc -filters EJ-32x4
 package main
 
 import (
@@ -25,11 +31,12 @@ import (
 	"jetty/internal/sim"
 	"jetty/internal/smp"
 	"jetty/internal/tables"
+	"jetty/internal/trace"
 	"jetty/internal/workload"
 )
 
 func main() {
-	app := flag.String("app", "Barnes", "workload: an application name/abbreviation from Table 2, or Throughput")
+	app := flag.String("app", "Barnes", "workload: any library name/abbreviation (Table 2 apps, Throughput, WebServer, Database, ...)")
 	cpus := flag.Int("cpus", 4, "number of CPUs")
 	accesses := flag.Uint64("accesses", 0, "reference budget override (0 = spec default)")
 	filters := flag.String("filters", "HJ(IJ-10x4x7,EJ-32x4),HJ(IJ-9x4x7,EJ-32x4),EJ-32x4,IJ-9x4x7",
@@ -38,38 +45,74 @@ func main() {
 	l2assoc := flag.Int("assoc", 4, "L2 associativity")
 	nsb := flag.Bool("nsb", false, "disable L2 subblocking (64-byte coherence units)")
 	serial := flag.Bool("serial", true, "serial tag/data L2 access (false = parallel)")
+	traceFile := flag.String("trace", "", "replay this recorded trace file instead of generating -app")
+	capture := flag.String("capture", "", "record the run's reference stream to this trace file")
+	gz := flag.Bool("gzip", false, "gzip-compress the -capture trace")
 	flag.Parse()
 
-	if err := run(*app, *cpus, *accesses, *filters, *l2size, *l2assoc, *nsb, *serial); err != nil {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["trace"] && (set["app"] || set["accesses"]) {
+		fmt.Fprintln(os.Stderr, "jettysim: -trace replays a recorded stream; -app/-accesses do not apply")
+		os.Exit(1)
+	}
+
+	if err := run(runOpts{
+		app: *app, cpus: *cpus, cpusSet: set["cpus"], accesses: *accesses,
+		filters: *filters, l2size: *l2size, l2assoc: *l2assoc, nsb: *nsb,
+		serial: *serial, traceFile: *traceFile, capture: *capture, gzip: *gz,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "jettysim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, cpus int, accesses uint64, filterList string, l2size, l2assoc int, nsb, serial bool) error {
-	var sp workload.Spec
-	if strings.EqualFold(app, "Throughput") || app == "tp" {
-		sp = workload.Throughput()
-	} else {
-		var err error
-		sp, err = workload.ByName(app)
+type runOpts struct {
+	app             string
+	cpus            int
+	cpusSet         bool
+	accesses        uint64
+	filters         string
+	l2size, l2assoc int
+	nsb, serial     bool
+	traceFile       string
+	capture         string
+	gzip            bool
+}
+
+func run(o runOpts) error {
+	if o.traceFile != "" && o.capture != "" {
+		return fmt.Errorf("-trace and -capture are mutually exclusive")
+	}
+
+	// Replay path: the trace fixes the workload and the machine width.
+	var in sim.TraceInput
+	cpus := o.cpus
+	if o.traceFile != "" {
+		data, err := os.ReadFile(o.traceFile)
 		if err != nil {
 			return err
 		}
-	}
-	if accesses > 0 {
-		sp.Accesses = accesses
+		// Empty name: the label prefers the trace's recorded app name.
+		if in, err = sim.LoadTrace("", data); err != nil {
+			return err
+		}
+		if !o.cpusSet {
+			cpus = in.CPUs
+		}
+		if cpus < in.CPUs {
+			return fmt.Errorf("%s needs %d cpus, -cpus says %d", o.traceFile, in.CPUs, cpus)
+		}
 	}
 
-	fcs, err := jetty.ParseAll(splitConfigs(filterList))
+	fcs, err := jetty.ParseAll(splitConfigs(o.filters))
 	if err != nil {
 		return err
 	}
-
 	cfg := smp.PaperConfig(cpus).WithFilters(fcs...)
-	cfg.L2.SizeBytes = l2size
-	cfg.L2.Assoc = l2assoc
-	if nsb {
+	cfg.L2.SizeBytes = o.l2size
+	cfg.L2.Assoc = o.l2assoc
+	if o.nsb {
 		cfg.L2.Geom = addr.NonSubblocked
 	}
 	if err := cfg.Validate(); err != nil {
@@ -81,11 +124,58 @@ func run(app string, cpus int, accesses uint64, filterList string, l2size, l2ass
 	// so this skips the engine that the suite commands use.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if o.traceFile != "" {
+		res, err := sim.RunTraceCtx(ctx, in, cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %s (%d records, digest %.12s…)\n", o.traceFile, in.Records, in.Digest)
+		printResult(res, cfg, o.serial)
+		return nil
+	}
+
+	sp, err := workload.Lookup(o.app)
+	if err != nil {
+		return err
+	}
+	if o.accesses > 0 {
+		sp.Accesses = o.accesses
+	}
+
+	if o.capture != "" {
+		f, err := os.Create(o.capture)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw, err := trace.NewWriter(f, cfg.CPUs, trace.WriterOptions{
+			Compress: o.gzip,
+			Meta:     trace.Meta{App: sp.Name, Note: "captured by jettysim"},
+		})
+		if err != nil {
+			return err
+		}
+		res, err := sim.RunAppCapturedCtx(ctx, sp, cfg, tw, nil)
+		if err != nil {
+			return err
+		}
+		if err := tw.Close(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("captured %d references to %s\n", tw.Records(), o.capture)
+		printResult(res, cfg, o.serial)
+		return nil
+	}
+
 	res, err := sim.RunAppCtx(ctx, sp, cfg, nil)
 	if err != nil {
 		return err
 	}
-	printResult(res, cfg, serial)
+	printResult(res, cfg, o.serial)
 	return nil
 }
 

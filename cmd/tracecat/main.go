@@ -1,75 +1,213 @@
-// Command tracecat records synthetic workload traces to the compact JTT1
-// format and inspects recorded files — the collect-once/replay-many
-// workflow the paper's WWT2 methodology uses.
+// Command tracecat records, inspects and transforms JTRC trace files —
+// the collect-once/replay-many workflow of the paper's WWT2 methodology
+// (TRACES.md documents the format; README.md has the end-to-end tour).
 //
-//	tracecat -record -app Ocean -n 100000 -o ocean.jtt   # record
-//	tracecat -stat ocean.jtt                              # summarize
+//	tracecat record -app Ocean -n 100000 -o ocean.jtrc     # workload -> trace
+//	tracecat inspect ocean.jtrc                            # header + framing, no decode
+//	tracecat stats ocean.jtrc                              # full per-CPU statistics
+//	tracecat head -n 10 ocean.jtrc                         # first records as text
+//	tracecat convert -gzip -o ocean.jtrc.gz ocean.jtrc     # recompress / rechunk
+//	tracecat merge -o both.jtrc ocean.jtrc barnes.jtrc     # concatenate traces
+//
+// Exit status: 0 on success, 1 on a runtime error (unreadable or corrupt
+// file, ...), 2 on a usage error (unknown command, bad flags, missing
+// arguments).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"jetty/internal/trace"
 	"jetty/internal/workload"
 )
 
-func main() {
-	record := flag.Bool("record", false, "record a workload trace")
-	stat := flag.String("stat", "", "summarize a recorded trace file")
-	app := flag.String("app", "Ocean", "workload to record (Table 2 name or Throughput)")
-	cpus := flag.Int("cpus", 4, "CPUs")
-	n := flag.Uint64("n", 100_000, "references per CPU to record")
-	out := flag.String("o", "trace.jtt", "output file for -record")
-	flag.Parse()
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: tracecat <command> [flags] [file...]
 
-	var err error
-	switch {
-	case *record:
-		err = doRecord(*app, *cpus, *n, *out)
-	case *stat != "":
-		err = doStat(*stat)
-	default:
-		flag.Usage()
+commands:
+  record   -app <workload> [-cpus N] [-n refs] [-gzip] [-note s] [-o file]
+           record a library workload to a trace file
+  inspect  <file...>   print header and framing summary (no payload decode)
+  stats    <file...>   decode fully: per-CPU reference statistics
+  head     [-n N] <file>   print the first N records as text
+  convert  [-gzip] [-chunk N] -o <out> <in>   re-encode a trace
+  merge    -o <out> <in...>   concatenate traces with equal CPU counts
+  help     print this message
+
+run 'tracecat <command> -h' for the command's flags
+`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracecat:", err)
+	cmd, args := os.Args[1], os.Args[2:]
+
+	var err error
+	switch cmd {
+	case "record":
+		err = cmdRecord(args)
+	case "inspect":
+		err = cmdInspect(args)
+	case "stats":
+		err = cmdStats(args)
+	case "head":
+		err = cmdHead(args)
+	case "convert":
+		err = cmdConvert(args)
+	case "merge":
+		err = cmdMerge(args)
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tracecat: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// The FlagSet already printed its defaults.
+	case isUsage(err):
+		fmt.Fprintf(os.Stderr, "tracecat %s: %v\n", cmd, err)
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "tracecat %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
 }
 
-func doRecord(app string, cpus int, n uint64, out string) error {
-	var sp workload.Spec
-	if app == "Throughput" || app == "tp" {
-		sp = workload.Throughput()
-	} else {
-		var err error
-		sp, err = workload.ByName(app)
-		if err != nil {
+// usageError marks errors that should exit with status 2.
+type usageError struct{ error }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func isUsage(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
+// parse runs a subcommand FlagSet, mapping flag errors to usage errors.
+func parse(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
+		return usageError{err}
 	}
-	f, err := os.Create(out)
+	return nil
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	app := fs.String("app", "", "workload to record (any library name, e.g. Ocean, WebServer, tp)")
+	cpus := fs.Int("cpus", 4, "CPUs")
+	n := fs.Uint64("n", 100_000, "references per CPU to record")
+	gz := fs.Bool("gzip", false, "gzip-compress chunk payloads")
+	note := fs.String("note", "", "free-form provenance stored in the trace metadata")
+	out := fs.String("o", "trace.jtrc", "output file")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("unexpected arguments %q", fs.Args())
+	}
+	if *app == "" {
+		return usagef("-app is required (try: tracecat record -app Ocean)")
+	}
+	sp, err := workload.Lookup(*app)
+	if err != nil {
+		return usageError{err}
+	}
+
+	f, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	total, err := trace.Record(f, sp.Source(cpus), n)
+	opts := trace.WriterOptions{Compress: *gz, Meta: trace.Meta{App: sp.Name, Note: *note}}
+	total, err := trace.Record(f, sp.Source(*cpus), *n, opts)
 	if err != nil {
 		return err
 	}
-	info, err := f.Stat()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("recorded %d references of %s to %s (%.2f bytes/ref)\n",
-		total, sp.Name, out, float64(info.Size())/float64(total))
+		total, sp.Name, *out, float64(info.Size())/float64(total))
 	return nil
 }
 
-func doStat(path string) error {
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return usagef("no trace files given")
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sum, serr := trace.Summarize(f)
+		info, ierr := f.Stat()
+		f.Close()
+		if serr != nil {
+			return fmt.Errorf("%s: %w", path, serr)
+		}
+		if ierr != nil {
+			return ierr
+		}
+		compression := "none"
+		if sum.Compressed {
+			compression = "gzip"
+		}
+		fmt.Printf("%s: JTRC v%d, %d CPUs, %d records in %d chunks, %s compression, %.2f bytes/ref\n",
+			path, trace.Version, sum.CPUs, sum.Records, sum.Chunks, compression,
+			float64(info.Size())/float64(max(sum.Records, 1)))
+		if sum.Meta.App != "" {
+			fmt.Printf("  app:  %s\n", sum.Meta.App)
+		}
+		if sum.Meta.Note != "" {
+			fmt.Printf("  note: %s\n", sum.Meta.Note)
+		}
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return usagef("no trace files given")
+	}
+	for _, path := range fs.Args() {
+		if err := statOne(path); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func statOne(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -82,36 +220,31 @@ func doStat(path string) error {
 	cpus := rd.CPUs()
 	counts := make([]uint64, cpus)
 	writes := make([]uint64, cpus)
+	blocks := make(map[uint64]struct{})
 	var minA, maxA uint64 = ^uint64(0), 0
-	total := uint64(0)
 	for {
-		progressed := false
-		for cpu := 0; cpu < cpus; cpu++ {
-			r, ok := rd.Next(cpu)
-			if !ok {
-				continue
-			}
-			progressed = true
-			total++
-			counts[cpu]++
-			if r.Op == trace.Write {
-				writes[cpu]++
-			}
-			if r.Addr < minA {
-				minA = r.Addr
-			}
-			if r.Addr > maxA {
-				maxA = r.Addr
-			}
-		}
-		if !progressed {
+		cpu, r, err := rd.Read()
+		if err == io.EOF {
 			break
 		}
+		if err != nil {
+			return err
+		}
+		counts[cpu]++
+		if r.Op == trace.Write {
+			writes[cpu]++
+		}
+		blocks[r.Addr>>6] = struct{}{}
+		minA = min(minA, r.Addr)
+		maxA = max(maxA, r.Addr)
 	}
-	if err := rd.Err(); err != nil {
-		return err
+	total := rd.Records()
+	if total == 0 {
+		fmt.Printf("%s: %d CPUs, empty trace\n", path, cpus)
+		return nil
 	}
-	fmt.Printf("%s: %d CPUs, %d references, span [%#x, %#x]\n", path, cpus, total, minA, maxA)
+	fmt.Printf("%s: %d CPUs, %d references, span [%#x, %#x], %d distinct 64B blocks (%.1f KB touched)\n",
+		path, cpus, total, minA, maxA, len(blocks), float64(len(blocks))*64/1024)
 	for cpu := 0; cpu < cpus; cpu++ {
 		wf := 0.0
 		if counts[cpu] > 0 {
@@ -119,5 +252,151 @@ func doStat(path string) error {
 		}
 		fmt.Printf("  cpu%d: %d refs, %.1f%% writes\n", cpu, counts[cpu], wf*100)
 	}
+	return nil
+}
+
+func cmdHead(args []string) error {
+	fs := flag.NewFlagSet("head", flag.ContinueOnError)
+	n := fs.Uint64("n", 20, "records to print")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usagef("exactly one trace file required")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < *n; i++ {
+		cpu, r, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d  cpu%-3d %s  %#x\n", i, cpu, r.Op, r.Addr)
+	}
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	gz := fs.Bool("gzip", false, "gzip-compress the output")
+	chunk := fs.Int("chunk", 0, "records per chunk (0 = default)")
+	out := fs.String("o", "", "output file (required)")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return usagef("-o is required")
+	}
+	if fs.NArg() != 1 {
+		return usagef("exactly one input trace required")
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	rd, err := trace.NewReader(in)
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, rd.CPUs(), trace.WriterOptions{Compress: *gz, ChunkRecords: *chunk, Meta: rd.Meta()},
+		func(w *trace.Writer) error {
+			_, err := trace.Append(w, rd)
+			return err
+		})
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	gz := fs.Bool("gzip", false, "gzip-compress the output")
+	out := fs.String("o", "", "output file (required)")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return usagef("-o is required")
+	}
+	if fs.NArg() < 2 {
+		return usagef("at least two input traces required")
+	}
+
+	// All inputs must agree on the CPU count (sniffed up front so a
+	// mismatch fails before the output file is created).
+	var cpus int
+	var meta trace.Meta
+	for i, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sum, err := trace.Summarize(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if i == 0 {
+			cpus, meta = sum.CPUs, sum.Meta
+		} else if sum.CPUs != cpus {
+			return usagef("%s has %d CPUs, %s has %d: merge needs equal widths",
+				fs.Arg(0), cpus, path, sum.CPUs)
+		}
+	}
+
+	return writeOut(*out, cpus, trace.WriterOptions{Compress: *gz, Meta: meta},
+		func(w *trace.Writer) error {
+			for _, path := range fs.Args() {
+				f, err := os.Open(path)
+				if err != nil {
+					return err
+				}
+				rd, err := trace.NewReader(f)
+				if err == nil {
+					_, err = trace.Append(w, rd)
+				}
+				f.Close()
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+			}
+			return nil
+		})
+}
+
+// writeOut creates path, streams records into it via fill, and reports.
+func writeOut(path string, cpus int, opts trace.WriterOptions, fill func(*trace.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, cpus, opts)
+	if err != nil {
+		return err
+	}
+	if err := fill(w); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d references to %s (%.2f bytes/ref)\n",
+		w.Records(), path, float64(info.Size())/float64(max(w.Records(), 1)))
 	return nil
 }

@@ -16,11 +16,19 @@
 // result cache) and servable to many clients at once via cmd/jettyd, an
 // HTTP/JSON experiment service.
 //
+// Experiments are trace-driven end to end: the workload library
+// (internal/workload — the Table 2 suite plus server scenarios like
+// WebServer and Database) generates deterministic reference streams, and
+// the streaming trace subsystem (internal/trace, TRACES.md) persists any
+// stream as a versioned JTRC file that can be inspected (cmd/tracecat),
+// replayed bit-identically (jettysim -trace), or uploaded to jettyd and
+// replayed under any filter configuration, cached by content address.
+//
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/paper -exp all
 //	go run ./cmd/jettyd
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for measured
-// results versus the paper.
+// See DESIGN.md for the architecture, EXPERIMENTS.md for measured
+// results versus the paper, and TRACES.md for the trace format.
 package jetty

@@ -1,0 +1,63 @@
+package jetty_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches markdown links [text](target).
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// requiredDocs are the documents the repository's cross-reference web
+// hangs off; each must exist and be linked from README.md.
+var requiredDocs = []string{"DESIGN.md", "EXPERIMENTS.md", "TRACES.md"}
+
+// TestDocLinks verifies that every relative link in the curated docs
+// resolves to an existing file, and that the core documents reference
+// each other. CI runs it as the docs check. (PAPER.md/PAPERS.md/
+// SNIPPETS.md are machine-extracted reference dumps, not curated docs,
+// so they are exempt.)
+func TestDocLinks(t *testing.T) {
+	mds := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "TRACES.md", "ROADMAP.md", "CHANGES.md"}
+
+	for _, md := range mds {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external: not checked offline
+			}
+			// Strip an intra-document anchor.
+			path, _, _ := strings.Cut(target, "#")
+			if path == "" {
+				continue // pure anchor within the same file
+			}
+			if _, err := os.Stat(filepath.FromSlash(path)); err != nil {
+				t.Errorf("%s: link target %q does not resolve: %v", md, target, err)
+			}
+		}
+	}
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range requiredDocs {
+		if _, err := os.Stat(doc); err != nil {
+			t.Errorf("required document %s missing: %v", doc, err)
+			continue
+		}
+		if !strings.Contains(string(readme), doc) {
+			t.Errorf("README.md does not reference %s", doc)
+		}
+	}
+}

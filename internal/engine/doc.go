@@ -1,0 +1,28 @@
+// Package engine is a job-based experiment execution engine: a fixed
+// worker pool sharded across GOMAXPROCS, context cancellation, per-job
+// progress reporting, and a content-addressed in-memory result cache.
+//
+// # Tasks and content addressing
+//
+// Tasks are pure computations identified by a content address (the
+// Key): two tasks with the same key MUST compute the same result. The
+// engine exploits that in two ways. Identical in-flight submissions are
+// deduplicated onto one execution (every submitter gets its own Job
+// handle observing the shared run), and finished results are kept in an
+// LRU cache so repeated submissions are served without re-running.
+//
+// The simulator layers two key families on top (internal/sim):
+// generator runs are addressed by Fingerprint(spec, config), and trace
+// replays by TraceFingerprint(trace digest, config) — so two clients
+// uploading byte-identical trace files to jettyd share one execution
+// and one cached result.
+//
+// # Concurrency
+//
+// The engine is safe for concurrent use by many goroutines; it is the
+// concurrency cap for everything built on top of it (the sim suite
+// runners and the jettyd service submit here rather than spawning
+// their own goroutines). Every Job handle supports Wait, Cancel and
+// Status snapshots; an execution is canceled only when every handle to
+// it has been canceled.
+package engine

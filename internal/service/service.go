@@ -6,24 +6,34 @@
 // cache), so any number of concurrent clients can drive one daemon
 // safely.
 //
-// API (all bodies JSON):
+// API (bodies JSON unless noted):
 //
 //	GET    /healthz                     liveness + engine stats
-//	GET    /v1/workloads                the Table 2 applications
+//	GET    /v1/workloads                the workload library (Table 2 + scenarios)
 //	GET    /v1/filters                  the figure filter configurations
 //	POST   /v1/experiments              submit (SubmitRequest) -> 202 ExperimentStatus
 //	GET    /v1/experiments              list all experiments
 //	GET    /v1/experiments/{id}         status/progress
 //	GET    /v1/experiments/{id}/result  finished results + rendered tables
 //	DELETE /v1/experiments/{id}         cancel and forget
+//	POST   /v1/traces                   upload a raw JTRC trace file -> TraceInfo
+//	GET    /v1/traces                   list uploaded traces
+//	GET    /v1/traces/{digest}          one uploaded trace's info
+//	DELETE /v1/traces/{digest}          forget an uploaded trace
+//
+// Uploaded traces are replayed by submitting an experiment whose
+// "trace" field names the upload's digest; the engine caches replay
+// results under (trace digest, machine config), so identical uploads
+// from different clients share one execution.
 package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 
 	"jetty/internal/engine"
@@ -47,24 +57,37 @@ type Options struct {
 	// that fetch promptly never notice; a long-running daemon never
 	// accumulates results without bound.
 	MaxRetained int
+	// MaxTraces bounds the uploaded-trace store; further uploads get
+	// 507 until one is deleted. 0 means the default (32).
+	MaxTraces int
+	// MaxTraceBytes bounds one uploaded trace file. 0 means the default
+	// (64 MB).
+	MaxTraceBytes int64
 }
 
 // Defaults for the zero Options values.
 const (
 	DefaultMaxUnfinished = 64
 	DefaultMaxRetained   = 512
+	DefaultMaxTraces     = 32
+	DefaultMaxTraceBytes = 64 << 20
 )
 
-// Server owns the engine and the experiment registry.
+// Server owns the engine, the experiment registry and the uploaded-
+// trace store.
 type Server struct {
 	runner        *sim.Runner
 	maxUnfinished int
 	maxRetained   int
+	maxTraces     int
+	maxTraceBytes int64
 
-	mu    sync.Mutex
-	exps  map[string]*experiment
-	order []string // insertion order, for stable listings
-	seq   int
+	mu         sync.Mutex
+	exps       map[string]*experiment
+	order      []string // insertion order, for stable listings
+	seq        int
+	traces     map[string]sim.TraceInput // by digest
+	traceOrder []string
 }
 
 // experiment is one submitted batch of app runs.
@@ -86,12 +109,23 @@ func New(opts Options) *Server {
 	if maxRetained <= 0 {
 		maxRetained = DefaultMaxRetained
 	}
+	maxTraces := opts.MaxTraces
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	maxTraceBytes := opts.MaxTraceBytes
+	if maxTraceBytes <= 0 {
+		maxTraceBytes = DefaultMaxTraceBytes
+	}
 	eng := engine.New(engine.Options{Workers: opts.Workers, CacheEntries: opts.CacheEntries})
 	return &Server{
 		runner:        sim.NewRunner(eng),
 		maxUnfinished: maxUnfinished,
 		maxRetained:   maxRetained,
+		maxTraces:     maxTraces,
+		maxTraceBytes: maxTraceBytes,
 		exps:          make(map[string]*experiment),
+		traces:        make(map[string]sim.TraceInput),
 	}
 }
 
@@ -109,15 +143,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceInfo)
+	mux.HandleFunc("DELETE /v1/traces/{digest}", s.handleTraceDelete)
 	return mux
 }
 
 // SubmitRequest describes one experiment.
 type SubmitRequest struct {
-	// Apps are Table 2 application names or abbreviations ("Barnes",
-	// "un", ...), plus "Throughput"/"tp". Empty means the full suite.
+	// Apps are workload library names or abbreviations ("Barnes", "un",
+	// "Throughput", "WebServer", ...). Empty means the Table 2 suite —
+	// unless Trace is set.
 	Apps []string `json:"apps,omitempty"`
-	// CPUs is the machine width (default 4).
+	// Trace is the digest of a previously uploaded trace (POST
+	// /v1/traces): the experiment replays that stored stream instead of
+	// generating workloads. Mutually exclusive with Apps and Scale.
+	Trace string `json:"trace,omitempty"`
+	// CPUs is the machine width (default 4, or the trace's own width
+	// for replay experiments).
 	CPUs int `json:"cpus,omitempty"`
 	// Scale multiplies every access budget (default 1 = the paper's).
 	Scale float64 `json:"scale,omitempty"`
@@ -174,11 +218,9 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		Accesses uint64 `json:"accesses"`
 	}
 	var out []wl
-	for _, sp := range workload.Specs() {
+	for _, sp := range workload.Library() {
 		out = append(out, wl{sp.Name, sp.Abbrev, sp.Accesses})
 	}
-	tp := workload.Throughput()
-	out = append(out, wl{tp.Name, tp.Abbrev, tp.Accesses})
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -192,7 +234,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	specs, cfg, err := buildExperiment(req)
+	specs, traceIn, cfg, err := s.buildExperiment(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -215,8 +257,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Submit while holding the registry lock so a canceling client can
 	// never observe the experiment without its jobs. Submit never blocks
 	// on the work itself.
-	for _, sp := range specs {
-		exp.jobs = append(exp.jobs, s.runner.Submit(sp, cfg))
+	if traceIn != nil {
+		exp.jobs = append(exp.jobs, s.runner.SubmitTrace(*traceIn, cfg))
+	} else {
+		for _, sp := range specs {
+			exp.jobs = append(exp.jobs, s.runner.Submit(sp, cfg))
+		}
 	}
 	s.exps[exp.id] = exp
 	s.order = append(s.order, exp.id)
@@ -240,53 +286,76 @@ const (
 	maxListLen = 64
 )
 
-// buildExperiment validates a request into runnable specs and a machine.
-func buildExperiment(req SubmitRequest) ([]workload.Spec, smp.Config, error) {
+// buildExperiment validates a request into runnable specs (or a stored
+// trace to replay) and a machine.
+func (s *Server) buildExperiment(req SubmitRequest) ([]workload.Spec, *sim.TraceInput, smp.Config, error) {
 	if req.Scale < 0 || req.Scale > MaxScale {
-		return nil, smp.Config{}, fmt.Errorf("scale %v out of range (0, %d]", req.Scale, MaxScale)
+		return nil, nil, smp.Config{}, fmt.Errorf("scale %v out of range (0, %d]", req.Scale, MaxScale)
 	}
 	if len(req.Apps) > maxListLen || len(req.Filters) > maxListLen {
-		return nil, smp.Config{}, fmt.Errorf("apps/filters lists capped at %d entries", maxListLen)
-	}
-	scale := req.Scale
-	if scale == 0 {
-		scale = 1
+		return nil, nil, smp.Config{}, fmt.Errorf("apps/filters lists capped at %d entries", maxListLen)
 	}
 	cpus := req.CPUs
-	if cpus == 0 {
-		cpus = 4
-	}
 
 	var specs []workload.Spec
-	if len(req.Apps) == 0 {
+	var traceIn *sim.TraceInput
+	switch {
+	case req.Trace != "":
+		// Replay experiment: the stored stream is the workload.
+		if len(req.Apps) > 0 {
+			return nil, nil, smp.Config{}, fmt.Errorf("apps and trace are mutually exclusive")
+		}
+		if req.Scale != 0 && req.Scale != 1 {
+			return nil, nil, smp.Config{}, fmt.Errorf("scale does not apply to a trace replay")
+		}
+		s.mu.Lock()
+		in, ok := s.traces[req.Trace]
+		s.mu.Unlock()
+		if !ok {
+			return nil, nil, smp.Config{}, fmt.Errorf("unknown trace %q (upload it via POST /v1/traces)", req.Trace)
+		}
+		if cpus == 0 {
+			cpus = in.CPUs
+		}
+		if cpus < in.CPUs {
+			return nil, nil, smp.Config{}, fmt.Errorf("trace needs %d cpus, request says %d", in.CPUs, cpus)
+		}
+		traceIn = &in
+		specs = []workload.Spec{{Name: in.Name, Accesses: in.Records}}
+
+	case len(req.Apps) == 0:
 		specs = workload.Specs()
-	} else {
+	default:
 		for _, name := range req.Apps {
-			var sp workload.Spec
-			if strings.EqualFold(name, "Throughput") || name == "tp" {
-				sp = workload.Throughput()
-			} else {
-				var err error
-				sp, err = workload.ByName(name)
-				if err != nil {
-					return nil, smp.Config{}, err
-				}
+			sp, err := workload.Lookup(name)
+			if err != nil {
+				return nil, nil, smp.Config{}, err
 			}
 			specs = append(specs, sp)
 		}
 	}
-	for i := range specs {
-		specs[i] = specs[i].Scale(scale)
+
+	if cpus == 0 {
+		cpus = 4
+	}
+	if traceIn == nil {
+		scale := req.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		for i := range specs {
+			specs[i] = specs[i].Scale(scale)
+		}
 	}
 
 	cfg, err := sim.PaperBankConfig(cpus, req.NSB, req.Filters)
 	if err != nil {
-		return nil, smp.Config{}, err
+		return nil, nil, smp.Config{}, err
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, smp.Config{}, err
+		return nil, nil, smp.Config{}, err
 	}
-	return specs, cfg, nil
+	return specs, traceIn, cfg, nil
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -368,6 +437,113 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.Cancel()
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceled"})
+}
+
+// TraceInfo describes one uploaded trace.
+type TraceInfo struct {
+	Digest     string `json:"digest"`
+	Name       string `json:"name"`
+	CPUs       int    `json:"cpus"`
+	Records    uint64 `json:"records"`
+	Bytes      int    `json:"bytes"`
+	Compressed bool   `json:"compressed"`
+}
+
+func traceInfo(in sim.TraceInput) TraceInfo {
+	return TraceInfo{
+		Digest:     in.Digest,
+		Name:       in.Name,
+		CPUs:       in.CPUs,
+		Records:    in.Records,
+		Bytes:      len(in.Data),
+		Compressed: in.Compressed,
+	}
+}
+
+// handleTraceUpload stores a raw JTRC file (the request body), validated
+// and content-addressed. Re-uploading an identical file is a 200 no-op;
+// a full store answers 507 until a trace is deleted.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxTraceBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("trace exceeds the %d-byte upload cap", s.maxTraceBytes))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading trace: %w", err))
+		}
+		return
+	}
+	in, err := sim.LoadTrace(r.URL.Query().Get("name"), data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if _, ok := s.traces[in.Digest]; ok {
+		in = s.traces[in.Digest]
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, traceInfo(in))
+		return
+	}
+	if len(s.traces) >= s.maxTraces {
+		s.mu.Unlock()
+		writeError(w, http.StatusInsufficientStorage,
+			fmt.Errorf("trace store holds its cap of %d traces; DELETE one first", s.maxTraces))
+		return
+	}
+	s.traces[in.Digest] = in
+	s.traceOrder = append(s.traceOrder, in.Digest)
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, traceInfo(in))
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]TraceInfo, 0, len(s.traceOrder))
+	for _, digest := range s.traceOrder {
+		out = append(out, traceInfo(s.traces[digest]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	s.mu.Lock()
+	in, ok := s.traces[digest]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", digest))
+		return
+	}
+	writeJSON(w, http.StatusOK, traceInfo(in))
+}
+
+func (s *Server) handleTraceDelete(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	s.mu.Lock()
+	_, ok := s.traces[digest]
+	if ok {
+		delete(s.traces, digest)
+		for i, d := range s.traceOrder {
+			if d == digest {
+				s.traceOrder = append(s.traceOrder[:i], s.traceOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", digest))
+		return
+	}
+	// Running replays keep their own copy of the input; deleting only
+	// frees the slot for new uploads.
+	writeJSON(w, http.StatusOK, map[string]string{"digest": digest, "state": "deleted"})
 }
 
 // evictLocked drops the oldest finished experiments until the registry

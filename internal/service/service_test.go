@@ -9,6 +9,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"jetty/internal/trace"
+	"jetty/internal/workload"
 )
 
 // newTestServer returns a running service and its base URL.
@@ -82,8 +85,8 @@ func TestHealthAndCatalogEndpoints(t *testing.T) {
 
 	var wls []map[string]any
 	doJSON(t, "GET", base+"/v1/workloads", nil, &wls)
-	if len(wls) != 11 { // ten Table 2 apps + Throughput
-		t.Errorf("workloads = %d entries, want 11", len(wls))
+	if want := 10 + len(workload.Scenarios()); len(wls) != want { // the full library
+		t.Errorf("workloads = %d entries, want %d", len(wls), want)
 	}
 
 	var filters []string
@@ -365,6 +368,142 @@ func TestManyConcurrentClients(t *testing.T) {
 	for c := 0; c < 10; c++ {
 		if err := <-done; err != nil {
 			t.Error(err)
+		}
+	}
+}
+
+// uploadTrace posts raw trace bytes and returns the decoded TraceInfo.
+func uploadTrace(t *testing.T, base string, data []byte) (TraceInfo, int) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/traces", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info TraceInfo
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return info, resp.StatusCode
+}
+
+// recordTestTrace exports a small workload trace as raw file bytes.
+func recordTestTrace(t *testing.T, app string, cpus int, perCPU uint64) []byte {
+	t.Helper()
+	sp, err := workload.Lookup(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	opts := trace.WriterOptions{Compress: true, Meta: trace.Meta{App: sp.Name}}
+	if _, err := trace.Record(&buf, sp.Source(cpus), perCPU, opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceUploadReplayRoundTrip(t *testing.T) {
+	_, base := newTestServer(t, Options{})
+	data := recordTestTrace(t, "WebServer", 4, 5000)
+
+	info, code := uploadTrace(t, base, data)
+	if code != http.StatusCreated {
+		t.Fatalf("upload code %d", code)
+	}
+	if info.Digest == "" || info.CPUs != 4 || info.Records != 20000 || !info.Compressed {
+		t.Fatalf("upload info = %+v", info)
+	}
+
+	// Identical re-upload: 200, same digest, no second slot.
+	again, code := uploadTrace(t, base, data)
+	if code != http.StatusOK || again.Digest != info.Digest {
+		t.Fatalf("re-upload: code %d info %+v", code, again)
+	}
+	var list []TraceInfo
+	doJSON(t, "GET", base+"/v1/traces", nil, &list)
+	if len(list) != 1 {
+		t.Fatalf("trace list has %d entries", len(list))
+	}
+
+	// Replay it with a filter bank.
+	req := SubmitRequest{Trace: info.Digest, Filters: []string{"EJ-32x4"}}
+	var st ExperimentStatus
+	if code := doJSON(t, "POST", base+"/v1/experiments", req, &st); code != http.StatusAccepted {
+		t.Fatalf("submit code %d", code)
+	}
+	if len(st.Jobs) != 1 || st.Jobs[0].App != "WebServer" || st.Jobs[0].Total != 20000 {
+		t.Fatalf("jobs = %+v", st.Jobs)
+	}
+	final := waitDone(t, base, st.ID)
+	if final.State != "done" {
+		t.Fatalf("final = %+v", final)
+	}
+	var res ExperimentResult
+	if code := doJSON(t, "GET", base+"/v1/experiments/"+st.ID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result code %d", code)
+	}
+	if len(res.Results) != 1 || res.Results[0].Refs != 20000 {
+		t.Fatalf("replay result = %+v", res.Results)
+	}
+	if len(res.Results[0].Coverage) != 1 {
+		t.Errorf("replay measured %d filters", len(res.Results[0].Coverage))
+	}
+
+	// A second replay of the same trace+config is a cache hit.
+	var st2 ExperimentStatus
+	doJSON(t, "POST", base+"/v1/experiments", req, &st2)
+	if st2.Jobs[0].Key != st.Jobs[0].Key {
+		t.Errorf("replay keys differ: %s vs %s", st2.Jobs[0].Key, st.Jobs[0].Key)
+	}
+	if final := waitDone(t, base, st2.ID); final.State != "done" {
+		t.Errorf("second replay = %+v", final)
+	}
+
+	// Delete frees the slot.
+	var del map[string]string
+	if code := doJSON(t, "DELETE", base+"/v1/traces/"+info.Digest, nil, &del); code != http.StatusOK {
+		t.Fatalf("delete code %d", code)
+	}
+	doJSON(t, "GET", base+"/v1/traces", nil, &list)
+	if len(list) != 0 {
+		t.Errorf("trace list has %d entries after delete", len(list))
+	}
+}
+
+func TestTraceUploadValidation(t *testing.T) {
+	_, base := newTestServer(t, Options{MaxTraces: 1})
+
+	if _, code := uploadTrace(t, base, []byte("not a trace")); code != http.StatusBadRequest {
+		t.Errorf("garbage upload code %d", code)
+	}
+
+	// Unknown digest in a submit.
+	var errBody map[string]any
+	if code := doJSON(t, "POST", base+"/v1/experiments", SubmitRequest{Trace: "feed"}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("unknown trace submit code %d", code)
+	}
+
+	// Store cap.
+	first := recordTestTrace(t, "tp", 2, 500)
+	if _, code := uploadTrace(t, base, first); code != http.StatusCreated {
+		t.Fatalf("first upload rejected")
+	}
+	second := recordTestTrace(t, "Ocean", 2, 500)
+	if _, code := uploadTrace(t, base, second); code != http.StatusInsufficientStorage {
+		t.Errorf("over-cap upload code %d", code)
+	}
+
+	// apps+trace and scale+trace are rejected; narrow machines too.
+	info, _ := uploadTrace(t, base, first) // 200: already stored
+	for _, req := range []SubmitRequest{
+		{Trace: info.Digest, Apps: []string{"Barnes"}},
+		{Trace: info.Digest, Scale: 0.5},
+		{Trace: info.Digest, CPUs: 1},
+	} {
+		if code := doJSON(t, "POST", base+"/v1/experiments", req, &errBody); code != http.StatusBadRequest {
+			t.Errorf("submit %+v: code %d, want 400", req, code)
 		}
 	}
 }

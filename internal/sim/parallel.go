@@ -12,6 +12,7 @@ import (
 	"jetty/internal/engine"
 	"jetty/internal/jetty"
 	"jetty/internal/smp"
+	"jetty/internal/trace"
 	"jetty/internal/workload"
 )
 
@@ -48,24 +49,16 @@ func Fingerprint(sp workload.Spec, cfg smp.Config) string {
 // through, keeping chunked execution bit-identical.
 const progressChunk = 1 << 16
 
-// RunAppCtx is RunApp with cooperative cancellation and progress
-// reporting: the simulation runs in interleaving-preserving chunks,
-// calling report (if non-nil) with the references completed so far and
-// returning ctx.Err() promptly after cancellation. Results are
-// bit-identical to RunApp.
-func RunAppCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, report func(done uint64)) (AppResult, error) {
-	if err := sp.Validate(); err != nil {
-		return AppResult{}, err
-	}
-	if err := cfg.Validate(); err != nil {
-		return AppResult{}, err
-	}
-	sys := smp.New(cfg)
-	src := sp.Source(cfg.CPUs)
-
+// runChunked drives sys over src for up to accesses references in
+// interleaving-preserving chunks: every chunk ends exactly on a
+// round-robin cycle boundary, the decomposition the uninterrupted path
+// would also pass through, so chunking never perturbs determinism. It
+// stops early (without error) if the source runs dry — replayed traces
+// are finite even when the budget says otherwise.
+func runChunked(ctx context.Context, sys *smp.System, src trace.Source, accesses uint64, report func(done uint64)) error {
 	ncpu := src.CPUs()
-	if ncpu > cfg.CPUs {
-		ncpu = cfg.CPUs
+	if ncpu > sys.Config().CPUs {
+		ncpu = sys.Config().CPUs
 	}
 	chunk := uint64(progressChunk)
 	chunk -= chunk % uint64(ncpu)
@@ -74,17 +67,66 @@ func RunAppCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, report fun
 	}
 
 	var done uint64
-	for done < sp.Accesses {
+	for done < accesses {
 		if err := ctx.Err(); err != nil {
-			return AppResult{}, err
+			return err
 		}
 		n := chunk
-		if rem := sp.Accesses - done; rem < n {
+		if rem := accesses - done; rem < n {
 			n = rem
 		}
-		done += sys.Run(src, n)
+		ran := sys.Run(src, n)
+		done += ran
 		if report != nil {
 			report(done)
+		}
+		if ran == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunAppCtx is RunApp with cooperative cancellation and progress
+// reporting: the simulation runs in interleaving-preserving chunks,
+// calling report (if non-nil) with the references completed so far and
+// returning ctx.Err() promptly after cancellation. Results are
+// bit-identical to RunApp.
+func RunAppCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, report func(done uint64)) (AppResult, error) {
+	return runApp(ctx, sp, cfg, nil, report)
+}
+
+// RunAppCapturedCtx is RunAppCtx with the capture hook attached: every
+// reference the simulation consumes is also recorded into tw, in
+// exactly the consumed order, so replaying the resulting trace
+// (RunTraceCtx) reproduces this run's statistics identically. The
+// caller owns tw and must Close it after the run to finish the file.
+func RunAppCapturedCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, tw *trace.Writer, report func(done uint64)) (AppResult, error) {
+	return runApp(ctx, sp, cfg, tw, report)
+}
+
+// runApp is the shared generator-driven path, optionally teeing the
+// reference stream into a trace writer.
+func runApp(ctx context.Context, sp workload.Spec, cfg smp.Config, tw *trace.Writer, report func(done uint64)) (AppResult, error) {
+	if err := sp.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	sys := smp.New(cfg)
+	var src trace.Source = sp.Source(cfg.CPUs)
+	var cp *trace.Capture
+	if tw != nil {
+		cp = trace.NewCapture(src, tw)
+		src = cp
+	}
+	if err := runChunked(ctx, sys, src, sp.Accesses, report); err != nil {
+		return AppResult{}, err
+	}
+	if cp != nil {
+		if err := cp.Err(); err != nil {
+			return AppResult{}, fmt.Errorf("sim: recording trace: %w", err)
 		}
 	}
 	return finishRun(sys, sp, cfg)

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"jetty/internal/engine"
+	"jetty/internal/smp"
+	"jetty/internal/trace"
+	"jetty/internal/workload"
+)
+
+// Trace replay: any filter configuration can be evaluated against a
+// stored reference stream instead of a live generator. A trace recorded
+// from a run (RunAppCapturedCtx, `tracecat record`, or an upload to
+// jettyd) replays bit-identically because the file holds exactly the
+// sequence of references the machine steps, and the machine's stepping
+// is a pure function of that sequence plus the configuration.
+
+// TraceInput is a stored trace ready to replay: the raw file bytes plus
+// the summary fields scheduling needs. Build one with LoadTrace.
+type TraceInput struct {
+	// Name labels results (the meta's app name, a filename, ...).
+	Name string
+	// Digest is the content address of Data (trace.Digest).
+	Digest string
+	// CPUs, Records and Compressed come from the file's header and
+	// framing.
+	CPUs       int
+	Records    uint64
+	Compressed bool
+	// Data is the complete trace file.
+	Data []byte
+}
+
+// LoadTrace validates raw trace-file bytes (header, framing, record
+// count) and content-addresses them. name may be empty: the metadata's
+// app name (or "trace") is used.
+func LoadTrace(name string, data []byte) (TraceInput, error) {
+	sum, err := trace.Summarize(bytes.NewReader(data))
+	if err != nil {
+		return TraceInput{}, err
+	}
+	if sum.Records == 0 {
+		return TraceInput{}, fmt.Errorf("sim: trace holds no records")
+	}
+	digest, err := trace.Digest(bytes.NewReader(data))
+	if err != nil {
+		return TraceInput{}, err
+	}
+	if name == "" {
+		name = sum.Meta.App
+	}
+	if name == "" {
+		name = "trace"
+	}
+	return TraceInput{
+		Name:       name,
+		Digest:     digest,
+		CPUs:       sum.CPUs,
+		Records:    sum.Records,
+		Compressed: sum.Compressed,
+		Data:       data,
+	}, nil
+}
+
+// TraceFingerprint is the content address of one replay run: a SHA-256
+// over the trace digest and the canonical machine configuration. A
+// replayed result is a pure function of those two values, so the
+// fingerprint is a sound engine cache and deduplication key — two
+// clients uploading byte-identical traces share one execution.
+func TraceFingerprint(digest string, cfg smp.Config) string {
+	b, err := json.Marshal(struct {
+		Trace  string
+		Config smp.Config
+	}{digest, cfg})
+	if err != nil {
+		panic(fmt.Sprintf("sim: trace fingerprint encoding: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// pseudoSpec labels a replay's AppResult. A trace has no generator, so
+// every Spec field except the name and reference count is zero (and
+// MemoryBytes reports 0: a stored stream has no allocation table).
+func (in TraceInput) pseudoSpec() workload.Spec {
+	return workload.Spec{Name: in.Name, Accesses: in.Records}
+}
+
+// RunTraceCtx replays a stored trace through the given machine, with the
+// same chunked cancellation and progress reporting as RunAppCtx. The
+// machine must be at least as wide as the trace. Replaying a trace
+// captured from a run on the same configuration reproduces that run's
+// statistics exactly (TestTraceReplayMatchesDirect enforces it).
+func RunTraceCtx(ctx context.Context, in TraceInput, cfg smp.Config, report func(done uint64)) (AppResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return AppResult{}, err
+	}
+	rd, err := trace.NewReader(bytes.NewReader(in.Data))
+	if err != nil {
+		return AppResult{}, err
+	}
+	if rd.CPUs() > cfg.CPUs {
+		return AppResult{}, fmt.Errorf("sim: trace has %d cpus but the machine only %d", rd.CPUs(), cfg.CPUs)
+	}
+	sys := smp.New(cfg)
+	if err := runChunked(ctx, sys, rd, in.Records, report); err != nil {
+		return AppResult{}, err
+	}
+	if err := rd.Err(); err != nil {
+		return AppResult{}, err
+	}
+	if got := sys.Refs(); got != in.Records {
+		return AppResult{}, fmt.Errorf("sim: replayed %d of the trace's %d records", got, in.Records)
+	}
+	return finishRun(sys, in.pseudoSpec(), cfg)
+}
+
+// TraceTask wraps one replay as an engine task, content-addressed by
+// TraceFingerprint and reporting progress in records.
+func TraceTask(in TraceInput, cfg smp.Config) engine.Task {
+	return engine.Task{
+		Key:   TraceFingerprint(in.Digest, cfg),
+		Total: in.Records,
+		Run: func(ctx context.Context, report func(uint64)) (any, error) {
+			res, err := RunTraceCtx(ctx, in, cfg, report)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	}
+}
+
+// SubmitTrace schedules one replay and returns its job handle (the
+// jettyd service's trace experiments run through here).
+func (r *Runner) SubmitTrace(in TraceInput, cfg smp.Config) *engine.Job {
+	return r.eng.Submit(TraceTask(in, cfg))
+}
+
+// RunTrace replays a trace through the engine and waits for it.
+func (r *Runner) RunTrace(ctx context.Context, in TraceInput, cfg smp.Config) (AppResult, error) {
+	return waitResult(ctx, r.SubmitTrace(in, cfg))
+}

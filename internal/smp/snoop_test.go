@@ -183,7 +183,7 @@ func TestTraceReplayMatchesGeneratorRun(t *testing.T) {
 	s1.DrainWriteBuffers()
 
 	var buf bytes.Buffer
-	if _, err := trace.Record(&buf, newStepSource(20000), 0); err != nil {
+	if _, err := trace.Record(&buf, newStepSource(20000), 0, trace.WriterOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	rd, err := trace.NewReader(&buf)

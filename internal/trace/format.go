@@ -1,0 +1,74 @@
+package trace
+
+// The JTRC v1 on-disk layout (TRACES.md is the normative spec):
+//
+//	header:
+//	  magic    "JTRC"                      4 bytes
+//	  version  0x01                        1 byte
+//	  flags    bit0 = gzip chunk payloads  1 byte (unknown bits rejected)
+//	  cpus     uint16 little-endian        2 bytes, 1..127
+//	  metaLen  uvarint                     then metaLen bytes of JSON (Meta)
+//	frames, repeated:
+//	  0x01 chunk: uvarint record count n, uvarint payload length p,
+//	       then p bytes of payload (gzip stream when flag bit0 is set)
+//	  0x00 end:   uvarint total record count (must equal the chunk sum)
+//
+// A decompressed chunk payload is n records back to back:
+//
+//	head   1 byte: cpu<<1 | op   (op: 0 = read, 1 = write)
+//	delta  uvarint zigzag(addr - prev[cpu])
+//
+// prev[] starts at zero again in every chunk, so each chunk decodes
+// independently of the rest of the file.
+const (
+	// Magic identifies a JTRC trace file.
+	Magic = "JTRC"
+	// Version is the format version this package reads and writes.
+	// Readers reject any other value.
+	Version = 1
+
+	// flagGzip marks per-chunk gzip compression; knownFlags is the set a
+	// v1 reader understands (any other bit set is a hard error: flags
+	// change the meaning of the payload bytes).
+	flagGzip   = 1 << 0
+	knownFlags = flagGzip
+
+	// chunkTag and endTag are the frame markers.
+	chunkTag = 0x01
+	endTag   = 0x00
+
+	// MaxCPUs is the largest per-trace CPU count: the record head byte
+	// packs the CPU into 7 bits.
+	MaxCPUs = 0x7F
+
+	// DefaultChunkRecords is the Writer's chunk granularity when
+	// WriterOptions leaves ChunkRecords zero.
+	DefaultChunkRecords = 1 << 16
+
+	// maxRecordBytes bounds one encoded record: head byte plus a
+	// max-length 64-bit varint.
+	maxRecordBytes = 1 + 10
+
+	// Hostile-input bounds: a reader allocates O(chunk), so the frame
+	// header fields that size those allocations are capped.
+	maxMetaBytes       = 1 << 20
+	maxChunkRecords    = 1 << 24
+	maxChunkPayloadLen = maxChunkRecords * maxRecordBytes
+)
+
+// Meta is the trace's provenance blob, stored as JSON in the header.
+// Unknown JSON keys are ignored on read, so later versions may add
+// fields without a format bump.
+type Meta struct {
+	// App names the generating workload, when the trace was exported
+	// from one (a workload.Library name).
+	App string `json:"app,omitempty"`
+	// Note is free-form provenance ("captured by jettysim", ...).
+	Note string `json:"note,omitempty"`
+}
+
+// zigzag maps a signed delta onto the unsigned varint space so small
+// negative and positive deltas both encode in few bytes.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace file")
+
+// goldenRecords is a fixed stream exercising the encoding's edge cases:
+// both ops, forward and backward deltas, a delta of zero, large jumps,
+// multiple CPUs, and a chunk boundary (ChunkRecords is 4 below, so the
+// delta state resets mid-stream).
+var goldenRecords = []struct {
+	cpu int
+	r   Ref
+}{
+	{0, Ref{Op: Read, Addr: 0x1000}},
+	{1, Ref{Op: Write, Addr: 0x2000}},
+	{0, Ref{Op: Read, Addr: 0x1040}},     // +0x40
+	{0, Ref{Op: Write, Addr: 0x1000}},    // -0x40
+	{2, Ref{Op: Read, Addr: 0}},          // addr 0 (delta 0 from reset state)
+	{2, Ref{Op: Read, Addr: 0}},          // repeat: delta 0
+	{1, Ref{Op: Write, Addr: 1 << 40}},   // far jump (new chunk: delta from 0)
+	{0, Ref{Op: Read, Addr: 0xFFFFFFFF}}, // new chunk too: full address
+}
+
+const goldenPath = "testdata/v1.jtrc"
+
+// encodeGolden produces the byte-exact v1 encoding of goldenRecords.
+// Compression is deliberately off: gzip output is not guaranteed stable
+// across Go releases, so only the uncompressed encoding is pinned (the
+// compressed path is covered by round-trip tests).
+func encodeGolden(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 3, WriterOptions{
+		ChunkRecords: 4,
+		Meta:         Meta{App: "golden", Note: "format pin"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range goldenRecords {
+		if err := w.Write(g.cpu, g.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenEncoding pins the v1 binary encoding: the writer must emit
+// exactly the committed bytes, and the committed bytes must decode to
+// exactly the original records. Any change to either direction is a
+// format change and requires a version bump (see TRACES.md).
+func TestGoldenEncoding(t *testing.T) {
+	got := encodeGolden(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", len(got), goldenPath)
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -run Golden -update` after an intentional format change)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("v1 encoding changed:\n got %x\nwant %x\nthis is a format break — bump Version and update TRACES.md", got, want)
+	}
+
+	// Decode the committed file and verify record-exact replay.
+	rd, err := NewReader(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.CPUs() != 3 || rd.Meta().App != "golden" {
+		t.Fatalf("header: %d cpus, meta %+v", rd.CPUs(), rd.Meta())
+	}
+	for i, g := range goldenRecords {
+		cpu, r, err := rd.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if cpu != g.cpu || r != g.r {
+			t.Fatalf("record %d: cpu%d %v, want cpu%d %v", i, cpu, r, g.cpu, g.r)
+		}
+	}
+	if _, _, err := rd.Read(); err != io.EOF {
+		t.Fatalf("after last record: %v, want EOF", err)
+	}
+}

@@ -1,0 +1,351 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Reader decodes a JTRC trace, loading one chunk at a time: memory use
+// is O(chunk records) regardless of file size. It offers two views of
+// the stream: Read returns records sequentially in recorded order (the
+// tool view), and Next implements Source so a trace replays through the
+// simulator (the replay view).
+type Reader struct {
+	r          *bufio.Reader
+	cpus       int
+	meta       Meta
+	compressed bool
+
+	raw   []byte // reused frame payload buffer
+	dec   bytes.Buffer
+	gz    *gzip.Reader
+	chunk []byte   // decoded payload of the current chunk
+	off   int      // decode offset into chunk
+	left  uint64   // records remaining in the current chunk
+	last  []uint64 // per-CPU delta state, reset at each chunk
+
+	chunks uint64
+	total  uint64 // records decoded so far
+	done   bool
+	err    error
+
+	pendingCPU int
+	pending    Ref
+	hasPending bool
+}
+
+// NewReader parses a JTRC header and returns a Reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a JTRC trace)", hdr[:4])
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("trace: unsupported format version %d (this reader understands %d)", hdr[4], Version)
+	}
+	flags := hdr[5]
+	if flags&^byte(knownFlags) != 0 {
+		return nil, fmt.Errorf("trace: unknown flag bits %#02x", flags&^byte(knownFlags))
+	}
+	cpus := int(binary.LittleEndian.Uint16(hdr[6:8]))
+	if cpus < 1 || cpus > MaxCPUs {
+		return nil, fmt.Errorf("trace: %d cpus out of range 1..%d", cpus, MaxCPUs)
+	}
+	metaLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading meta length: %w", err)
+	}
+	if metaLen > maxMetaBytes {
+		return nil, fmt.Errorf("trace: meta blob %d bytes exceeds %d", metaLen, maxMetaBytes)
+	}
+	metaRaw := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaRaw); err != nil {
+		return nil, fmt.Errorf("trace: reading meta: %w", err)
+	}
+	var meta Meta
+	if metaLen > 0 {
+		if err := json.Unmarshal(metaRaw, &meta); err != nil {
+			return nil, fmt.Errorf("trace: decoding meta: %w", err)
+		}
+	}
+	return &Reader{
+		r:          br,
+		cpus:       cpus,
+		meta:       meta,
+		compressed: flags&flagGzip != 0,
+		last:       make([]uint64, cpus),
+	}, nil
+}
+
+// CPUs implements Source.
+func (t *Reader) CPUs() int { return t.cpus }
+
+// Meta returns the header's metadata blob.
+func (t *Reader) Meta() Meta { return t.meta }
+
+// Compressed reports whether chunk payloads are gzip-compressed.
+func (t *Reader) Compressed() bool { return t.compressed }
+
+// Records returns the number of records decoded so far.
+func (t *Reader) Records() uint64 { return t.total }
+
+// Err returns the first decoding error encountered, if any (a clean end
+// of trace is not an error).
+func (t *Reader) Err() error { return t.err }
+
+// Read returns the next record in recorded order. It returns io.EOF at
+// a clean end of trace and the decoding error otherwise (also retained
+// in Err).
+func (t *Reader) Read() (cpu int, r Ref, err error) {
+	if t.err != nil {
+		return 0, Ref{}, t.err
+	}
+	if t.done {
+		return 0, Ref{}, io.EOF
+	}
+	for t.left == 0 {
+		if err := t.nextChunk(); err != nil {
+			if err != io.EOF {
+				t.err = err
+			}
+			return 0, Ref{}, err
+		}
+	}
+
+	if t.off >= len(t.chunk) {
+		return 0, Ref{}, t.corrupt("chunk payload ends before its %d records do", t.left)
+	}
+	head := t.chunk[t.off]
+	t.off++
+	cpu = int(head >> 1)
+	if cpu >= t.cpus {
+		return 0, Ref{}, t.corrupt("record for cpu %d beyond the header's %d", cpu, t.cpus)
+	}
+	u, n := binary.Uvarint(t.chunk[t.off:])
+	if n <= 0 {
+		return 0, Ref{}, t.corrupt("truncated record varint")
+	}
+	t.off += n
+	addr := uint64(int64(t.last[cpu]) + unzigzag(u))
+	t.last[cpu] = addr
+	op := Read
+	if head&1 != 0 {
+		op = Write
+	}
+	t.left--
+	t.total++
+	return cpu, Ref{Op: op, Addr: addr}, nil
+}
+
+// nextChunk loads and decodes the next frame. io.EOF signals a clean end
+// marker; any other error is corruption.
+func (t *Reader) nextChunk() error {
+	if t.off != len(t.chunk) {
+		return t.corrupt("%d payload bytes left over after the chunk's records", len(t.chunk)-t.off)
+	}
+	tag, err := t.r.ReadByte()
+	if err != nil {
+		return t.corrupt("missing end marker: %v", err)
+	}
+	switch tag {
+	case endTag:
+		declared, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return t.corrupt("truncated end marker: %v", err)
+		}
+		if declared != t.total {
+			return t.corrupt("end marker declares %d records, decoded %d", declared, t.total)
+		}
+		t.done = true
+		return io.EOF
+	case chunkTag:
+	default:
+		return t.corrupt("unknown frame tag %#02x", tag)
+	}
+
+	n, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return t.corrupt("truncated chunk header: %v", err)
+	}
+	if n == 0 || n > maxChunkRecords {
+		return t.corrupt("chunk record count %d out of range 1..%d", n, maxChunkRecords)
+	}
+	p, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return t.corrupt("truncated chunk header: %v", err)
+	}
+	if p > maxChunkPayloadLen {
+		return t.corrupt("chunk payload length %d exceeds %d", p, maxChunkPayloadLen)
+	}
+	if uint64(cap(t.raw)) < p {
+		t.raw = make([]byte, p)
+	}
+	t.raw = t.raw[:p]
+	if _, err := io.ReadFull(t.r, t.raw); err != nil {
+		return t.corrupt("truncated chunk payload: %v", err)
+	}
+
+	if t.compressed {
+		if t.gz == nil {
+			t.gz = new(gzip.Reader)
+		}
+		if err := t.gz.Reset(bytes.NewReader(t.raw)); err != nil {
+			return t.corrupt("bad gzip chunk: %v", err)
+		}
+		t.dec.Reset()
+		// A chunk of n records decompresses to at most n*maxRecordBytes;
+		// anything larger is corrupt, and the bound caps the allocation.
+		limit := int64(n) * maxRecordBytes
+		copied, err := io.Copy(&t.dec, io.LimitReader(t.gz, limit+1))
+		if err != nil {
+			return t.corrupt("bad gzip chunk: %v", err)
+		}
+		if copied > limit {
+			return t.corrupt("decompressed chunk exceeds %d bytes for %d records", limit, n)
+		}
+		if err := t.gz.Close(); err != nil {
+			return t.corrupt("bad gzip chunk: %v", err)
+		}
+		t.chunk = t.dec.Bytes()
+	} else {
+		t.chunk = t.raw
+	}
+	t.off = 0
+	t.left = n
+	t.chunks++
+	for i := range t.last {
+		t.last[i] = 0
+	}
+	return nil
+}
+
+// corrupt records and returns a corruption error.
+func (t *Reader) corrupt(format string, args ...any) error {
+	err := fmt.Errorf("trace: corrupt file: "+format, args...)
+	t.err = err
+	return err
+}
+
+// Next implements Source. All references are delivered in recorded
+// order: a record is held pending until the owning CPU asks for it, and
+// a request for another CPU returns ok=false. Round-robin replay of a
+// round-robin recording therefore never stalls — which is exactly how
+// the simulator both records and replays.
+func (t *Reader) Next(cpu int) (Ref, bool) {
+	if !t.hasPending {
+		c, r, err := t.Read()
+		if err != nil {
+			return Ref{}, false
+		}
+		t.pendingCPU, t.pending, t.hasPending = c, r, true
+	}
+	if t.pendingCPU == cpu {
+		t.hasPending = false
+		return t.pending, true
+	}
+	return Ref{}, false
+}
+
+// Summary is the framing-level description of a trace file, computed
+// without decoding any chunk payload.
+type Summary struct {
+	CPUs       int
+	Meta       Meta
+	Compressed bool
+	Chunks     uint64
+	Records    uint64
+}
+
+// Summarize scans a trace's header and chunk framing, skipping every
+// payload, and verifies the end marker's record count. It is how
+// `tracecat inspect` and the jettyd trace upload validate a file
+// cheaply.
+func Summarize(r io.Reader) (Summary, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return Summary{}, err
+	}
+	s := Summary{CPUs: rd.cpus, Meta: rd.meta, Compressed: rd.compressed}
+	for {
+		tag, err := rd.r.ReadByte()
+		if err != nil {
+			return s, rd.corrupt("missing end marker: %v", err)
+		}
+		if tag == endTag {
+			declared, err := binary.ReadUvarint(rd.r)
+			if err != nil {
+				return s, rd.corrupt("truncated end marker: %v", err)
+			}
+			if declared != s.Records {
+				return s, rd.corrupt("end marker declares %d records, framing sums to %d", declared, s.Records)
+			}
+			return s, nil
+		}
+		if tag != chunkTag {
+			return s, rd.corrupt("unknown frame tag %#02x", tag)
+		}
+		n, err := binary.ReadUvarint(rd.r)
+		if err != nil {
+			return s, rd.corrupt("truncated chunk header: %v", err)
+		}
+		if n == 0 || n > maxChunkRecords {
+			return s, rd.corrupt("chunk record count %d out of range 1..%d", n, maxChunkRecords)
+		}
+		p, err := binary.ReadUvarint(rd.r)
+		if err != nil {
+			return s, rd.corrupt("truncated chunk header: %v", err)
+		}
+		if p > maxChunkPayloadLen {
+			return s, rd.corrupt("chunk payload length %d exceeds %d", p, maxChunkPayloadLen)
+		}
+		if _, err := io.CopyN(io.Discard, rd.r, int64(p)); err != nil {
+			return s, rd.corrupt("truncated chunk payload: %v", err)
+		}
+		s.Chunks++
+		s.Records += n
+	}
+}
+
+// Append copies every record of src into dst in recorded order,
+// re-encoding under dst's chunking and compression options. It returns
+// the number of records copied. It is the engine behind `tracecat
+// convert` and `tracecat merge`; dst must have at least as many CPUs as
+// the records reference.
+func Append(dst *Writer, src *Reader) (uint64, error) {
+	var n uint64
+	for {
+		cpu, r, err := src.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := dst.Write(cpu, r); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Digest returns the content address of a trace: the hex SHA-256 of its
+// raw file bytes. The engine's result cache keys replay runs on it.
+func Digest(r io.Reader) (string, error) {
+	h := sha256.New()
+	if _, err := io.Copy(h, r); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,6 +1,3 @@
-// Package trace defines the memory-reference stream types consumed by the
-// SMP simulator. A trace is a per-CPU sequence of read/write byte-address
-// references; the simulator interleaves the per-CPU streams itself.
 package trace
 
 import "fmt"

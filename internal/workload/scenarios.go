@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scenario workloads: named signatures beyond the paper's Table 2 suite.
+// The paper's own evaluation is scientific (SPLASH-2); these model the
+// server-side sharing patterns JETTY was pitched at — "SMP servers" —
+// where filter effectiveness hinges on how much of the traffic is
+// genuinely shared. Each is seeded and deterministic like the Table 2
+// specs, so every scenario run is reproducible and cacheable, and each
+// can feed a simulation directly or be exported to a trace file
+// (`tracecat record -app <name>`).
+
+// WebServer models a scale-out web/content server: per-connection
+// private state, zipf-popular read-mostly content (hot objects cached
+// everywhere, rare invalidating updates), request hand-off queues
+// between CPUs, and streaming log writes.
+func WebServer() Spec {
+	return Spec{
+		Name: "WebServer", Abbrev: "web", Accesses: 1_200_000, WriteFrac: 0.25,
+		Hot:    Region{Frac: 0.70, Bytes: 16 << 10},
+		Warm:   Region{Frac: 0.10, Bytes: 128 << 10, Burst: 6},
+		Stream: Region{Frac: 0.05, Bytes: 4 << 20, Stride: 16},
+		Pair:   PairSharing{Frac: 0.02, Bytes: 128 << 10, LagBytes: 4096, Stride: 16},
+		Zipf:   ZipfSharing{Frac: 0.13, Bytes: 2 << 20, S: 1.2, WriteFrac: 0.02},
+		Seed:   201,
+	}
+}
+
+// Database models an OLTP database node: a private buffer-pool working
+// set, zipf-hot rows under read-modify-write (ownership ping-pongs on
+// the hottest rows), migratory lock records, table-scan streaming, and
+// a widely-read catalog.
+func Database() Spec {
+	return Spec{
+		Name: "Database", Abbrev: "db", Accesses: 1_200_000, WriteFrac: 0.30,
+		Hot:    Region{Frac: 0.60, Bytes: 16 << 10},
+		Warm:   Region{Frac: 0.15, Bytes: 256 << 10, Burst: 8},
+		Stream: Region{Frac: 0.05, Bytes: 16 << 20, Stride: 16},
+		Zipf:   ZipfSharing{Frac: 0.12, Bytes: 4 << 20, S: 1.3, WriteFrac: 0.35},
+		Mig:    MigratorySharing{Frac: 0.05, Records: 128, Hold: 12},
+		Wide:   WideSharing{Frac: 0.03, Bytes: 16 << 10, WriteFrac: 0.01},
+		Seed:   202,
+	}
+}
+
+// Pipeline models a staged software pipeline: each CPU produces into a
+// ring buffer its successor consumes — the heaviest producer/consumer
+// signature in the library (most snoops hit remotely, JETTY's worst
+// case).
+func Pipeline() Spec {
+	return Spec{
+		Name: "Pipeline", Abbrev: "pl", Accesses: 1_000_000, WriteFrac: 0.30,
+		Hot:    Region{Frac: 0.55, Bytes: 16 << 10},
+		Warm:   Region{Frac: 0.10, Bytes: 96 << 10, Burst: 6},
+		Stream: Region{Frac: 0.05, Bytes: 2 << 20, Stride: 16},
+		Pair:   PairSharing{Frac: 0.30, Bytes: 256 << 10, LagBytes: 8192, Stride: 16},
+		Seed:   203,
+	}
+}
+
+// Migratory models lock-heavy record processing: records hop CPU to CPU
+// under critical sections, with a widely-read index on the side.
+func Migratory() Spec {
+	return Spec{
+		Name: "Migratory", Abbrev: "mg", Accesses: 1_000_000, WriteFrac: 0.30,
+		Hot:  Region{Frac: 0.60, Bytes: 16 << 10},
+		Warm: Region{Frac: 0.15, Bytes: 128 << 10, Burst: 8},
+		Mig:  MigratorySharing{Frac: 0.20, Records: 256, Hold: 16},
+		Wide: WideSharing{Frac: 0.05, Bytes: 16 << 10, WriteFrac: 0.02},
+		Seed: 204,
+	}
+}
+
+// DefaultMigrationPeriod is the MigratingThroughput period used for the
+// library's named "Throughput+migration" entry.
+const DefaultMigrationPeriod = 100_000
+
+// Scenarios returns the scenario workloads, including the throughput
+// engines of the paper's §1/§2 discussion.
+func Scenarios() []Spec {
+	return []Spec{
+		Throughput(),
+		MigratingThroughput(DefaultMigrationPeriod),
+		WebServer(),
+		Database(),
+		Pipeline(),
+		Migratory(),
+	}
+}
+
+// Library returns every named workload: the Table 2 suite followed by
+// the scenarios. Everything here can be simulated directly, exported to
+// a trace, or requested by name from the jettyd service.
+func Library() []Spec {
+	return append(Specs(), Scenarios()...)
+}
+
+// Lookup returns the library workload with the given Name
+// (case-insensitive) or Abbrev (exact).
+func Lookup(name string) (Spec, error) {
+	for _, sp := range Library() {
+		if strings.EqualFold(sp.Name, name) || sp.Abbrev == name {
+			return sp, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q (names: %s)", name, strings.Join(libraryNames(), ", "))
+}
+
+// libraryNames lists every library workload name (error-message aid).
+func libraryNames() []string {
+	lib := Library()
+	out := make([]string, len(lib))
+	for i, sp := range lib {
+		out[i] = sp.Name
+	}
+	return out
+}

@@ -1,18 +1,3 @@
-// Package workload generates the memory-reference streams the evaluation
-// runs on. The paper drives its simulator with SPLASH-2 (plus Em3d and
-// Unstructured) executions captured under WWT2; reproducing those exact
-// streams would need the original binaries and a full-machine functional
-// simulator, so — per the substitution rule — each application is replaced
-// by a deterministic synthetic generator with the same *behavioral
-// signature*: working-set sizes, reuse locality, write fraction, and the
-// sharing patterns (private, producer/consumer pairs, migratory records,
-// widely-read data) whose interplay produces the paper's Table 2/3
-// statistics: L1/L2 hit rates, snoop-miss dominance and the remote-hit
-// distribution. Those are exactly the properties JETTY's coverage and
-// energy results depend on.
-//
-// Every generator is seeded and the simulator's interleaving is fixed, so
-// all experiments are bit-reproducible.
 package workload
 
 import (
@@ -59,6 +44,19 @@ type WideSharing struct {
 	WriteFrac float64
 }
 
+// ZipfSharing describes a shared region whose 64-byte blocks are
+// referenced with zipfian popularity: a few hot blocks absorb most of
+// the traffic (every CPU contends on them) while a long tail is touched
+// rarely. This is the sharing signature of scale-out server workloads —
+// hot web objects, hot database rows — rather than of the SPLASH
+// scientific suite, and it is what the scenario workloads are built on.
+type ZipfSharing struct {
+	Frac      float64
+	Bytes     uint64  // region size (64-byte blocks)
+	S         float64 // zipf exponent, must be > 1; larger = more skewed
+	WriteFrac float64
+}
+
 // Spec is the behavioral signature of one application.
 type Spec struct {
 	Name   string
@@ -76,6 +74,7 @@ type Spec struct {
 	Pair PairSharing
 	Mig  MigratorySharing
 	Wide WideSharing
+	Zipf ZipfSharing
 
 	// MigrationPeriod, when nonzero, rotates process placement every
 	// that-many references per CPU: CPU i starts working on the data set
@@ -89,7 +88,7 @@ type Spec struct {
 
 // Validate reports specification errors.
 func (sp Spec) Validate() error {
-	total := sp.Hot.Frac + sp.Warm.Frac + sp.Stream.Frac + sp.Pair.Frac + sp.Mig.Frac + sp.Wide.Frac
+	total := sp.Hot.Frac + sp.Warm.Frac + sp.Stream.Frac + sp.Pair.Frac + sp.Mig.Frac + sp.Wide.Frac + sp.Zipf.Frac
 	if total < 0.999 || total > 1.001 {
 		return fmt.Errorf("workload %s: fractions sum to %.4f, want 1", sp.Name, total)
 	}
@@ -113,6 +112,17 @@ func (sp Spec) Validate() error {
 	if sp.Wide.Frac > 0 && sp.Wide.Bytes == 0 {
 		return fmt.Errorf("workload %s: wide sharing without bytes", sp.Name)
 	}
+	if sp.Zipf.Frac > 0 {
+		if sp.Zipf.Bytes < migRecordBytes {
+			return fmt.Errorf("workload %s: zipf sharing needs at least one 64-byte block", sp.Name)
+		}
+		if sp.Zipf.S <= 1 {
+			return fmt.Errorf("workload %s: zipf exponent %.3f must be > 1", sp.Name, sp.Zipf.S)
+		}
+		if sp.Zipf.WriteFrac < 0 || sp.Zipf.WriteFrac > 1 {
+			return fmt.Errorf("workload %s: zipf write fraction out of range", sp.Name)
+		}
+	}
 	return nil
 }
 
@@ -132,7 +142,11 @@ func (sp Spec) MemoryBytes(cpus int) uint64 {
 	if sp.Mig.Frac > 0 {
 		mig = uint64(sp.Mig.Records) * migRecordBytes
 	}
-	return uint64(cpus)*(perCPU+pair) + wide + mig
+	zipf := uint64(0)
+	if sp.Zipf.Frac > 0 {
+		zipf = sp.Zipf.Bytes
+	}
+	return uint64(cpus)*(perCPU+pair) + wide + mig + zipf
 }
 
 // migRecordBytes is the size of one migratory record (one L2 block).
@@ -180,6 +194,14 @@ func (sp Spec) Source(cpus int) trace.Source {
 	}
 	g.migBase = nextBase()
 	g.wideBase = nextBase()
+	g.zipfBase = nextBase()
+	if sp.Zipf.Frac > 0 {
+		g.zipf = make([]*rand.Zipf, cpus)
+		blocks := sp.Zipf.Bytes / migRecordBytes
+		for i := 0; i < cpus; i++ {
+			g.zipf[i] = rand.NewZipf(g.rng[i], sp.Zipf.S, 1, blocks-1)
+		}
+	}
 	return g
 }
 
@@ -190,7 +212,8 @@ type generator struct {
 	rng  []*rand.Rand
 
 	hotBase, warmBase, streamBase, pairBase []uint64
-	migBase, wideBase                       uint64
+	migBase, wideBase, zipfBase             uint64
+	zipf                                    []*rand.Zipf // per-CPU zipf draws, nil unless Zipf.Frac > 0
 
 	stream []uint64 // per-data-set stream walk offset
 	prod   []uint64 // per-CPU pair-producer offset
@@ -283,7 +306,13 @@ func (g *generator) next(cpu int) (trace.Ref, bool) {
 	case x < sp.Hot.Frac+sp.Warm.Frac+sp.Stream.Frac+sp.Pair.Frac+sp.Mig.Frac:
 		return g.migRef(cpu), true
 
+	case x < sp.Hot.Frac+sp.Warm.Frac+sp.Stream.Frac+sp.Pair.Frac+sp.Mig.Frac+sp.Zipf.Frac:
+		return g.zipfRef(cpu), true
+
 	default:
+		// Wide is the last arm so it also absorbs float rounding slop in
+		// the fraction cascade, exactly as it always has — keeping every
+		// pre-Zipf spec's stream bit-identical.
 		return g.wideRef(cpu), true
 	}
 }
@@ -369,12 +398,31 @@ func (g *generator) migRef(cpu int) trace.Ref {
 func (g *generator) wideRef(cpu int) trace.Ref {
 	sp := &g.spec
 	r := g.rng[cpu]
+	if sp.Wide.Bytes == 0 {
+		// Rounding slop reached the default arm of a spec without wide
+		// sharing: fold it into the hot tier.
+		return g.privateRef(cpu, sp.Hot, g.hotBase[cpu], nil, &g.burst[cpu][0])
+	}
 	off := alignDown(uint64(r.Int63n(int64(sp.Wide.Bytes))), 8)
 	op := trace.Read
 	if r.Float64() < sp.Wide.WriteFrac {
 		op = trace.Write
 	}
 	return trace.Ref{Op: op, Addr: g.wideBase + off}
+}
+
+// zipfRef implements zipf-popular shared data: block popularity follows
+// a zipf law, so every CPU hammers the same few hot blocks (coherence
+// contention) while the tail provides cold sharing misses.
+func (g *generator) zipfRef(cpu int) trace.Ref {
+	r := g.rng[cpu]
+	block := g.zipf[cpu].Uint64()
+	off := block*migRecordBytes + uint64(r.Intn(8))*8
+	op := trace.Read
+	if r.Float64() < g.spec.Zipf.WriteFrac {
+		op = trace.Write
+	}
+	return trace.Ref{Op: op, Addr: g.zipfBase + off}
 }
 
 func alignDown(v, a uint64) uint64 {

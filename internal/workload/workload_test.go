@@ -320,3 +320,104 @@ func TestMigratingThroughputValid(t *testing.T) {
 		t.Error("period not carried")
 	}
 }
+
+func TestScenariosValid(t *testing.T) {
+	scenarios := Scenarios()
+	if len(scenarios) < 6 {
+		t.Fatalf("want at least 6 scenarios, got %d", len(scenarios))
+	}
+	for _, sp := range scenarios {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+		}
+	}
+}
+
+func TestLibraryLookup(t *testing.T) {
+	lib := Library()
+	if len(lib) != 10+len(Scenarios()) {
+		t.Fatalf("Library() has %d entries", len(lib))
+	}
+	seen := map[string]bool{}
+	for _, sp := range lib {
+		if seen[sp.Name] || seen[sp.Abbrev] {
+			t.Errorf("duplicate library name/abbrev in %q/%q", sp.Name, sp.Abbrev)
+		}
+		seen[sp.Name], seen[sp.Abbrev] = true, true
+	}
+	for _, key := range []string{"Barnes", "ba", "Throughput", "tp", "webserver", "db", "Pipeline", "mg"} {
+		if _, err := Lookup(key); err != nil {
+			t.Errorf("Lookup(%q): %v", key, err)
+		}
+	}
+	if _, err := Lookup("quake"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestZipfSharingIsSkewedSharedAndDeterministic(t *testing.T) {
+	sp := WebServer()
+	const cpus, n = 4, 40000
+
+	count := func() (map[uint64][]int, [][]trace.Ref) {
+		src := sp.Source(cpus)
+		perBlock := map[uint64][]int{} // physical 64B block -> touching CPUs
+		streams := make([][]trace.Ref, cpus)
+		for i := 0; i < n/cpus; i++ {
+			for cpu := 0; cpu < cpus; cpu++ {
+				r, _ := src.Next(cpu)
+				streams[cpu] = append(streams[cpu], r)
+				perBlock[r.Addr>>6] = append(perBlock[r.Addr>>6], cpu)
+			}
+		}
+		return perBlock, streams
+	}
+	perBlock, s1 := count()
+	_, s2 := count()
+
+	// Determinism: two sources from the same spec emit identical streams.
+	for cpu := range s1 {
+		for i := range s1[cpu] {
+			if s1[cpu][i] != s2[cpu][i] {
+				t.Fatalf("cpu%d ref %d differs between identical sources", cpu, i)
+			}
+		}
+	}
+
+	// Sharing: some block must be touched by every CPU (the zipf-hot
+	// blocks are contended by all).
+	shared := 0
+	var hottest int
+	for _, touchers := range perBlock {
+		cpuSet := map[int]bool{}
+		for _, c := range touchers {
+			cpuSet[c] = true
+		}
+		if len(cpuSet) == cpus {
+			shared++
+		}
+		if len(touchers) > hottest {
+			hottest = len(touchers)
+		}
+	}
+	if shared == 0 {
+		t.Error("no block touched by all CPUs: zipf region not shared")
+	}
+	// Skew: the hottest block must absorb far more than a uniform share.
+	if uniform := n / len(perBlock); hottest < 8*uniform {
+		t.Errorf("hottest block has %d touches, uniform share is %d: not zipfian", hottest, uniform)
+	}
+}
+
+func TestZipfValidateErrors(t *testing.T) {
+	sp := WebServer()
+	sp.Zipf.S = 1.0
+	if err := sp.Validate(); err == nil {
+		t.Error("zipf exponent <= 1 accepted")
+	}
+	sp = WebServer()
+	sp.Zipf.Bytes = 0
+	if err := sp.Validate(); err == nil {
+		t.Error("zipf without bytes accepted")
+	}
+}
