@@ -22,6 +22,7 @@ import (
 	"jetty/internal/jetty"
 	"jetty/internal/sim"
 	"jetty/internal/smp"
+	"jetty/internal/sweep"
 	"jetty/internal/trace"
 	"jetty/internal/workload"
 )
@@ -317,6 +318,46 @@ func BenchmarkSuiteParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSweep measures the sweep subsystem end to end: a 2×2×3
+// cross-product expanded, scheduled on the engine and folded into
+// aggregates. The cache is disabled so every iteration really simulates
+// every cell; the reported metric is the sweep's best average coverage.
+func BenchmarkSweep(b *testing.B) {
+	spec := sweep.Spec{
+		Name:      "bench",
+		Workloads: []string{"Lu", "ch"},
+		Machines:  []sweep.Machine{{}, {CPUs: 2}},
+		Filters:   []string{"EJ-32x4", "IJ-9x4x7", "HJ(IJ-10x4x7,EJ-32x4)"},
+		Scale:     benchScale * 0.5,
+	}
+	coverageCol := -1
+	for i, c := range sweep.Columns {
+		if c.Name == "coverage" {
+			coverageCol = i
+		}
+	}
+	if coverageCol < 0 {
+		b.Fatal("no coverage column")
+	}
+	var best float64
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{CacheEntries: -1})
+		r := sim.NewRunner(eng)
+		res, err := sweep.Run(context.Background(), r, spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Close()
+		groups := sweep.GroupBy(res.Metrics, sweep.ByFilter)
+		top, err := sweep.BestBy(groups, "coverage")
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = top.Columns[coverageCol].Mean
+	}
+	b.ReportMetric(best*100, "best-coverage%")
 }
 
 // BenchmarkFilterProbe measures raw probe throughput of each variant —

@@ -24,6 +24,13 @@
 // replayed bit-identically (jettysim -trace), or uploaded to jettyd and
 // replayed under any filter configuration, cached by content address.
 //
+// Studies — cross-products of workloads × machines × JETTY
+// configurations — run through the declarative sweep subsystem
+// (internal/sweep): cmd/jettysweep expands a JSON spec into cells,
+// schedules them on the engine (deduplicated by content address), and
+// folds the results into paper-style aggregates; jettyd exposes the same
+// engine as POST/GET /v1/sweeps.
+//
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/paper -exp all

@@ -16,6 +16,11 @@
 //	GET    /v1/experiments/{id}         status/progress
 //	GET    /v1/experiments/{id}/result  finished results + rendered tables
 //	DELETE /v1/experiments/{id}         cancel and forget
+//	POST   /v1/sweeps                   submit (sweep.Spec) -> 202 SweepStatus
+//	GET    /v1/sweeps                   list all sweeps
+//	GET    /v1/sweeps/{id}              aggregate + per-cell status
+//	GET    /v1/sweeps/{id}/result       finished metrics + rendered aggregate tables
+//	DELETE /v1/sweeps/{id}              cancel and forget
 //	POST   /v1/traces                   upload a raw JTRC trace file -> TraceInfo
 //	GET    /v1/traces                   list uploaded traces
 //	GET    /v1/traces/{digest}          one uploaded trace's info
@@ -86,6 +91,8 @@ type Server struct {
 	exps       map[string]*experiment
 	order      []string // insertion order, for stable listings
 	seq        int
+	sweeps     map[string]*sweepJob
+	sweepOrder []string
 	traces     map[string]sim.TraceInput // by digest
 	traceOrder []string
 }
@@ -125,6 +132,7 @@ func New(opts Options) *Server {
 		maxTraces:     maxTraces,
 		maxTraceBytes: maxTraceBytes,
 		exps:          make(map[string]*experiment),
+		sweeps:        make(map[string]*sweepJob),
 		traces:        make(map[string]sim.TraceInput),
 	}
 }
@@ -143,6 +151,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceInfo)
@@ -570,11 +583,17 @@ func (s *Server) evictLocked() {
 	s.order = kept
 }
 
-// unfinishedLocked counts experiments still queued or running.
+// unfinishedLocked counts experiments and sweeps still queued or
+// running: one admission cap covers both job kinds.
 func (s *Server) unfinishedLocked() int {
 	n := 0
 	for _, exp := range s.exps {
 		if exp.unfinished() {
+			n++
+		}
+	}
+	for _, job := range s.sweeps {
+		if job.sw.Unfinished() {
 			n++
 		}
 	}

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"jetty/internal/sweep"
+)
+
+// Stress test: many concurrent clients hammering every mutating endpoint
+// at once — experiment submit/poll/cancel, sweep submission, trace
+// upload/delete against a deliberately tiny store — asserting the three
+// properties a long-running daemon must keep:
+//
+//   - no deadlock: the test finishes (every client's loop completes
+//     under a global deadline);
+//   - no lost jobs: every accepted submission reaches a terminal state,
+//     and every id the client canceled is really gone (404);
+//   - bounded memory: the trace store never exceeds its cap, and the
+//     registry never exceeds MaxRetained + MaxUnfinished entries, no
+//     matter the interleaving.
+//
+// CI runs it under the race detector with -shuffle=on.
+
+const (
+	stressClients = 8
+	stressIters   = 6
+)
+
+func TestServiceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		maxUnfinished = 4
+		maxRetained   = 6
+		maxTraces     = 3
+	)
+	_, base := newTestServer(t, Options{
+		MaxUnfinished: maxUnfinished,
+		MaxRetained:   maxRetained,
+		MaxTraces:     maxTraces,
+	})
+
+	// A pool of distinct traces, more than the store holds, so uploads
+	// constantly contend with the 507 path.
+	traceApps := []string{"tp", "Lu", "ch", "ff", "WebServer"}
+	traceData := make([][]byte, len(traceApps))
+	for i, app := range traceApps {
+		traceData[i] = recordTestTrace(t, app, 2, 400)
+	}
+
+	deadline := time.Now().Add(90 * time.Second)
+	var wg sync.WaitGroup
+	errs := make(chan error, stressClients)
+
+	client := func(c int) error {
+		r := rand.New(rand.NewSource(int64(c) * 65_537))
+		apps := []string{"Lu", "ch", "ff"}
+		for i := 0; i < stressIters; i++ {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("client %d: deadline exceeded at iteration %d", c, i)
+			}
+			switch r.Intn(5) {
+			case 0: // experiment: submit, poll to done, fetch
+				req := SubmitRequest{Apps: []string{apps[r.Intn(len(apps))]}, Scale: 0.02, Filters: []string{"EJ-16x2"}}
+				id, err := stressSubmit(base, "/v1/experiments", req, deadline)
+				if err != nil {
+					return fmt.Errorf("client %d: %w", c, err)
+				}
+				if id == "" {
+					continue // admission-capped out for the whole window: fine
+				}
+				if err := stressPoll(base, "/v1/experiments/", id, deadline); err != nil {
+					return fmt.Errorf("client %d: %w", c, err)
+				}
+			case 1: // experiment: submit then immediately cancel; must 404 after
+				req := SubmitRequest{Apps: []string{"Fmm"}, Scale: 20, Filters: []string{"EJ-8x2"}}
+				id, err := stressSubmit(base, "/v1/experiments", req, deadline)
+				if err != nil || id == "" {
+					if err != nil {
+						return fmt.Errorf("client %d: %w", c, err)
+					}
+					continue
+				}
+				if code, err := clientJSON("DELETE", base+"/v1/experiments/"+id, nil, nil); err != nil || code != http.StatusOK {
+					return fmt.Errorf("client %d: cancel %s: code %d err %v", c, id, code, err)
+				}
+				if code, _ := clientJSON("GET", base+"/v1/experiments/"+id, nil, nil); code != http.StatusNotFound {
+					return fmt.Errorf("client %d: canceled %s still answers %d", c, id, code)
+				}
+			case 2: // sweep: submit, poll to terminal, fetch result
+				spec := sweep.Spec{
+					Workloads: []string{apps[r.Intn(len(apps))], "Lu"},
+					Filters:   []string{"EJ-16x2", "EJ-32x4"},
+					Scale:     0.02,
+				}
+				id, err := stressSubmit(base, "/v1/sweeps", spec, deadline)
+				if err != nil {
+					return fmt.Errorf("client %d: %w", c, err)
+				}
+				if id == "" {
+					continue
+				}
+				if err := stressPoll(base, "/v1/sweeps/", id, deadline); err != nil {
+					return fmt.Errorf("client %d: %w", c, err)
+				}
+			case 3: // trace churn: upload (maybe 507), list (bounded), delete one
+				data := traceData[r.Intn(len(traceData))]
+				info, code := stressUpload(base, data)
+				switch code {
+				case http.StatusCreated, http.StatusOK:
+					if r.Intn(2) == 0 {
+						clientJSON("DELETE", base+"/v1/traces/"+info.Digest, nil, nil)
+					}
+				case http.StatusInsufficientStorage:
+					// Store full: delete whatever is listed to make room.
+					var list []TraceInfo
+					if _, err := clientJSON("GET", base+"/v1/traces", nil, &list); err == nil && len(list) > 0 {
+						clientJSON("DELETE", base+"/v1/traces/"+list[r.Intn(len(list))].Digest, nil, nil)
+					}
+				default:
+					return fmt.Errorf("client %d: upload code %d", c, code)
+				}
+				var list []TraceInfo
+				if _, err := clientJSON("GET", base+"/v1/traces", nil, &list); err != nil {
+					return fmt.Errorf("client %d: trace list: %w", c, err)
+				}
+				if len(list) > maxTraces {
+					return fmt.Errorf("client %d: trace store holds %d > cap %d", c, len(list), maxTraces)
+				}
+			case 4: // registry bounds under listing load
+				var exps []ExperimentStatus
+				if _, err := clientJSON("GET", base+"/v1/experiments", nil, &exps); err != nil {
+					return fmt.Errorf("client %d: list: %w", c, err)
+				}
+				if len(exps) > maxRetained+maxUnfinished {
+					return fmt.Errorf("client %d: registry holds %d > %d", c, len(exps), maxRetained+maxUnfinished)
+				}
+				var sws []SweepStatus
+				if _, err := clientJSON("GET", base+"/v1/sweeps", nil, &sws); err != nil {
+					return fmt.Errorf("client %d: sweep list: %w", c, err)
+				}
+				if len(sws) > maxRetained+maxUnfinished {
+					return fmt.Errorf("client %d: sweep registry holds %d > %d", c, len(sws), maxRetained+maxUnfinished)
+				}
+			}
+		}
+		return nil
+	}
+
+	for c := 0; c < stressClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs <- client(c)
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Quiesce: everything still registered must reach a terminal state —
+	// no lost jobs, nothing wedged queued or running forever.
+	quiesce := time.Now().Add(60 * time.Second)
+	for {
+		var exps []ExperimentStatus
+		var sws []SweepStatus
+		clientJSON("GET", base+"/v1/experiments", nil, &exps)
+		clientJSON("GET", base+"/v1/sweeps", nil, &sws)
+		unfinished := 0
+		for _, e := range exps {
+			if e.State == "queued" || e.State == "running" {
+				unfinished++
+			}
+		}
+		for _, s := range sws {
+			if s.State == "queued" || s.State == "running" {
+				unfinished++
+			}
+		}
+		if unfinished == 0 {
+			break
+		}
+		if time.Now().After(quiesce) {
+			t.Fatalf("%d jobs never reached a terminal state", unfinished)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The server is still fully responsive after the storm.
+	var health map[string]any
+	if code, err := clientJSON("GET", base+"/healthz", nil, &health); err != nil || code != http.StatusOK {
+		t.Fatalf("healthz after stress: code %d err %v", code, err)
+	}
+}
+
+// stressSubmit posts a job, retrying 429 (admission cap) until the
+// deadline; it returns the id, or "" if the cap never cleared.
+func stressSubmit(base, path string, body any, deadline time.Time) (string, error) {
+	for {
+		var st struct {
+			ID string `json:"id"`
+		}
+		code, err := clientJSON("POST", base+path, body, &st)
+		switch {
+		case err != nil:
+			return "", fmt.Errorf("POST %s: %w", path, err)
+		case code == http.StatusAccepted:
+			if st.ID == "" {
+				return "", fmt.Errorf("POST %s: accepted without an id", path)
+			}
+			return st.ID, nil
+		case code == http.StatusTooManyRequests:
+			if time.Now().After(deadline) {
+				return "", nil
+			}
+			time.Sleep(10 * time.Millisecond)
+		default:
+			return "", fmt.Errorf("POST %s: code %d", path, code)
+		}
+	}
+}
+
+// stressPoll waits for a job to reach a terminal state (or tolerates a
+// concurrent eviction once the job is gone).
+func stressPoll(base, prefix, id string, deadline time.Time) error {
+	for {
+		var st struct {
+			State string `json:"state"`
+		}
+		code, err := clientJSON("GET", base+prefix+id, nil, &st)
+		if err != nil {
+			return fmt.Errorf("poll %s: %w", id, err)
+		}
+		if code == http.StatusNotFound {
+			return nil // evicted after finishing: acceptable, not lost
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("poll %s: code %d", id, code)
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stressUpload is uploadTrace without t (callable from client
+// goroutines): raw bytes in, status code out.
+func stressUpload(base string, data []byte) (TraceInfo, int) {
+	resp, err := http.Post(base+"/v1/traces", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return TraceInfo{}, 0
+	}
+	defer resp.Body.Close()
+	var info TraceInfo
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated {
+		json.NewDecoder(resp.Body).Decode(&info)
+	}
+	return info, resp.StatusCode
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"jetty/internal/sim"
+	"jetty/internal/sweep"
+)
+
+// Sweep endpoints: a sweep is an asynchronous job like an experiment,
+// but its unit of admission is the whole cross-product — every cell
+// shares the engine's worker pool, cache and dedup with ordinary
+// experiments, and "trace:<digest>" workload entries replay traces
+// previously uploaded via POST /v1/traces.
+
+// sweepJob is one submitted sweep in the registry.
+type sweepJob struct {
+	id string
+	sw *sweep.Sweep
+}
+
+// SweepStatus is a sweep's progress snapshot.
+type SweepStatus struct {
+	ID string `json:"id"`
+	sweep.Status
+}
+
+// SweepResult is the finished payload: the flattened per-filter metrics
+// plus rendered aggregate tables.
+type SweepResult struct {
+	ID      string            `json:"id"`
+	Spec    sweep.Spec        `json:"spec"`
+	Metrics []sweep.Metric    `json:"metrics"`
+	Tables  map[string]string `json:"tables"`
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	// Unknown fields are rejected, exactly as cmd/jettysweep rejects
+	// them: a typo'd key would otherwise silently sweep the default —
+	// e.g. a dropped "scale" runs the full paper budgets.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var spec sweep.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Submit while holding the registry lock, exactly like experiments:
+	// admission and registration are atomic, and the trace resolver reads
+	// the upload store under the same lock.
+	s.mu.Lock()
+	if s.unfinishedLocked() >= s.maxUnfinished {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("%d experiments already in flight", s.maxUnfinished))
+		return
+	}
+	resolver := func(digest string) (sim.TraceInput, error) {
+		in, ok := s.traces[digest]
+		if !ok {
+			return sim.TraceInput{}, fmt.Errorf("not uploaded (POST it to /v1/traces first)")
+		}
+		return in, nil
+	}
+	sw, err := sweep.Submit(s.runner, spec, resolver)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.seq++
+	job := &sweepJob{id: fmt.Sprintf("swp-%06d", s.seq), sw: sw}
+	s.sweeps[job.id] = job
+	s.sweepOrder = append(s.sweepOrder, job.id)
+	s.evictSweepsLocked()
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, SweepStatus{ID: job.id, Status: sw.Status(true)})
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*sweepJob, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		jobs = append(jobs, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	out := make([]SweepStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, SweepStatus{ID: j.id, Status: j.sw.Status(false)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) *sweepJob {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job := s.sweeps[id]
+	s.mu.Unlock()
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", id))
+	}
+	return job
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	if job := s.lookupSweep(w, r); job != nil {
+		writeJSON(w, http.StatusOK, SweepStatus{ID: job.id, Status: job.sw.Status(true)})
+	}
+}
+
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupSweep(w, r)
+	if job == nil {
+		return
+	}
+	st := job.sw.Status(false)
+	if st.State != "done" {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  "sweep not finished",
+			"status": SweepStatus{ID: job.id, Status: st},
+		})
+		return
+	}
+	res, err := job.sw.Wait(r.Context()) // immediate: every cell is done
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SweepResult{
+		ID:      job.id,
+		Spec:    res.Spec,
+		Metrics: res.Metrics,
+		Tables:  renderSweepTables(res),
+	})
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job := s.sweeps[id]
+	if job != nil {
+		delete(s.sweeps, id)
+		for i, oid := range s.sweepOrder {
+			if oid == id {
+				s.sweepOrder = append(s.sweepOrder[:i], s.sweepOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", id))
+		return
+	}
+	job.sw.Cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceled"})
+}
+
+// evictSweepsLocked drops the oldest finished sweeps beyond maxRetained,
+// releasing the results their cells pin (the sweep counterpart of
+// evictLocked).
+func (s *Server) evictSweepsLocked() {
+	if len(s.sweepOrder) <= s.maxRetained {
+		return
+	}
+	kept := s.sweepOrder[:0]
+	excess := len(s.sweepOrder) - s.maxRetained
+	for _, id := range s.sweepOrder {
+		job := s.sweeps[id]
+		if excess > 0 && !job.sw.Unfinished() {
+			delete(s.sweeps, id)
+			job.sw.Cancel() // no-op on finished cells; releases the handles
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.sweepOrder = kept
+}
+
+// renderSweepTables renders the aggregate views a study usually wants:
+// per-filter and per-(workload, filter) summaries as markdown, plus the
+// raw per-cell metrics as CSV.
+func renderSweepTables(res *sweep.Result) map[string]string {
+	byFilter := sweep.GroupBy(res.Metrics, sweep.ByFilter)
+	byWF := sweep.GroupBy(res.Metrics, sweep.ByWorkload, sweep.ByFilter)
+	var csv strings.Builder
+	_ = sweep.WriteMetricsCSV(&csv, res.Metrics)
+	return map[string]string{
+		"by_filter":          sweep.Markdown("By filter", byFilter, []sweep.Axis{sweep.ByFilter}),
+		"by_workload_filter": sweep.Markdown("By workload and filter", byWF, []sweep.Axis{sweep.ByWorkload, sweep.ByFilter}),
+		"cells_csv":          csv.String(),
+	}
+}

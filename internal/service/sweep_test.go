@@ -1,0 +1,281 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"jetty/internal/energy"
+	"jetty/internal/jetty"
+	"jetty/internal/sim"
+	"jetty/internal/sweep"
+	"jetty/internal/workload"
+)
+
+// waitSweepDone polls a sweep until it reaches a terminal state.
+func waitSweepDone(t *testing.T, base, id string) SweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st SweepStatus
+		if code := doJSON(t, "GET", base+"/v1/sweeps/"+id, nil, &st); code != http.StatusOK {
+			t.Fatalf("sweep status code %d", code)
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s stuck in %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// acceptanceSweepSpec mirrors the ISSUE's acceptance shape: 2 workloads
+// × 2 machines × 3 filters.
+func acceptanceSweepSpec() sweep.Spec {
+	return sweep.Spec{
+		Name:      "svc-acceptance",
+		Workloads: []string{"Lu", "ch"},
+		Machines: []sweep.Machine{
+			{},
+			{CPUs: 2, L2Bytes: 512 << 10, L2Assoc: 2},
+		},
+		Filters: []string{"EJ-32x4", "EJ-16x2", "IJ-8x4x7"},
+		Scale:   0.02,
+	}
+}
+
+func TestSweepSubmitPollFetchRoundTrip(t *testing.T) {
+	_, base := newTestServer(t, Options{})
+	spec := acceptanceSweepSpec()
+
+	var st SweepStatus
+	if code := doJSON(t, "POST", base+"/v1/sweeps", spec, &st); code != http.StatusAccepted {
+		t.Fatalf("submit code %d", code)
+	}
+	if st.ID == "" || st.Cells != 4 || len(st.Cell) != 4 {
+		t.Fatalf("submit status = %+v", st)
+	}
+	final := waitSweepDone(t, base, st.ID)
+	if final.State != "done" || final.Fraction != 1 {
+		t.Fatalf("final = %+v", final)
+	}
+
+	var res SweepResult
+	if code := doJSON(t, "GET", base+"/v1/sweeps/"+st.ID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result code %d", code)
+	}
+	if len(res.Metrics) != 4*3 {
+		t.Fatalf("%d metrics, want 12", len(res.Metrics))
+	}
+	for _, key := range []string{"by_filter", "by_workload_filter", "cells_csv"} {
+		if res.Tables[key] == "" {
+			t.Errorf("missing rendered table %q", key)
+		}
+	}
+	if !strings.Contains(res.Tables["by_filter"], "IJ-8x4x7") {
+		t.Errorf("by_filter table lacks a swept filter:\n%s", res.Tables["by_filter"])
+	}
+
+	// The service's numbers equal running one cell individually through
+	// the serial reference path (the acceptance criterion, over HTTP).
+	sp, err := workload.Lookup("Lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcs, err := jetty.ParseAll(spec.Filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Machines[0].Config(fcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.RunApp(sp.Scale(spec.Scale), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := sim.EnergyReductions(ref, cfg, energy.Tech180(), energy.SerialTagData)
+	for _, m := range res.Metrics {
+		if m.Workload != "Lu" || m.Machine != spec.Machines[0].Label() {
+			continue
+		}
+		for fi, name := range ref.FilterNames {
+			if name != m.Filter {
+				continue
+			}
+			if m.Coverage != ref.Coverage[fi] || m.SerialOverAll != serial[fi].OverAll {
+				t.Errorf("%s metric %+v disagrees with individual run (coverage %v, energy %v)",
+					name, m, ref.Coverage[fi], serial[fi].OverAll)
+			}
+		}
+	}
+
+	// Listing includes the sweep.
+	var list []SweepStatus
+	doJSON(t, "GET", base+"/v1/sweeps", nil, &list)
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Errorf("list = %+v", list)
+	}
+
+	// An identical resubmission is served entirely from the cache.
+	var again SweepStatus
+	doJSON(t, "POST", base+"/v1/sweeps", spec, &again)
+	refinal := waitSweepDone(t, base, again.ID)
+	if refinal.State != "done" || refinal.CacheHits != refinal.Cells {
+		t.Errorf("rerun: state %s, %d/%d cache hits (want all)",
+			refinal.State, refinal.CacheHits, refinal.Cells)
+	}
+}
+
+func TestSweepWithUploadedTrace(t *testing.T) {
+	_, base := newTestServer(t, Options{})
+	data := recordTestTrace(t, "WebServer", 2, 3000)
+	info, code := uploadTrace(t, base, data)
+	if code != http.StatusCreated {
+		t.Fatalf("upload code %d", code)
+	}
+
+	spec := sweep.Spec{
+		Workloads: []string{"trace:" + info.Digest, "Lu"},
+		Filters:   []string{"EJ-32x4"},
+		Scale:     0.02,
+	}
+	var st SweepStatus
+	if code := doJSON(t, "POST", base+"/v1/sweeps", spec, &st); code != http.StatusAccepted {
+		t.Fatalf("submit code %d", code)
+	}
+	if st.Cells != 2 {
+		t.Fatalf("cells = %d, want 2", st.Cells)
+	}
+	final := waitSweepDone(t, base, st.ID)
+	if final.State != "done" {
+		t.Fatalf("final = %+v", final)
+	}
+	var res SweepResult
+	if code := doJSON(t, "GET", base+"/v1/sweeps/"+st.ID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result code %d", code)
+	}
+	found := false
+	for _, m := range res.Metrics {
+		if m.Workload == "trace:"+info.Digest {
+			found = true
+			if m.Coverage < 0 || m.Coverage > 1 {
+				t.Errorf("trace metric out of range: %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Error("no metric for the trace cell")
+	}
+
+	// An unknown digest fails at submission, not later.
+	bad := sweep.Spec{Workloads: []string{"trace:feedfacedeadbeef"}, Filters: []string{"EJ-32x4"}}
+	var errBody map[string]any
+	if code := doJSON(t, "POST", base+"/v1/sweeps", bad, &errBody); code != http.StatusBadRequest {
+		t.Errorf("unknown trace sweep code %d, want 400", code)
+	}
+}
+
+func TestSweepValidationAndNotFound(t *testing.T) {
+	_, base := newTestServer(t, Options{Workers: 1})
+
+	bad := []sweep.Spec{
+		{},
+		{Workloads: []string{"NoSuchApp"}},
+		{Workloads: []string{"Lu"}, Filters: []string{"XX-9"}},
+		{Workloads: []string{"Lu"}, Scale: -3},
+		{Workloads: []string{"Lu"}, FilterMode: "sideways"},
+	}
+	for i, spec := range bad {
+		var errBody map[string]string
+		if code := doJSON(t, "POST", base+"/v1/sweeps", spec, &errBody); code != http.StatusBadRequest {
+			t.Errorf("spec %d: code %d, want 400", i, code)
+		}
+		if errBody["error"] == "" {
+			t.Errorf("spec %d: no error message", i)
+		}
+	}
+
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/sweeps/swp-999999"},
+		{"GET", "/v1/sweeps/swp-999999/result"},
+		{"DELETE", "/v1/sweeps/swp-999999"},
+	} {
+		if code := doJSON(t, probe.method, base+probe.path, nil, nil); code != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404", probe.method, probe.path, code)
+		}
+	}
+}
+
+func TestSweepAdmissionAndCancel(t *testing.T) {
+	_, base := newTestServer(t, Options{Workers: 1, MaxUnfinished: 1})
+
+	// A long sweep occupies the single admission slot...
+	long := sweep.Spec{Workloads: []string{"Fmm"}, Filters: []string{"EJ-8x2"}, Scale: 50}
+	var st SweepStatus
+	if code := doJSON(t, "POST", base+"/v1/sweeps", long, &st); code != http.StatusAccepted {
+		t.Fatalf("submit code %d", code)
+	}
+
+	// ...blocking both further sweeps and ordinary experiments: one cap
+	// covers both job kinds.
+	var rejected map[string]string
+	if code := doJSON(t, "POST", base+"/v1/sweeps", long, &rejected); code != http.StatusTooManyRequests {
+		t.Errorf("over-cap sweep code %d, want 429", code)
+	}
+	if code := doJSON(t, "POST", base+"/v1/experiments",
+		SubmitRequest{Apps: []string{"Lu"}, Scale: 0.02}, &rejected); code != http.StatusTooManyRequests {
+		t.Errorf("over-cap experiment code %d, want 429", code)
+	}
+
+	// Result before done conflicts; cancel frees the slot and forgets.
+	var conflict map[string]any
+	if code := doJSON(t, "GET", base+"/v1/sweeps/"+st.ID+"/result", nil, &conflict); code != http.StatusConflict {
+		t.Errorf("result-before-done code %d, want 409", code)
+	}
+	if code := doJSON(t, "DELETE", base+"/v1/sweeps/"+st.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel code %d", code)
+	}
+	if code := doJSON(t, "GET", base+"/v1/sweeps/"+st.ID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("status after cancel = %d, want 404", code)
+	}
+
+	// The slot is free again.
+	short := sweep.Spec{Workloads: []string{"Lu"}, Filters: []string{"EJ-16x2"}, Scale: 0.02}
+	if code := doJSON(t, "POST", base+"/v1/sweeps", short, &st); code != http.StatusAccepted {
+		t.Fatalf("post-cancel submit code %d", code)
+	}
+	waitSweepDone(t, base, st.ID)
+}
+
+func TestSweepEviction(t *testing.T) {
+	_, base := newTestServer(t, Options{MaxRetained: 2})
+
+	spec := sweep.Spec{Workloads: []string{"Lu"}, Filters: []string{"EJ-16x2"}, Scale: 0.02}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		spec.Name = string(rune('a' + i))
+		var st SweepStatus
+		if code := doJSON(t, "POST", base+"/v1/sweeps", spec, &st); code != http.StatusAccepted {
+			t.Fatalf("submit %d code %d", i, code)
+		}
+		waitSweepDone(t, base, st.ID)
+		ids = append(ids, st.ID)
+	}
+	var list []SweepStatus
+	doJSON(t, "GET", base+"/v1/sweeps", nil, &list)
+	if len(list) != 2 {
+		t.Fatalf("registry holds %d sweeps, want 2 (MaxRetained)", len(list))
+	}
+	if code := doJSON(t, "GET", base+"/v1/sweeps/"+ids[0], nil, nil); code != http.StatusNotFound {
+		t.Errorf("oldest sweep code %d, want 404 after eviction", code)
+	}
+	var res SweepResult
+	if code := doJSON(t, "GET", base+"/v1/sweeps/"+ids[3]+"/result", nil, &res); code != http.StatusOK {
+		t.Errorf("newest sweep result code %d", code)
+	}
+}

@@ -1,0 +1,32 @@
+// Package sweep turns the repository from "runs experiments" into "runs
+// studies": a declarative specification of a configuration cross-product
+// — workloads × machines × JETTY filter configurations × repetitions —
+// expanded into cells, scheduled through the shared internal/engine
+// worker pool, and folded into paper-style aggregates.
+//
+// A Spec names its axes by the same strings the rest of the repository
+// uses: workload.Library names (or "trace:<ref>" entries replaying a
+// stored JTRC stream), machine shorthands (CPUs, L2 geometry,
+// subblocking), and jetty.Parse configuration names. Expansion produces
+// one Cell per point of the cross-product; every cell is
+// content-addressed exactly like a single experiment (sim.Fingerprint /
+// sim.TraceFingerprint), so the engine's cache and in-flight coalescing
+// deduplicate overlapping cells within a sweep, across sweeps, and
+// against every other experiment the process has run — re-running an
+// identical sweep recomputes nothing.
+//
+// Two filter placements are supported. "bank" (the default) attaches
+// every swept filter configuration to each (workload, machine) run as
+// simultaneous observers — the paper's own methodology, one simulation
+// pass measuring the whole bank, because filtering never perturbs
+// protocol outcomes. "each" gives every filter its own cell. Both
+// produce identical per-filter numbers (TestBankMatchesEach asserts it);
+// bank mode costs |filters|× less simulation.
+//
+// Results fold into per-cell Metrics (coverage, the four Figure 6
+// energy-reduction numbers, snoop-miss fractions), grouped along any
+// axis combination with min/max/mean/geo-mean summaries, and render as
+// CSV, JSON, markdown tables (the EXPERIMENTS.md style) or aligned
+// terminal tables. cmd/jettysweep drives a sweep from the command line;
+// the jettyd service exposes the same engine as POST/GET /v1/sweeps.
+package sweep

@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"jetty/internal/tables"
+)
+
+// Renderers for the three consumer shapes: CSV for spreadsheets and
+// plotting scripts, JSON for programs, markdown for documents (the
+// EXPERIMENTS.md table style), plus an aligned terminal table.
+
+// WriteMetricsCSV writes the raw per-(cell, filter) metrics, one row
+// each — the sweep's full resolution, nothing aggregated away.
+func WriteMetricsCSV(w io.Writer, metrics []Metric) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "machine", "filter", "repeat"}
+	for _, c := range Columns {
+		header = append(header, c.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, m := range metrics {
+		row := []string{m.Workload, m.Machine, m.Filter, strconv.Itoa(m.Repeat)}
+		for _, c := range Columns {
+			row = append(row, formatFloat(c.Of(m)))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGroupsCSV writes aggregated rows: the group labels, then
+// mean/min/max per column.
+func WriteGroupsCSV(w io.Writer, groups []Group, axes []Axis) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(axes)+3*len(Columns)+1)
+	for _, a := range axes {
+		header = append(header, string(a))
+	}
+	header = append(header, "n")
+	for _, c := range Columns {
+		header = append(header, c.Name+" mean", c.Name+" min", c.Name+" max")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		row := append([]string(nil), g.Labels...)
+		n := 0
+		if len(g.Columns) > 0 {
+			n = g.Columns[0].N
+		}
+		row = append(row, strconv.Itoa(n))
+		for _, st := range g.Columns {
+			row = append(row, formatFloat(st.Mean), formatFloat(st.Min), formatFloat(st.Max))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the full result (spec, cells, metrics) as indented
+// JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Markdown renders aggregated groups as a GitHub-style markdown table:
+// one row per group, columns as mean (min–max spread shown when the
+// group holds more than one sample).
+func Markdown(title string, groups []Group, axes []Axis) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", title)
+	}
+	for _, a := range axes {
+		fmt.Fprintf(&b, "| %s ", a)
+	}
+	for _, c := range Columns {
+		fmt.Fprintf(&b, "| %s ", c.Name)
+	}
+	b.WriteString("|\n")
+	for range axes {
+		b.WriteString("|---")
+	}
+	for range Columns {
+		b.WriteString("|---")
+	}
+	b.WriteString("|\n")
+	for _, g := range groups {
+		for _, l := range g.Labels {
+			fmt.Fprintf(&b, "| %s ", l)
+		}
+		for _, st := range g.Columns {
+			fmt.Fprintf(&b, "| %s ", pctCell(st))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// Report renders aggregated groups as an aligned terminal table (the
+// cmd/jettysweep default; the same shape the paper binaries print).
+func Report(title string, groups []Group, axes []Axis) string {
+	headers := make([]string, 0, len(axes)+len(Columns)+1)
+	for _, a := range axes {
+		headers = append(headers, string(a))
+	}
+	headers = append(headers, "n")
+	for _, c := range Columns {
+		headers = append(headers, c.Name)
+	}
+	t := tables.New(title, headers...)
+	for _, g := range groups {
+		row := make([]any, 0, len(headers))
+		for _, l := range g.Labels {
+			row = append(row, l)
+		}
+		n := 0
+		if len(g.Columns) > 0 {
+			n = g.Columns[0].N
+		}
+		row = append(row, n)
+		for _, st := range g.Columns {
+			row = append(row, pctCell(st))
+		}
+		t.Row(row...)
+	}
+	return t.String()
+}
+
+// pctCell formats one Stats as "mean%" or "mean% [min–max]" when the
+// group has spread to show.
+func pctCell(st Stats) string {
+	if st.N <= 1 || st.Min == st.Max {
+		return tables.Pct(st.Mean)
+	}
+	return fmt.Sprintf("%s [%s–%s]", tables.Pct(st.Mean), tables.Pct(st.Min), tables.Pct(st.Max))
+}
+
+// formatFloat is the CSV float encoding: shortest representation that
+// round-trips.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

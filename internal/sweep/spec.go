@@ -1,0 +1,330 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"jetty/internal/addr"
+	"jetty/internal/jetty"
+	"jetty/internal/sim"
+	"jetty/internal/smp"
+	"jetty/internal/workload"
+)
+
+// TracePrefix marks a workload-axis entry that replays a stored trace
+// instead of running a library generator. The text after the prefix is a
+// resolver-dependent reference: an upload digest for the jettyd service,
+// a file path for cmd/jettysweep.
+const TracePrefix = "trace:"
+
+// Bounds on a single sweep. Everything a spec can grow in is capped:
+// sweeps arrive from unauthenticated service clients too.
+const (
+	// MaxCells bounds the expanded cross-product.
+	MaxCells = 4096
+	// MaxRepeat bounds the repetition axis.
+	MaxRepeat = 64
+	// MaxScale bounds the access-budget multiplier (mirrors the service's
+	// per-experiment cap).
+	MaxScale = 10_000
+)
+
+// Machine describes one machine-axis value as overrides of the paper's
+// base configuration (smp.PaperConfig). The zero Machine is the paper's
+// 4-way, 1 MB 4-way-associative, subblocked machine.
+type Machine struct {
+	// Name labels the axis value in results; empty derives a shorthand
+	// like "4cpu-1024K-4w" (plus "-nsb" when NSB is set).
+	Name string `json:"name,omitempty"`
+	// CPUs is the machine width (0 = 4, the paper's).
+	CPUs int `json:"cpus,omitempty"`
+	// NSB disables L2 subblocking (the §4.3 comparison machine).
+	NSB bool `json:"nsb,omitempty"`
+	// L2Bytes overrides the L2 capacity (0 = 1 MB).
+	L2Bytes int `json:"l2_bytes,omitempty"`
+	// L2Assoc overrides the L2 associativity (0 = 4).
+	L2Assoc int `json:"l2_assoc,omitempty"`
+}
+
+// withDefaults fills the zero fields with the paper's base machine.
+func (m Machine) withDefaults() Machine {
+	if m.CPUs == 0 {
+		m.CPUs = 4
+	}
+	if m.L2Bytes == 0 {
+		m.L2Bytes = 1 << 20
+	}
+	if m.L2Assoc == 0 {
+		m.L2Assoc = 4
+	}
+	return m
+}
+
+// Label returns the machine's result label: Name, or the derived
+// geometry shorthand.
+func (m Machine) Label() string {
+	if m.Name != "" {
+		return m.Name
+	}
+	m = m.withDefaults()
+	l := fmt.Sprintf("%dcpu-%dK-%dw", m.CPUs, m.L2Bytes>>10, m.L2Assoc)
+	if m.NSB {
+		l += "-nsb"
+	}
+	return l
+}
+
+// Config builds the smp machine with the given filter bank attached.
+func (m Machine) Config(filters []jetty.Config) (smp.Config, error) {
+	m = m.withDefaults()
+	cfg := smp.PaperConfig(m.CPUs).WithFilters(filters...)
+	cfg.L2.SizeBytes = m.L2Bytes
+	cfg.L2.Assoc = m.L2Assoc
+	if m.NSB {
+		cfg.L2.Geom = addr.NonSubblocked
+	}
+	if err := cfg.Validate(); err != nil {
+		return smp.Config{}, fmt.Errorf("sweep: machine %s: %w", m.Label(), err)
+	}
+	return cfg, nil
+}
+
+// Spec is a declarative sweep: the cross-product of its axes, run at the
+// given scale and repetition policy. It is the JSON body of POST
+// /v1/sweeps and the file cmd/jettysweep reads.
+type Spec struct {
+	// Name labels the sweep in listings and renders.
+	Name string `json:"name,omitempty"`
+	// Workloads is the workload axis: library names or abbreviations
+	// ("Barnes", "un", "WebServer", ...) and/or "trace:<ref>" entries.
+	// Required, at least one.
+	Workloads []string `json:"workloads"`
+	// Machines is the machine axis; empty means the single paper machine.
+	Machines []Machine `json:"machines,omitempty"`
+	// Filters is the JETTY-configuration axis (jetty.Parse names); empty
+	// means the union bank of all the paper's figures.
+	Filters []string `json:"filters,omitempty"`
+	// FilterMode places the filter axis: "bank" (default) attaches every
+	// filter to each (workload, machine) run as simultaneous observers;
+	// "each" gives every filter its own cell. Per-filter numbers are
+	// identical either way; bank simulates |Filters|× less.
+	FilterMode string `json:"filter_mode,omitempty"`
+	// Scale multiplies every generator access budget (0 = 1, the paper's
+	// budgets). Does not apply to trace entries (a stored stream has a
+	// fixed length).
+	Scale float64 `json:"scale,omitempty"`
+	// Repeat runs every generator cell this many times (0 or 1 = once),
+	// perturbing the workload seed by SeedStride per repetition, so
+	// aggregates carry min/max spread instead of a single sample. Trace
+	// entries replay identically and are run once regardless.
+	Repeat int `json:"repeat,omitempty"`
+	// SeedStride is the per-repetition seed offset (0 = 1).
+	SeedStride int64 `json:"seed_stride,omitempty"`
+}
+
+// Filter-placement modes.
+const (
+	ModeBank = "bank"
+	ModeEach = "each"
+)
+
+// normalize fills the spec's defaulted fields.
+func (s Spec) normalize() Spec {
+	if len(s.Machines) == 0 {
+		s.Machines = []Machine{{}}
+	}
+	if len(s.Filters) == 0 {
+		s.Filters = sim.AllFigureConfigs()
+	}
+	if s.FilterMode == "" {
+		s.FilterMode = ModeBank
+	}
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	if s.Repeat <= 0 {
+		s.Repeat = 1
+	}
+	if s.SeedStride == 0 {
+		s.SeedStride = 1
+	}
+	return s
+}
+
+// Validate reports specification errors without resolving trace
+// references (expansion does that, with a resolver in hand).
+func (s Spec) Validate() error {
+	n := s.normalize()
+	if len(n.Workloads) == 0 {
+		return fmt.Errorf("sweep: no workloads")
+	}
+	if n.Scale < 0 || n.Scale > MaxScale {
+		return fmt.Errorf("sweep: scale %v out of range (0, %d]", n.Scale, MaxScale)
+	}
+	if n.Repeat > MaxRepeat {
+		return fmt.Errorf("sweep: repeat %d exceeds %d", n.Repeat, MaxRepeat)
+	}
+	if n.FilterMode != ModeBank && n.FilterMode != ModeEach {
+		return fmt.Errorf("sweep: filter_mode %q must be %q or %q", n.FilterMode, ModeBank, ModeEach)
+	}
+	for _, w := range n.Workloads {
+		if strings.HasPrefix(w, TracePrefix) {
+			if w == TracePrefix {
+				return fmt.Errorf("sweep: empty trace reference")
+			}
+			continue
+		}
+		if _, err := workload.Lookup(w); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	if _, err := jetty.ParseAll(n.Filters); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	for _, m := range n.Machines {
+		if _, err := m.Config(nil); err != nil {
+			return err
+		}
+	}
+	if c := n.cellCount(); c > MaxCells {
+		return fmt.Errorf("sweep: %d cells exceed the %d-cell cap", c, MaxCells)
+	}
+	return nil
+}
+
+// cellCount is the upper bound of the expansion (trace entries repeat
+// only once, so the true count may be lower).
+func (s Spec) cellCount() int {
+	groups := 1
+	if s.FilterMode == ModeEach {
+		groups = len(s.Filters)
+	}
+	return len(s.Workloads) * len(s.Machines) * groups * s.Repeat
+}
+
+// TraceResolver resolves a "trace:<ref>" workload-axis entry to a loaded
+// trace. The jettyd service resolves upload digests; cmd/jettysweep
+// resolves file paths. The error distinguishes "no such reference" from
+// "reference found but unusable" (unreadable file, corrupt trace, ...).
+type TraceResolver func(ref string) (sim.TraceInput, error)
+
+// Cell is one point of the expanded cross-product: one simulation run.
+type Cell struct {
+	// Index is the cell's position in expansion order.
+	Index int `json:"index"`
+	// Workload, Machine and Repeat are the cell's axis coordinates.
+	// Workload keeps the spec's spelling ("trace:<ref>" for replays) —
+	// it is the grouping key, so it must be stable across runs.
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Repeat   int    `json:"repeat"`
+	// Filters is the filter group measured by this cell (the whole bank
+	// in bank mode, one configuration in each mode).
+	Filters []string `json:"filters"`
+	// Key is the cell's content address: the engine cache/dedup key.
+	Key string `json:"key"`
+
+	spec  workload.Spec   // generator cells
+	trace *sim.TraceInput // replay cells
+	cfg   smp.Config
+}
+
+// Config returns the cell's machine configuration (filters attached).
+func (c Cell) Config() smp.Config { return c.cfg }
+
+// Expand resolves and expands the spec into its cells, in deterministic
+// workload-major order. traces may be nil when the spec has no trace
+// entries.
+func (s Spec) Expand(traces TraceResolver) ([]Cell, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.normalize()
+
+	groups := [][]string{n.Filters}
+	if n.FilterMode == ModeEach {
+		groups = make([][]string, len(n.Filters))
+		for i, f := range n.Filters {
+			groups[i] = []string{f}
+		}
+	}
+
+	// A machine configuration depends only on (machine, filter group):
+	// parse and build each combination once, not once per workload.
+	type point struct {
+		machine Machine
+		group   []string
+		cfg     smp.Config
+	}
+	points := make([]point, 0, len(n.Machines)*len(groups))
+	for _, m := range n.Machines {
+		for _, group := range groups {
+			fcs, err := jetty.ParseAll(group)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			cfg, err := m.Config(fcs)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, point{machine: m, group: group, cfg: cfg})
+		}
+	}
+
+	var cells []Cell
+	for _, w := range n.Workloads {
+		isTrace := strings.HasPrefix(w, TracePrefix)
+		var in sim.TraceInput
+		var sp workload.Spec
+		if isTrace {
+			ref := strings.TrimPrefix(w, TracePrefix)
+			if traces == nil {
+				return nil, fmt.Errorf("sweep: %q: no trace resolver available", w)
+			}
+			var err error
+			if in, err = traces(ref); err != nil {
+				return nil, fmt.Errorf("sweep: trace %q: %w", ref, err)
+			}
+		} else {
+			var err error
+			if sp, err = workload.Lookup(w); err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			sp = sp.Scale(n.Scale)
+		}
+		for _, pt := range points {
+			if isTrace && pt.cfg.CPUs < in.CPUs {
+				return nil, fmt.Errorf("sweep: trace %s needs %d cpus, machine %s has %d",
+					in.Name, in.CPUs, pt.machine.Label(), pt.cfg.CPUs)
+			}
+			repeats := n.Repeat
+			if isTrace {
+				repeats = 1 // a stored stream replays identically
+			}
+			for r := 0; r < repeats; r++ {
+				c := Cell{
+					Index:    len(cells),
+					Workload: w,
+					Machine:  pt.machine.Label(),
+					Repeat:   r,
+					Filters:  append([]string(nil), pt.group...),
+					cfg:      pt.cfg,
+				}
+				if isTrace {
+					tin := in
+					c.trace = &tin
+					c.Key = sim.TraceFingerprint(in.Digest, pt.cfg)
+				} else {
+					c.spec = sp
+					c.spec.Seed = sp.Seed + n.SeedStride*int64(r)
+					c.Key = sim.Fingerprint(c.spec, pt.cfg)
+				}
+				cells = append(cells, c)
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: expansion produced no cells")
+	}
+	return cells, nil
+}

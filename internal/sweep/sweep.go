@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"jetty/internal/engine"
+	"jetty/internal/sim"
+)
+
+// Sweep is one submitted sweep: every cell scheduled on the engine, with
+// per-cell status observable while it runs. Build one with Submit.
+type Sweep struct {
+	spec  Spec
+	cells []Cell
+	jobs  []*engine.Job
+}
+
+// Submit expands the spec and schedules every cell on the runner's
+// engine. Submission never blocks on the work itself; identical cells
+// (within this sweep, across sweeps, or against past experiments) are
+// deduplicated by the engine's in-flight coalescing and result cache.
+func Submit(r *sim.Runner, spec Spec, traces TraceResolver) (*Sweep, error) {
+	cells, err := spec.Expand(traces)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{spec: spec.normalize(), cells: cells}
+	s.jobs = make([]*engine.Job, len(cells))
+	for i, c := range cells {
+		if c.trace != nil {
+			s.jobs[i] = r.SubmitTrace(*c.trace, c.cfg)
+		} else {
+			s.jobs[i] = r.Submit(c.spec, c.cfg)
+		}
+	}
+	return s, nil
+}
+
+// Spec returns the (normalized) spec the sweep runs.
+func (s *Sweep) Spec() Spec { return s.spec }
+
+// Cells returns the expanded cells in submission order.
+func (s *Sweep) Cells() []Cell { return s.cells }
+
+// CellStatus is one cell's progress snapshot.
+type CellStatus struct {
+	Index    int    `json:"index"`
+	Workload string `json:"workload"`
+	Machine  string `json:"machine"`
+	Repeat   int    `json:"repeat"`
+	Key      string `json:"key"`
+	State    string `json:"state"`
+	Done     uint64 `json:"done"`
+	Total    uint64 `json:"total"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Status is the aggregate progress snapshot of a sweep.
+type Status struct {
+	Name      string       `json:"name,omitempty"`
+	State     string       `json:"state"` // queued|running|done|failed|canceled
+	Cells     int          `json:"cells"`
+	Finished  int          `json:"finished"`
+	CacheHits int          `json:"cache_hits"`
+	Done      uint64       `json:"done"`
+	Total     uint64       `json:"total"`
+	Fraction  float64      `json:"fraction"`
+	Cell      []CellStatus `json:"cell_status,omitempty"`
+}
+
+// Status snapshots every cell and aggregates. detailed includes the
+// per-cell slice; false keeps the snapshot allocation-light for hot
+// polling loops.
+func (s *Sweep) Status(detailed bool) Status {
+	out := Status{Name: s.spec.Name, Cells: len(s.cells)}
+	counts := map[engine.State]int{}
+	for i, j := range s.jobs {
+		js := j.Status()
+		counts[js.State]++
+		out.Done += js.Done
+		out.Total += js.Total
+		if js.State.Terminal() {
+			out.Finished++
+		}
+		if js.CacheHit {
+			out.CacheHits++
+		}
+		if detailed {
+			c := s.cells[i]
+			out.Cell = append(out.Cell, CellStatus{
+				Index:    c.Index,
+				Workload: c.Workload,
+				Machine:  c.Machine,
+				Repeat:   c.Repeat,
+				Key:      js.Key,
+				State:    js.State.String(),
+				Done:     js.Done,
+				Total:    js.Total,
+				CacheHit: js.CacheHit,
+				Error:    js.Err,
+			})
+		}
+	}
+	switch {
+	case counts[engine.Failed] > 0:
+		out.State = "failed"
+	case counts[engine.Canceled] > 0:
+		out.State = "canceled"
+	case counts[engine.Running] > 0 || (counts[engine.Queued] > 0 && counts[engine.Done] > 0):
+		out.State = "running"
+	case counts[engine.Queued] > 0:
+		out.State = "queued"
+	default:
+		out.State = "done"
+	}
+	if out.Total > 0 {
+		out.Fraction = float64(out.Done) / float64(out.Total)
+	}
+	if out.State == "done" {
+		out.Fraction = 1
+	}
+	return out
+}
+
+// Unfinished reports whether any cell is still queued or running (the
+// service's admission accounting; allocates nothing).
+func (s *Sweep) Unfinished() bool {
+	for _, j := range s.jobs {
+		if !j.State().Terminal() {
+			return true
+		}
+	}
+	return false
+}
+
+// Cancel withdraws every cell's handle. Cells shared with other
+// submitters keep running for them; exclusive cells stop.
+func (s *Sweep) Cancel() {
+	for _, j := range s.jobs {
+		j.Cancel()
+	}
+}
+
+// Wait blocks until every cell finishes (or ctx expires / a cell fails;
+// then the remaining handles are released) and folds the results.
+func (s *Sweep) Wait(ctx context.Context) (*Result, error) {
+	results := make([]sim.AppResult, len(s.jobs))
+	var firstErr error
+	for i, j := range s.jobs {
+		if firstErr != nil {
+			j.Cancel()
+			continue
+		}
+		v, err := j.Wait(ctx)
+		if err != nil {
+			j.Cancel()
+			c := s.cells[i]
+			firstErr = fmt.Errorf("sweep: cell %d (%s on %s): %w", c.Index, c.Workload, c.Machine, err)
+			continue
+		}
+		results[i] = v.(sim.AppResult).Clone()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return fold(s.spec, s.cells, results), nil
+}
+
+// Run is Submit + Wait: the synchronous entry point (cmd/jettysweep's
+// core, and the simplest way to run a study from Go).
+func Run(ctx context.Context, r *sim.Runner, spec Spec, traces TraceResolver) (*Result, error) {
+	s, err := Submit(r, spec, traces)
+	if err != nil {
+		return nil, err
+	}
+	return s.Wait(ctx)
+}

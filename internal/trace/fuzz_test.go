@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+	"testing"
+)
+
+// Native fuzz targets for the JTRC codec — the repository's only parser
+// of externally supplied bytes (jettyd accepts uploads from the
+// network). Two contracts are enforced:
+//
+//   - FuzzReader: arbitrary bytes never panic, never loop forever, and
+//     fail only through error returns; whatever records decode before an
+//     error are well-formed.
+//   - FuzzRoundTrip: for any record stream and writer options,
+//     write → read → write is byte-identical and record-exact.
+//
+// CI runs both briefly (-fuzztime=10s) on every push; `go test` runs
+// just the seed corpus.
+
+// goldenBytes loads the committed format-pin trace, the corpus seed.
+func goldenBytes(f *testing.F) []byte {
+	f.Helper()
+	data, err := os.ReadFile("testdata/v1.jtrc")
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+func FuzzReader(f *testing.F) {
+	golden := goldenBytes(f)
+	f.Add(golden)
+	// Truncations at interesting boundaries: inside the header, the meta
+	// blob, a chunk header, a chunk payload, and before the end marker.
+	for _, n := range []int{0, 4, 7, 10, len(golden) / 2, len(golden) - 1} {
+		if n <= len(golden) {
+			f.Add(golden[:n])
+		}
+	}
+	// Corruptions: flipped flag bits, bogus version, wrong CPU count,
+	// oversized declared lengths.
+	for _, i := range []int{4, 5, 6, 9, 12, len(golden) - 2} {
+		if i < len(golden) {
+			mut := append([]byte(nil), golden...)
+			mut[i] ^= 0xFF
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte("JTRC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header: rejected cleanly
+		}
+		var n uint64
+		for {
+			cpu, _, err := rd.Read()
+			if err != nil {
+				if err != io.EOF && rd.Err() == nil {
+					t.Fatalf("Read error %v not retained in Err()", err)
+				}
+				break
+			}
+			if cpu < 0 || cpu >= rd.CPUs() {
+				t.Fatalf("decoded record for cpu %d of %d", cpu, rd.CPUs())
+			}
+			n++
+		}
+		if got := rd.Records(); got != n {
+			t.Fatalf("Records() = %d after decoding %d", got, n)
+		}
+		// After exhaustion the reader stays terminal: no resurrection.
+		if _, _, err := rd.Read(); err == nil {
+			t.Fatal("Read succeeded after terminal state")
+		}
+		// A cleanly decodable file must also pass the framing scan, with
+		// the same record count. (The converse is not required: Summarize
+		// skips payloads by design, so payload-level corruption is only
+		// caught by the full decode.)
+		sum, serr := Summarize(bytes.NewReader(data))
+		if rd.Err() == nil {
+			if serr != nil {
+				t.Fatalf("Summarize rejects what Read decodes cleanly: %v", serr)
+			}
+			if sum.Records != n {
+				t.Fatalf("Summarize counts %d records, decode found %d", sum.Records, n)
+			}
+		}
+	})
+}
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(goldenBytes(f), uint8(3), uint16(4), false)
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0xFF, 0x80, 0x7F}, uint8(1), uint16(1), true)
+	f.Add([]byte{}, uint8(127), uint16(0), false)
+
+	f.Fuzz(func(t *testing.T, raw []byte, cpus uint8, chunk uint16, compress bool) {
+		ncpu := int(cpus)%MaxCPUs + 1
+		// Derive a record stream from the fuzz bytes: op and cpu from one
+		// byte, address deltas (zigzag over the full range) from the next
+		// eight — exercising forward/backward jumps of every size.
+		type rec struct {
+			cpu int
+			r   Ref
+		}
+		var recs []rec
+		addr := uint64(0)
+		for i := 0; i+2 < len(raw); i += 3 {
+			h := raw[i]
+			delta := int64(int8(raw[i+1]))<<8 | int64(raw[i+2])
+			addr += uint64(delta * 37)
+			op := Read
+			if h&0x80 != 0 {
+				op = Write
+			}
+			recs = append(recs, rec{cpu: int(h) % ncpu, r: Ref{Op: op, Addr: addr}})
+		}
+
+		opts := WriterOptions{
+			Compress:     compress,
+			ChunkRecords: int(chunk),
+			Meta:         Meta{App: "fuzz"},
+		}
+		encode := func(rs []rec) []byte {
+			var buf bytes.Buffer
+			w, err := NewWriter(&buf, ncpu, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range rs {
+				if err := w.Write(x.cpu, x.r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+
+		first := encode(recs)
+		rd, err := NewReader(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		var decoded []rec
+		for {
+			cpu, r, err := rd.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("own encoding corrupt after %d records: %v", len(decoded), err)
+			}
+			decoded = append(decoded, rec{cpu: cpu, r: r})
+		}
+		if len(decoded) != len(recs) {
+			t.Fatalf("decoded %d records, wrote %d", len(decoded), len(recs))
+		}
+		for i := range recs {
+			if decoded[i] != recs[i] {
+				t.Fatalf("record %d: %+v, want %+v", i, decoded[i], recs[i])
+			}
+		}
+
+		second := encode(decoded)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("write→read→write not byte-identical: %d vs %d bytes", len(first), len(second))
+		}
+	})
+}
+
+// TestFuzzSeedsAreWellFormed sanity-checks the seeding helper: the
+// golden seed really decodes (so the fuzzers start from a valid corpus
+// entry, not an instantly rejected one).
+func TestFuzzSeedsAreWellFormed(t *testing.T) {
+	data, err := os.ReadFile("testdata/v1.jtrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(bytes.NewReader(data))
+	if err != nil || sum.Records == 0 {
+		t.Fatalf("golden seed: %v, %d records", err, sum.Records)
+	}
+	// And the reader's hostile-input bounds are consistent with the
+	// format constants (a drifting bound would let a fuzz input demand
+	// absurd allocations before being rejected).
+	if maxChunkPayloadLen != maxChunkRecords*maxRecordBytes {
+		t.Fatal("payload bound no longer derived from the record bound")
+	}
+	var buf [binary.MaxVarintLen64]byte
+	if n := binary.PutUvarint(buf[:], maxChunkPayloadLen); n > binary.MaxVarintLen64 {
+		t.Fatal("unencodable bound")
+	}
+}
