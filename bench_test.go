@@ -11,6 +11,7 @@
 package jetty_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -29,6 +30,10 @@ import (
 
 // benchScale shortens the workload access budgets for benchmarking.
 const benchScale = 0.2
+
+// bestHybrid is the paper's best hybrid configuration (Fig. 5b), used as
+// the headline filter for the hot-path benchmarks.
+const bestHybrid = "HJ(IJ-10x4x7,EJ-32x4)"
 
 // BenchmarkTable1 regenerates the Xeon power-breakdown table.
 func BenchmarkTable1(b *testing.B) {
@@ -376,6 +381,89 @@ func BenchmarkFilterProbe(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAccessHotPath measures the per-access cost of the simulation
+// hot path on the paper's machine with its headline filter (the best
+// hybrid), driving a pre-generated 256K-reference Ocean stream through
+// StepBatch — exactly how the batched replay loop feeds the machine.
+// Two modes, both tracked in PERFORMANCE.md:
+//
+//   - run: one complete experiment per iteration (machine construction
+//     plus the cold-to-warm replay with all its misses, snoop broadcasts
+//     and evictions) — the cost every suite, sweep cell and trace replay
+//     actually pays. This is the headline ≥2x-vs-pre-PR number.
+//   - steady: the same machine replaying the stream repeatedly after a
+//     warm-up pass — the sustained inner loop, which must stay at
+//     0 allocs/op (TestStepSteadyStateAllocs asserts the same property).
+func BenchmarkAccessHotPath(b *testing.B) {
+	cfg := smp.PaperConfig(4).WithFilters(jetty.MustParse(bestHybrid))
+	sp, err := workload.ByName("Ocean")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := sp.Source(4)
+	recs := make([]trace.Rec, 1<<18)
+	for i := range recs {
+		r, _ := src.Next(i % 4)
+		recs[i] = trace.Rec{Addr: r.Addr, CPU: int32(i % 4), Op: r.Op}
+	}
+	perAccess := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(recs)), "ns/access")
+	}
+	b.Run("run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys := smp.New(cfg)
+			sys.StepBatch(recs)
+		}
+		perAccess(b)
+	})
+	b.Run("steady", func(b *testing.B) {
+		sys := smp.New(cfg)
+		sys.StepBatch(recs) // cold pass: reach steady state before timing
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.StepBatch(recs)
+		}
+		perAccess(b)
+	})
+}
+
+// BenchmarkTraceReplay measures end-to-end trace replay throughput: a
+// pre-encoded in-memory JTRC trace decoded and stepped through the
+// machine each iteration. Tracked in PERFORMANCE.md.
+func BenchmarkTraceReplay(b *testing.B) {
+	cfg := smp.PaperConfig(4).WithFilters(jetty.MustParse(bestHybrid))
+	sp, err := workload.ByName("Ocean")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp = sp.Scale(0.05)
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, cfg.CPUs, trace.WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.RunAppCapturedCtx(context.Background(), sp, cfg, tw, nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	in, err := sim.LoadTrace("bench", buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTraceCtx(context.Background(), in, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(in.Records), "records/op")
 }
 
 // BenchmarkSystemStep measures end-to-end simulator throughput with the

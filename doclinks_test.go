@@ -13,7 +13,7 @@ var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
 
 // requiredDocs are the documents the repository's cross-reference web
 // hangs off; each must exist and be linked from README.md.
-var requiredDocs = []string{"DESIGN.md", "EXPERIMENTS.md", "TRACES.md"}
+var requiredDocs = []string{"DESIGN.md", "EXPERIMENTS.md", "TRACES.md", "PERFORMANCE.md"}
 
 // TestDocLinks verifies that every relative link in the curated docs
 // resolves to an existing file, and that the core documents reference
@@ -21,7 +21,7 @@ var requiredDocs = []string{"DESIGN.md", "EXPERIMENTS.md", "TRACES.md"}
 // SNIPPETS.md are machine-extracted reference dumps, not curated docs,
 // so they are exempt.)
 func TestDocLinks(t *testing.T) {
-	mds := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "TRACES.md", "ROADMAP.md", "CHANGES.md"}
+	mds := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "TRACES.md", "PERFORMANCE.md", "ROADMAP.md", "CHANGES.md"}
 
 	for _, md := range mds {
 		raw, err := os.ReadFile(md)

@@ -1,10 +1,3 @@
-// Package addr provides physical-address arithmetic shared by the cache,
-// jetty and workload packages.
-//
-// The simulated machine uses an IA-32-like 36-bit physical address space
-// (as the paper assumes for tag sizing). Addresses are byte addresses held
-// in a uint64; the helpers here convert between byte addresses, coherence
-// units (subblocks) and L2 blocks for a given Geometry.
 package addr
 
 import "fmt"

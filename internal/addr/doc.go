@@ -1,0 +1,17 @@
+// Package addr provides physical-address arithmetic shared by the
+// cache, jetty and workload packages.
+//
+// The simulated machine uses an IA-32-like 36-bit physical address space
+// (as the paper assumes for tag sizing; PhysBits/PhysMask). Addresses
+// are byte addresses held in a uint64. Geometry describes the L2's
+// block/subblock organization, which defines the two granularities the
+// whole system converts between: the coherence unit (the subblock at
+// which MOESI state is kept) and the block (the L2 allocation/tag
+// granularity). The paper's base machine is Subblocked (64-byte blocks
+// of two 32-byte units); NonSubblocked is its §4.3 comparison point.
+//
+// Geometry's conversion methods divide and are fine for configuration
+// and analysis code; the simulator's per-reference path precomputes the
+// equivalent shifts once (see internal/smp and PERFORMANCE.md) — Log2,
+// IsPow2 and Bits are the helpers it derives them with.
+package addr

@@ -1,8 +1,3 @@
-// Package bus defines the shared-bus transaction vocabulary of the
-// simulated SMP and the bookkeeping of snoop outcomes. The paper's machine
-// is a snoopy, write-invalidate, bus-based SMP: every Read/ReadX/Upgrade
-// transaction is observed ("snooped") by all other processors' cache
-// hierarchies; writebacks go to memory unsnooped.
 package bus
 
 import "fmt"

@@ -1,0 +1,17 @@
+// Package bus defines the shared-bus transaction vocabulary of the
+// simulated SMP and the bookkeeping of snoop outcomes.
+//
+// The paper's machine is a snoopy, write-invalidate, bus-based SMP:
+// every BusRd (read miss), BusRdX (write miss) and BusUpgr (write to a
+// shared copy) is observed ("snooped") by all other processors' cache
+// hierarchies. Writebacks transfer no coherence state, but their
+// addresses are still snooped — bus-side controllers must check them to
+// keep request ordering — which is why the paper charges snoop energy
+// for them too.
+//
+// Stats accumulates the per-kind transaction counts and the Table 3
+// "Remote Cache Hits" histogram: for each snooping transaction, how many
+// remote caches held a copy. The protocol layer (internal/smp) records
+// one entry per bus event; the analysis layer (internal/sim) normalizes
+// the histogram into the paper's fractions.
+package bus

@@ -269,7 +269,7 @@ func TestL1FillLookupInvalidate(t *testing.T) {
 	if l1.Contains(line) {
 		t.Fatal("empty L1 claims content")
 	}
-	if _, had := l1.Fill(line, false); had {
+	if _, had := l1.Fill(line, false, 0); had {
 		t.Fatal("fill into empty frame returned victim")
 	}
 	if !l1.Contains(line) || l1.Dirty(line) {
@@ -294,9 +294,9 @@ func TestL1FillLookupInvalidate(t *testing.T) {
 func TestL1ConflictVictim(t *testing.T) {
 	l1 := NewL1(L1Config{SizeBytes: 1 << 10, LineBytes: 32}) // 32 lines
 	a, b := uint64(7), uint64(7+32)                          // same frame
-	l1.Fill(a, false)
+	l1.Fill(a, false, 0)
 	l1.MarkDirty(a)
-	v, had := l1.Fill(b, false)
+	v, had := l1.Fill(b, false, 0)
 	if !had || v.Line != a || !v.Dirty {
 		t.Fatalf("victim = %+v,%v; want dirty line %#x", v, had, a)
 	}
@@ -304,7 +304,7 @@ func TestL1ConflictVictim(t *testing.T) {
 		t.Error("replacement state wrong")
 	}
 	// Refilling the same line is not a replacement.
-	if _, had := l1.Fill(b, false); had {
+	if _, had := l1.Fill(b, false, 0); had {
 		t.Error("refill of resident line returned victim")
 	}
 }
@@ -322,7 +322,7 @@ func TestL1MarkDirtyPanicsOnAbsent(t *testing.T) {
 func TestL1Counters(t *testing.T) {
 	l1 := NewL1(L1Config{SizeBytes: 1 << 10, LineBytes: 32})
 	for i := uint64(0); i < 10; i++ {
-		l1.Fill(i, false)
+		l1.Fill(i, false, 0)
 	}
 	if l1.ValidLines() != 10 {
 		t.Errorf("ValidLines = %d", l1.ValidLines())

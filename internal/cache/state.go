@@ -1,11 +1,3 @@
-// Package cache provides the tag-array mechanics of the simulated memory
-// hierarchy: a set-associative, subblocked L2 keeping MOESI state per
-// coherence unit, and a direct-mapped write-back L1. The packages above
-// (internal/smp) drive the coherence protocol; this package only provides
-// the state containers and their replacement behaviour.
-//
-// The simulation is data-less: only tags and states are modeled, which is
-// all the paper's coverage and energy evaluation needs.
 package cache
 
 // State is a MOESI coherence state.

@@ -1,0 +1,23 @@
+// Package energy implements the analytical cache-energy model the paper
+// uses to evaluate JETTY: a Kamble–Ghose-style per-access model of SRAM
+// array energy (bit lines, word lines, sense amps, decode and output
+// drivers), a CACTI-lite bank-organization optimizer (the paper "used CACTI
+// to determine the optimal number of banks"), per-operation energy catalogs
+// for the L2/L1/write-buffer and for every JETTY structure, and an
+// accounting layer that maps simulator event counts to joules and to the
+// paper's two reduction metrics (over snoop accesses, over all L2 accesses).
+//
+// Absolute joule values depend on process constants that the paper takes
+// from a 0.18 µm tutorial; what the evaluation actually relies on is the
+// *ratio* between structures (a JETTY probe must be tiny next to an L2 tag
+// probe, data arrays dwarf tag arrays, …), and those ratios derive from
+// array geometry exactly as in Kamble–Ghose.
+//
+// The model divides into: Tech (process constants; Tech180 is the
+// paper's 0.18 µm point), CacheOrg/ExcludeOrg/IncludeOrg (array
+// geometries of the L2 and each JETTY structure), per-operation Costs
+// derived from them, Counts/FilterCounts (the event tallies the
+// simulator accumulates), and Account/AccountFiltered, which combine
+// counts and costs into Breakdowns and the paper's Figure 6 reduction
+// metrics.
+package energy

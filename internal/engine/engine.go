@@ -162,27 +162,29 @@ func (e *Engine) Close() {
 
 // worker is one pool goroutine: pop, run, repeat. After close the queue
 // keeps handing out remaining items (their contexts are canceled, so
-// they finish immediately) and reports done when empty.
+// they finish immediately) and reports done when empty. Each worker owns
+// one Scratch that successive jobs share (see ScratchFrom).
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	scratch := new(Scratch)
 	for {
 		ex, ok := e.queue.pop()
 		if !ok {
 			return
 		}
-		e.runOne(ex)
+		e.runOne(ex, scratch)
 	}
 }
 
 // runOne executes (or cancels) one queued execution and retires it.
-func (e *Engine) runOne(ex *execution) {
+func (e *Engine) runOne(ex *execution, scratch *Scratch) {
 	var (
 		res any
 		err error
 	)
 	if err = ex.ctx.Err(); err == nil {
 		ex.state.Store(int32(Running))
-		res, err = ex.task.Run(ex.ctx, ex.report)
+		res, err = ex.task.Run(withScratch(ex.ctx, scratch), ex.report)
 	}
 
 	e.mu.Lock()

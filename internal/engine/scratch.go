@@ -1,0 +1,49 @@
+package engine
+
+import "context"
+
+// Scratch is per-worker reusable state. Every pool worker owns one
+// Scratch for its lifetime and threads it into each task's context, so
+// consecutive jobs on the same worker can reuse expensive buffers
+// (decode batches, record buffers, ...) instead of reallocating them per
+// job. A Scratch is only ever touched by its owning worker goroutine —
+// tasks run one at a time per worker — so it needs no locking.
+//
+// Keys follow the context-key convention: package-private struct types,
+// one per consumer, so independent consumers cannot collide.
+type Scratch struct {
+	m map[any]any
+}
+
+// Get returns the value stored under key, or nil.
+func (s *Scratch) Get(key any) any {
+	if s == nil || s.m == nil {
+		return nil
+	}
+	return s.m[key]
+}
+
+// Put stores v under key, replacing any previous value.
+func (s *Scratch) Put(key, v any) {
+	if s.m == nil {
+		s.m = make(map[any]any)
+	}
+	s.m[key] = v
+}
+
+// scratchKey carries the worker's Scratch in task contexts.
+type scratchKey struct{}
+
+// withScratch attaches a worker's Scratch to a task context.
+func withScratch(ctx context.Context, s *Scratch) context.Context {
+	return context.WithValue(ctx, scratchKey{}, s)
+}
+
+// ScratchFrom returns the per-worker Scratch of the running task's
+// context, or nil when the task is not running on an engine worker
+// (direct calls, tests). Callers must treat the nil case as "allocate
+// fresh state".
+func ScratchFrom(ctx context.Context) *Scratch {
+	s, _ := ctx.Value(scratchKey{}).(*Scratch)
+	return s
+}

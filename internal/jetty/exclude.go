@@ -73,13 +73,43 @@ func (c ExcludeConfig) EnergyOrg(unitAddrBits int) energy.ExcludeOrg {
 type Exclude struct {
 	cfg           ExcludeConfig
 	unitsPerBlock int
-	vecBits       int
-	setBits       int
 
-	tags  []uint64 // sets*ways
-	pv    []uint64 // present-vector bitmask per entry; 0 == invalid
-	lru   []uint8  // LRU rank per entry; 0 == most recent
+	// Precomputed address-split geometry (shifts and masks derived once
+	// from the configuration, so every probe is pure bit arithmetic).
+	vecBits  uint
+	vecMask  uint64
+	setBits  uint
+	setMask  uint64
+	tagShift uint
+
+	// Entries are array-of-struct: one probe's find walks a set's tag and
+	// present-vector pairs on a single cache line (4 ways == 64 bytes)
+	// instead of gathering from parallel arrays.
+	ents []ejEntry // sets*ways
+
+	// Recency is tracked with per-entry timestamps: a touch is one store
+	// (stamp = clock++) instead of a rank-shuffling loop, and the victim
+	// scan takes the minimum stamp. Stamps within a set are always
+	// distinct, so the selected victim is identical to rank-based LRU.
+	stamp []uint64
+	clock uint64
+
+	// One-shot probe memo: Probe records the (key, find result) it just
+	// computed so the SnoopMiss that immediately follows an unfiltered
+	// snoop skips the second split+find. Every mutating entry point
+	// consumes or invalidates it, so it never survives past the next
+	// call of any kind.
+	memoKey uint64
+	memoW   int32
+	memoOK  bool
+
 	count energy.FilterCounts
+}
+
+// ejEntry is one exclude-JETTY entry. pv == 0 marks an invalid entry.
+type ejEntry struct {
+	tag uint64
+	pv  uint64 // present-vector bitmask
 }
 
 // NewExclude builds an EJ/VEJ for a machine whose L2 blocks hold
@@ -98,14 +128,18 @@ func NewExclude(cfg ExcludeConfig, unitsPerBlock int) *Exclude {
 		panic(fmt.Sprintf("jetty: vector %d smaller than units per block %d", cfg.Vector, unitsPerBlock))
 	}
 	n := cfg.Entries()
+	vecBits := uint(log2(cfg.Vector))
+	setBits := uint(log2(cfg.Sets))
 	e := &Exclude{
 		cfg:           cfg,
 		unitsPerBlock: unitsPerBlock,
-		vecBits:       log2(cfg.Vector),
-		setBits:       log2(cfg.Sets),
-		tags:          make([]uint64, n),
-		pv:            make([]uint64, n),
-		lru:           make([]uint8, n),
+		vecBits:       vecBits,
+		vecMask:       mask(int(vecBits)),
+		setBits:       setBits,
+		setMask:       mask(int(setBits)),
+		tagShift:      vecBits + setBits,
+		ents:          make([]ejEntry, n),
+		stamp:         make([]uint64, n),
 	}
 	e.Reset()
 	return e
@@ -128,17 +162,17 @@ func (e *Exclude) key(unit, block uint64) uint64 {
 
 // split decomposes a tracked address into (set, tag, vector bit mask).
 func (e *Exclude) split(key uint64) (set int, tag uint64, bit uint64) {
-	bit = uint64(1) << (key & mask(e.vecBits))
-	set = int((key >> uint(e.vecBits)) & mask(e.setBits))
-	tag = key >> uint(e.vecBits+e.setBits)
+	bit = uint64(1) << (key & e.vecMask)
+	set = int((key >> e.vecBits) & e.setMask)
+	tag = key >> e.tagShift
 	return set, tag, bit
 }
 
 // find returns the way holding tag in set, or -1.
 func (e *Exclude) find(set int, tag uint64) int {
 	base := set * e.cfg.Ways
-	for w := 0; w < e.cfg.Ways; w++ {
-		if e.pv[base+w] != 0 && e.tags[base+w] == tag {
+	for w, ent := range e.ents[base : base+e.cfg.Ways] {
+		if ent.pv != 0 && ent.tag == tag {
 			return w
 		}
 	}
@@ -147,27 +181,21 @@ func (e *Exclude) find(set int, tag uint64) int {
 
 // touch promotes way w of set to most-recently-used.
 func (e *Exclude) touch(set, w int) {
-	base := set * e.cfg.Ways
-	old := e.lru[base+w]
-	for i := 0; i < e.cfg.Ways; i++ {
-		if e.lru[base+i] < old {
-			e.lru[base+i]++
-		}
-	}
-	e.lru[base+w] = 0
+	e.stamp[set*e.cfg.Ways+w] = e.clock
+	e.clock++
 }
 
 // victim returns the way to replace in set: an invalid way if one exists,
-// else the LRU way.
+// else the least-recently-touched way (minimum stamp).
 func (e *Exclude) victim(set int) int {
 	base := set * e.cfg.Ways
-	v, worst := 0, e.lru[base]
+	v, oldest := 0, e.stamp[base]
 	for w := 0; w < e.cfg.Ways; w++ {
-		if e.pv[base+w] == 0 {
+		if e.ents[base+w].pv == 0 {
 			return w
 		}
-		if e.lru[base+w] > worst {
-			v, worst = w, e.lru[base+w]
+		if e.stamp[base+w] < oldest {
+			v, oldest = w, e.stamp[base+w]
 		}
 	}
 	return v
@@ -187,9 +215,11 @@ func (e *Exclude) Probe(unit, block uint64) bool {
 // probe is the uncounted lookup, shared with the hybrid. A hit refreshes
 // the entry's recency: addresses that keep being snooped stay resident.
 func (e *Exclude) probe(unit, block uint64) bool {
-	set, tag, bit := e.split(e.key(unit, block))
+	key := e.key(unit, block)
+	set, tag, bit := e.split(key)
 	w := e.find(set, tag)
-	if w >= 0 && e.pv[set*e.cfg.Ways+w]&bit != 0 {
+	e.memoKey, e.memoW, e.memoOK = key, int32(w), true
+	if w >= 0 && e.ents[set*e.cfg.Ways+w].pv&bit != 0 {
 		e.touch(set, w)
 		return true
 	}
@@ -200,7 +230,7 @@ func (e *Exclude) probe(unit, block uint64) bool {
 func (e *Exclude) Peek(unit, block uint64) bool {
 	set, tag, bit := e.split(e.key(unit, block))
 	w := e.find(set, tag)
-	return w >= 0 && e.pv[set*e.cfg.Ways+w]&bit != 0
+	return w >= 0 && e.ents[set*e.cfg.Ways+w].pv&bit != 0
 }
 
 // SnoopMiss implements Filter: record that a snoop missed in the local
@@ -237,17 +267,23 @@ func (e *Exclude) SnoopMiss(unit, block uint64, blockAbsent bool) {
 func (e *Exclude) recordKeyBits(key uint64, bits uint64) {
 	set, tag, _ := e.split(key)
 	base := set * e.cfg.Ways
-	if w := e.find(set, tag); w >= 0 {
-		if e.pv[base+w]&bits != bits {
-			e.pv[base+w] |= bits
+	w := -1
+	if e.memoOK && e.memoKey == key {
+		w = int(e.memoW)
+	} else {
+		w = e.find(set, tag)
+	}
+	e.memoOK = false
+	if w >= 0 {
+		if e.ents[base+w].pv&bits != bits {
+			e.ents[base+w].pv |= bits
 			e.count.EJWrites++
 		}
 		e.touch(set, w)
 		return
 	}
-	w := e.victim(set)
-	e.tags[base+w] = tag
-	e.pv[base+w] = bits
+	w = e.victim(set)
+	e.ents[base+w] = ejEntry{tag: tag, pv: bits}
 	e.touch(set, w)
 	e.count.EJWrites++
 }
@@ -257,10 +293,11 @@ func (e *Exclude) recordKeyBits(key uint64, bits uint64) {
 // whole block entry clears (the block is no longer wholly absent); for
 // the VEJ only the filled unit's bit clears.
 func (e *Exclude) Fill(unit, block uint64) {
+	e.memoOK = false
 	set, tag, bit := e.split(e.key(unit, block))
 	base := set * e.cfg.Ways
-	if w := e.find(set, tag); w >= 0 && e.pv[base+w]&bit != 0 {
-		e.pv[base+w] &^= bit
+	if w := e.find(set, tag); w >= 0 && e.ents[base+w].pv&bit != 0 {
+		e.ents[base+w].pv &^= bit
 		e.count.EJWrites++
 	}
 }
@@ -280,11 +317,14 @@ func (e *Exclude) Counts() energy.FilterCounts { return e.count }
 
 // Reset implements Filter.
 func (e *Exclude) Reset() {
-	for i := range e.pv {
-		e.pv[i] = 0
-		e.tags[i] = 0
-		e.lru[i] = uint8(i % e.cfg.Ways) // distinct ranks within each set
+	e.memoOK = false
+	ways := e.cfg.Ways
+	for i := range e.ents {
+		e.ents[i] = ejEntry{}
+		// Distinct initial recency within each set: way 0 most recent.
+		e.stamp[i] = uint64(ways - 1 - i%ways)
 	}
+	e.clock = uint64(ways)
 	e.count = energy.FilterCounts{}
 }
 

@@ -54,6 +54,15 @@ func CntBitsFor(l2Blocks int) int {
 	return bits
 }
 
+// incArray is one sub-array's precomputed geometry: the shift selecting
+// its index slice of the block address, its base offset into the flat
+// counter array, and its word offset into the p-bit array.
+type incArray struct {
+	shift  uint
+	base   int
+	pbBase int
+}
+
 // Include is the include-JETTY: a counting-Bloom-like encoding of a
 // superset of the blocks currently cached in the local L2. Each sub-array
 // entry counts how many live L2 blocks match its index slice; a snoop
@@ -62,10 +71,20 @@ func CntBitsFor(l2Blocks int) int {
 // counters (Fig. 3(c)) so snoops read only the tiny p-bit arrays; here the
 // p-bit is derived (count > 0) and the energy accounting distinguishes
 // p-bit reads from counter updates via the event counters.
+//
+// The sub-arrays live back to back in one flat counter slice (array-
+// major) with per-array shifts precomputed at construction. Like the
+// paper's hardware, probes never read the counters: a materialized p-bit
+// bitset (bit = count > 0, maintained on 0<->1 transitions) serves every
+// snoop from a few cache-resident words, and the counters are touched
+// only on block allocation and eviction.
 type Include struct {
-	cfg  IncludeConfig
-	cnt  [][]uint32 // [array][entry] live-block counts
-	live uint64     // total allocated blocks, for invariant checks
+	cfg     IncludeConfig
+	idxMask uint64
+	arrays  []incArray
+	cnt     []uint32 // arrays * entries live-block counts, array-major
+	pb      []uint64 // p-bit words, array-major: bit idx&63 of word idx>>6
+	live    uint64   // total allocated blocks, for invariant checks
 
 	count energy.FilterCounts
 }
@@ -75,10 +94,20 @@ func NewInclude(cfg IncludeConfig) *Include {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	ij := &Include{cfg: cfg}
-	ij.cnt = make([][]uint32, cfg.Arrays)
-	for i := range ij.cnt {
-		ij.cnt[i] = make([]uint32, cfg.Entries())
+	pbWords := (cfg.Entries() + 63) / 64
+	ij := &Include{
+		cfg:     cfg,
+		idxMask: mask(cfg.IndexBits),
+		arrays:  make([]incArray, cfg.Arrays),
+		cnt:     make([]uint32, cfg.Arrays*cfg.Entries()),
+		pb:      make([]uint64, cfg.Arrays*pbWords),
+	}
+	for i := range ij.arrays {
+		ij.arrays[i] = incArray{
+			shift:  uint(i * cfg.SkipBits),
+			base:   i * cfg.Entries(),
+			pbBase: i * pbWords,
+		}
 	}
 	return ij
 }
@@ -91,7 +120,7 @@ func (ij *Include) Config() IncludeConfig { return ij.cfg }
 
 // index returns sub-array i's entry index for a block address.
 func (ij *Include) index(i int, block uint64) int {
-	return int((block >> uint(i*ij.cfg.SkipBits)) & mask(ij.cfg.IndexBits))
+	return int((block >> ij.arrays[i].shift) & ij.idxMask)
 }
 
 // Probe implements Filter: filtered iff any sub-array's count is zero.
@@ -108,10 +137,12 @@ func (ij *Include) Probe(unit, block uint64) bool {
 // pure; this just skips the counters).
 func (ij *Include) Peek(unit, block uint64) bool { return ij.probe(block) }
 
-// probe is the uncounted lookup, shared with the hybrid.
+// probe is the uncounted lookup, shared with the hybrid: a p-bit read
+// per sub-array, exactly what the paper's snoop path touches.
 func (ij *Include) probe(block uint64) bool {
-	for i := 0; i < ij.cfg.Arrays; i++ {
-		if ij.cnt[i][ij.index(i, block)] == 0 {
+	for _, a := range ij.arrays {
+		idx := int((block >> a.shift) & ij.idxMask)
+		if ij.pb[a.pbBase+idx>>6]>>(uint(idx)&63)&1 == 0 {
 			return true
 		}
 	}
@@ -132,12 +163,14 @@ func (ij *Include) Fill(unit, block uint64) {}
 func (ij *Include) BlockAllocated(block uint64) {
 	ij.count.CntUpdates++
 	ij.live++
-	for i := 0; i < ij.cfg.Arrays; i++ {
-		idx := ij.index(i, block)
-		if ij.cnt[i][idx] == 0 {
+	for _, a := range ij.arrays {
+		e := int((block >> a.shift) & ij.idxMask)
+		idx := a.base + e
+		if ij.cnt[idx] == 0 {
 			ij.count.PBitWrites++
+			ij.pb[a.pbBase+e>>6] |= 1 << (uint(e) & 63)
 		}
-		ij.cnt[i][idx]++
+		ij.cnt[idx]++
 	}
 }
 
@@ -151,14 +184,16 @@ func (ij *Include) BlockEvicted(block uint64) {
 		panic("jetty: include filter: eviction without allocation")
 	}
 	ij.live--
-	for i := 0; i < ij.cfg.Arrays; i++ {
-		idx := ij.index(i, block)
-		if ij.cnt[i][idx] == 0 {
+	for i, a := range ij.arrays {
+		e := int((block >> a.shift) & ij.idxMask)
+		idx := a.base + e
+		if ij.cnt[idx] == 0 {
 			panic(fmt.Sprintf("jetty: include filter: counter underflow in sub-array %d (block %#x never allocated)", i, block))
 		}
-		ij.cnt[i][idx]--
-		if ij.cnt[i][idx] == 0 {
+		ij.cnt[idx]--
+		if ij.cnt[idx] == 0 {
 			ij.count.PBitWrites++
+			ij.pb[a.pbBase+e>>6] &^= 1 << (uint(e) & 63)
 		}
 	}
 }
@@ -172,9 +207,10 @@ func (ij *Include) Counts() energy.FilterCounts { return ij.count }
 // Reset implements Filter.
 func (ij *Include) Reset() {
 	for i := range ij.cnt {
-		for j := range ij.cnt[i] {
-			ij.cnt[i][j] = 0
-		}
+		ij.cnt[i] = 0
+	}
+	for i := range ij.pb {
+		ij.pb[i] = 0
 	}
 	ij.live = 0
 	ij.count = energy.FilterCounts{}

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"jetty/internal/engine"
 	"jetty/internal/smp"
@@ -92,11 +93,42 @@ func (in TraceInput) pseudoSpec() workload.Spec {
 	return workload.Spec{Name: in.Name, Accesses: in.Records}
 }
 
+// replayBatchRecords is the record-buffer size of the batched replay
+// loop: large enough to amortize decode framing, small enough to stay
+// cache-resident and keep cancellation latency low.
+const replayBatchRecords = 8192
+
+// replayBufKey keys the reusable replay record buffer in an engine
+// worker's Scratch.
+type replayBufKey struct{}
+
+// replayBuf returns a replay record buffer, reusing the per-worker one
+// when the run executes on an engine worker (engine.ScratchFrom).
+func replayBuf(ctx context.Context) []trace.Rec {
+	sc := engine.ScratchFrom(ctx)
+	if sc == nil {
+		return make([]trace.Rec, replayBatchRecords)
+	}
+	if buf, ok := sc.Get(replayBufKey{}).([]trace.Rec); ok {
+		return buf
+	}
+	buf := make([]trace.Rec, replayBatchRecords)
+	sc.Put(replayBufKey{}, buf)
+	return buf
+}
+
 // RunTraceCtx replays a stored trace through the given machine, with the
-// same chunked cancellation and progress reporting as RunAppCtx. The
+// same cooperative cancellation and progress reporting as RunAppCtx. The
 // machine must be at least as wide as the trace. Replaying a trace
 // captured from a run on the same configuration reproduces that run's
 // statistics exactly (TestTraceReplayMatchesDirect enforces it).
+//
+// The replay loop is batched: each JTRC chunk is decoded directly into a
+// reusable record buffer (per engine worker when running on the engine)
+// and stepped through the machine in recorded order, with no per-record
+// Source indirection. Stepping in recorded order is exactly what the
+// Source-driven round-robin path does for a round-robin recording, so
+// the batching is invisible in the results.
 func RunTraceCtx(ctx context.Context, in TraceInput, cfg smp.Config, report func(done uint64)) (AppResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return AppResult{}, err
@@ -109,8 +141,24 @@ func RunTraceCtx(ctx context.Context, in TraceInput, cfg smp.Config, report func
 		return AppResult{}, fmt.Errorf("sim: trace has %d cpus but the machine only %d", rd.CPUs(), cfg.CPUs)
 	}
 	sys := smp.New(cfg)
-	if err := runChunked(ctx, sys, rd, in.Records, report); err != nil {
-		return AppResult{}, err
+	buf := replayBuf(ctx)
+	var done uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return AppResult{}, err
+		}
+		n, err := rd.ReadBatch(buf)
+		sys.StepBatch(buf[:n])
+		done += uint64(n)
+		if report != nil && n > 0 {
+			report(done)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return AppResult{}, err
+		}
 	}
 	if err := rd.Err(); err != nil {
 		return AppResult{}, err

@@ -1,16 +1,3 @@
-// Package smp simulates the paper's machine: a snoopy, bus-based,
-// write-invalidate SMP with per-processor write buffer, direct-mapped
-// write-back L1, and a set-associative, subblocked L2 keeping MOESI state
-// per subblock (L1 is included in L2). The simulation is trace-driven and
-// data-less: one memory reference is processed at a time, globally
-// ordered, which is exact for the coverage and energy statistics the
-// paper evaluates (it reports no performance results for JETTY).
-//
-// JETTY filters are attached as per-CPU observers. Filtering never changes
-// protocol outcomes (a filtered snoop would have missed anyway), so a
-// single pass drives the protocol while any number of filter
-// configurations measure their coverage simultaneously — exactly how the
-// paper evaluates many organizations over one set of traces.
 package smp
 
 import (
@@ -74,6 +61,11 @@ func (c Config) Validate() error {
 	if c.L1.LineBytes > c.L2.Geom.UnitBytes() {
 		return fmt.Errorf("smp: L1 lines (%dB) must not exceed L2 coherence units (%dB)",
 			c.L1.LineBytes, c.L2.Geom.UnitBytes())
+	}
+	if c.L2.Blocks() > cache.MaxCachedFrames {
+		// The L1 caches each line's covering L2 frame in a 28-bit field.
+		return fmt.Errorf("smp: L2 with %d frames exceeds the %d the L1 can reference",
+			c.L2.Blocks(), cache.MaxCachedFrames)
 	}
 	if c.WBEntries < 0 || c.WBEntries > 256 {
 		return fmt.Errorf("smp: %d write-buffer entries out of range 0..256", c.WBEntries)

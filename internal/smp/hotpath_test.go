@@ -1,0 +1,150 @@
+package smp
+
+import (
+	"reflect"
+	"testing"
+
+	"jetty/internal/cache"
+	"jetty/internal/jetty"
+	"jetty/internal/trace"
+)
+
+// hotPathConfig is a small machine with one filter of every family
+// attached, sized so the reference mix below forces L2 evictions (and
+// with them writebacks, snoop broadcasts and filter learning) while a
+// test still runs in milliseconds.
+func hotPathConfig() Config {
+	cfg := PaperConfig(4)
+	cfg.L2.SizeBytes = 1 << 16 // 64 KB: the mix below overflows it
+	cfg.L1.SizeBytes = 1 << 13
+	return cfg.WithFilters(
+		jetty.MustParse("EJ-32x4"),
+		jetty.MustParse("VEJ-32x4-8"),
+		jetty.MustParse("IJ-9x4x7"),
+		jetty.MustParse("HJ(IJ-10x4x7,EJ-32x4)"),
+	)
+}
+
+// hotPathRecs generates a deterministic mixed reference stream: ~30%
+// stores, per-CPU private regions plus a shared region (cross-CPU
+// sharing drives snoop hits, upgrades and invalidations), and a
+// footprint well past the L2 so evictions keep happening in steady
+// state.
+func hotPathRecs(n int) []trace.Rec {
+	recs := make([]trace.Rec, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range recs {
+		// xorshift64* — deterministic, no math/rand allocation.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		r := state * 0x2545f4914f6cdd1d
+		cpu := int32(i & 3)
+		addr := (r >> 8) & 0x3fffff // 4 MB footprint >> 64 KB L2
+		if r&0xf < 5 {
+			// Shared region: all CPUs contend on 64 KB of hot lines.
+			addr &= 0xffff
+		} else {
+			// Private region per CPU.
+			addr |= uint64(cpu) << 24
+		}
+		op := trace.Read
+		if r&0x1f < 9 {
+			op = trace.Write
+		}
+		recs[i] = trace.Rec{Addr: addr, CPU: cpu, Op: op}
+	}
+	return recs
+}
+
+// TestStepSteadyStateAllocs pins the hot-path overhaul's allocation
+// guarantee: once a machine exists, stepping references — including L2
+// evictions, snoop broadcasts, filter probes and filter learning —
+// allocates nothing. PERFORMANCE.md tracks the matching benchmark
+// number (BenchmarkAccessHotPath/steady).
+func TestStepSteadyStateAllocs(t *testing.T) {
+	sys := New(hotPathConfig())
+	recs := hotPathRecs(1 << 15)
+	sys.StepBatch(recs) // warm-up: reach steady state
+
+	if avg := testing.AllocsPerRun(10, func() { sys.StepBatch(recs) }); avg != 0 {
+		t.Fatalf("steady-state StepBatch allocates: %v allocs per batch (want 0)", avg)
+	}
+
+	// The eviction path must have actually run for the assertion to mean
+	// anything.
+	if ev := sys.EnergyCounts().TagEvictions; ev == 0 {
+		t.Fatal("reference mix caused no L2 evictions; the alloc assertion is vacuous")
+	}
+	if sn := sys.EnergyCounts().Snoops; sn == 0 {
+		t.Fatal("reference mix caused no snoops; the alloc assertion is vacuous")
+	}
+}
+
+// TestDrainWriteBuffersSteadyAllocs covers the end-of-run drain: after
+// the first call (which may size the reusable drain scratch), draining
+// allocates nothing.
+func TestDrainWriteBuffersSteadyAllocs(t *testing.T) {
+	sys := New(hotPathConfig())
+	recs := hotPathRecs(1 << 12)
+	sys.StepBatch(recs)
+	sys.DrainWriteBuffers() // sizes the per-CPU drain scratch
+
+	if avg := testing.AllocsPerRun(10, func() {
+		sys.StepBatch(recs)
+		sys.DrainWriteBuffers()
+	}); avg != 0 {
+		t.Fatalf("steady-state drain allocates: %v allocs per run (want 0)", avg)
+	}
+}
+
+// machineSnapshot collects everything a run can observe about a system.
+func machineSnapshot(t *testing.T, s *System) map[string]any {
+	t.Helper()
+	snap := map[string]any{
+		"refs":  s.Refs(),
+		"cpu":   s.CPUStatsTotal(),
+		"l2c":   s.EnergyCounts(),
+		"bus":   *s.BusStats(),
+		"names": s.FilterNames(),
+	}
+	for i := range s.Config().Filters {
+		snap["filter"+s.FilterNames()[i]] = s.FilterCounts(i)
+	}
+	units := map[uint64]string{}
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		n.l2.ForEachValidUnit(func(unit uint64, st cache.State) {
+			units[uint64(n.id)<<40|unit] = st.String()
+		})
+	}
+	snap["units"] = units
+	return snap
+}
+
+// TestStepBatchMatchesStep pins the manual inline in StepBatch to Step:
+// the same stream through both drivers must leave two machines in
+// identical observable states. The replay and golden suites depend on
+// this equivalence.
+func TestStepBatchMatchesStep(t *testing.T) {
+	cfg := hotPathConfig()
+	recs := hotPathRecs(1 << 15)
+
+	a := New(cfg)
+	for _, r := range recs {
+		a.Step(int(r.CPU), trace.Ref{Op: r.Op, Addr: r.Addr})
+	}
+	b := New(cfg)
+	b.StepBatch(recs)
+
+	sa, sb := machineSnapshot(t, a), machineSnapshot(t, b)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("StepBatch diverged from Step:\n step: %+v\nbatch: %+v", sa, sb)
+	}
+	if err := a.CheckFilterSafety(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

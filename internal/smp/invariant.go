@@ -25,7 +25,8 @@ func (s *System) CheckCoherence() error {
 		me, o, sh int // modified/exclusive, owned, shared counts
 	}
 	units := map[uint64]*holders{}
-	for _, n := range s.nodes {
+	for i := range s.nodes {
+		n := &s.nodes[i]
 		n.l2.ForEachValidUnit(func(unit uint64, st cache.State) {
 			h := units[unit]
 			if h == nil {
@@ -54,7 +55,8 @@ func (s *System) CheckCoherence() error {
 		}
 	}
 
-	for _, n := range s.nodes {
+	for i := range s.nodes {
+		n := &s.nodes[i]
 		var err error
 		n.l1.ForEachValidLine(func(line uint64, dirty bool) {
 			if err != nil {

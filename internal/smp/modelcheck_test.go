@@ -145,7 +145,7 @@ func mcMachine(t *testing.T, s mcState, unitAddr uint64) *System {
 		if !st.Valid() {
 			continue
 		}
-		n := sys.nodes[cpu]
+		n := &sys.nodes[cpu]
 		n.l2.EnsureBlock(g.Block(unitAddr))
 		n.l2.SetUnitState(g.Unit(unitAddr), st)
 	}

@@ -7,10 +7,11 @@ import (
 
 // busRead issues a BusRd for a load miss: every other CPU snoops; owners
 // supply data and downgrade; the requester fills Shared (or Exclusive if
-// no remote copies existed).
-func (s *System) busRead(n *node, unit, block uint64) {
+// no remote copies existed). It returns the filled unit's L2 frame.
+func (s *System) busRead(n *node, unit, block uint64) cache.Frame {
 	remoteHits := 0
-	for _, o := range s.nodes {
+	for i := range s.nodes {
+		o := &s.nodes[i]
 		if o == n {
 			continue
 		}
@@ -24,15 +25,16 @@ func (s *System) busRead(n *node, unit, block uint64) {
 	if remoteHits > 0 {
 		st = cache.Shared
 	}
-	s.fillL2Unit(n, unit, block, st)
+	return s.fillL2Unit(n, unit, block, st)
 }
 
 // busReadX issues a BusRdX for a store miss: remote copies are
 // invalidated (owners supply the data on the way out); the requester
-// fills Modified.
-func (s *System) busReadX(n *node, unit, block uint64) {
+// fills Modified. It returns the filled unit's L2 frame.
+func (s *System) busReadX(n *node, unit, block uint64) cache.Frame {
 	remoteHits := 0
-	for _, o := range s.nodes {
+	for i := range s.nodes {
+		o := &s.nodes[i]
 		if o == n {
 			continue
 		}
@@ -41,15 +43,16 @@ func (s *System) busReadX(n *node, unit, block uint64) {
 		}
 	}
 	s.bus.Record(bus.ReadX, remoteHits)
-	s.fillL2Unit(n, unit, block, cache.Modified)
+	return s.fillL2Unit(n, unit, block, cache.Modified)
 }
 
 // busUpgrade issues a BusUpgr for a store hitting a Shared/Owned copy:
-// remote copies are invalidated; the local unit becomes Modified without
-// a data transfer.
-func (s *System) busUpgrade(n *node, unit, block uint64) {
+// remote copies are invalidated; the local unit (frame f) becomes
+// Modified without a data transfer.
+func (s *System) busUpgrade(n *node, f cache.Frame, unit, block uint64) {
 	remoteHits := 0
-	for _, o := range s.nodes {
+	for i := range s.nodes {
+		o := &s.nodes[i]
 		if o == n {
 			continue
 		}
@@ -58,7 +61,7 @@ func (s *System) busUpgrade(n *node, unit, block uint64) {
 		}
 	}
 	s.bus.Record(bus.Upgrade, remoteHits)
-	n.l2.SetUnitState(unit, cache.Modified)
+	n.l2.SetStateAt(f, unit, cache.Modified)
 	n.l2c.LocalStateWrite++
 }
 
@@ -71,18 +74,50 @@ func (s *System) busUpgrade(n *node, unit, block uint64) {
 func (s *System) snoop(o *node, unit, block uint64, kind bus.Kind) bool {
 	o.l2c.Snoops++
 
-	st := o.l2.UnitState(unit)
+	f := o.l2.FindBlock(block)
+	st := cache.Invalid
+	if f.Ok() {
+		st = o.l2.StateAt(f, unit)
+	}
 	present := st.Valid()
-	blockAbsent := !present && !o.l2.HasBlock(block)
+	blockAbsent := !f.Ok()
 
-	// Filter bank observes (and is checked for safety violations).
-	for i, f := range o.filters {
-		if f.Probe(unit, block) {
+	// Filter bank observes (and is checked for safety violations). The
+	// loops run per concrete type — direct calls, no interface dispatch.
+	for k, fl := range o.bank.ejs {
+		if fl.Probe(unit, block) {
 			if present {
-				o.unsafeFl[i]++
+				o.unsafeFl[o.bank.ejIdx[k]]++
 			}
 		} else if !present {
-			f.SnoopMiss(unit, block, blockAbsent)
+			fl.SnoopMiss(unit, block, blockAbsent)
+		}
+	}
+	for k, fl := range o.bank.ijs {
+		if fl.Probe(unit, block) {
+			if present {
+				o.unsafeFl[o.bank.ijIdx[k]]++
+			}
+		} else if !present {
+			fl.SnoopMiss(unit, block, blockAbsent)
+		}
+	}
+	for k, fl := range o.bank.hjs {
+		if fl.Probe(unit, block) {
+			if present {
+				o.unsafeFl[o.bank.hjIdx[k]]++
+			}
+		} else if !present {
+			fl.SnoopMiss(unit, block, blockAbsent)
+		}
+	}
+	for k, fl := range o.bank.gen {
+		if fl.Probe(unit, block) {
+			if present {
+				o.unsafeFl[o.bank.genIdx[k]]++
+			}
+		} else if !present {
+			fl.SnoopMiss(unit, block, blockAbsent)
 		}
 	}
 
@@ -103,7 +138,7 @@ func (s *System) snoop(o *node, unit, block uint64, kind bus.Kind) bool {
 			// The freshest data may sit in a dirty L1 line (inclusion
 			// hint): probing it is an L1 access, and the line downgrades
 			// to clean as the L2 takes ownership of the merged data.
-			if o.l2.InL1(unit) {
+			if o.l2.InL1At(f, unit) {
 				s.l1SnoopClean(o, unit)
 			}
 		}
@@ -115,7 +150,7 @@ func (s *System) snoop(o *node, unit, block uint64, kind bus.Kind) bool {
 			next = cache.Shared
 		}
 		if next != st {
-			o.l2.SetUnitState(unit, next)
+			o.l2.SetStateAt(f, unit, next)
 			o.l2c.SnoopStateWrites++
 		}
 
@@ -123,27 +158,40 @@ func (s *System) snoop(o *node, unit, block uint64, kind bus.Kind) bool {
 		if kind == bus.ReadX && st.CanSupply() {
 			o.l2c.SnoopSupplies++
 		}
-		if o.l2.InL1(unit) {
+		if o.l2.InL1At(f, unit) {
 			s.l1SnoopInvalidate(o, unit)
 		}
-		_, freed := o.l2.InvalidateUnit(unit)
+		// InvalidateAt clears the unit's inL1 hint alongside its state.
+		_, freed := o.l2.InvalidateAt(f, unit)
 		o.l2c.SnoopStateWrites++
 		if freed {
 			o.l2c.TagEvictions++
-			for _, f := range o.filters {
-				f.BlockEvicted(block)
-			}
+			o.blockEvictedFilters(block)
 		}
 	}
 	return true
+}
+
+// blockEvictedFilters delivers a BlockEvicted event to every filter
+// (exclude structures ignore it; the typed loops keep the calls direct).
+func (o *node) blockEvictedFilters(block uint64) {
+	for _, fl := range o.bank.ijs {
+		fl.BlockEvicted(block)
+	}
+	for _, fl := range o.bank.hjs {
+		fl.BlockEvicted(block)
+	}
+	for _, fl := range o.bank.gen {
+		fl.BlockEvicted(block)
+	}
 }
 
 // l1SnoopClean probes the L1 lines covering a unit, cleans any dirty one
 // (its data merges into the L2 copy being supplied) and drops the
 // exclusivity hints: the unit is being downgraded out of M/E.
 func (s *System) l1SnoopClean(o *node, unit uint64) {
-	first, count := s.linesOfUnit(unit)
-	for i := 0; i < count; i++ {
+	first := unit << s.unitShift
+	for i := 0; i < s.linesPerUnit; i++ {
 		o.cpu.L1SnoopProbes++
 		o.l1.Clean(first + uint64(i))
 		o.l1.ClearExclusive(first + uint64(i))
@@ -151,45 +199,62 @@ func (s *System) l1SnoopClean(o *node, unit uint64) {
 }
 
 // l1SnoopInvalidate removes the L1 lines covering a unit (inclusion).
+// The L2-side inL1 hint clears with the unit's state (InvalidateAt) or
+// with the departing block's frame, so only the L1 is touched here.
 func (s *System) l1SnoopInvalidate(o *node, unit uint64) {
-	first, count := s.linesOfUnit(unit)
-	for i := 0; i < count; i++ {
+	first := unit << s.unitShift
+	for i := 0; i < s.linesPerUnit; i++ {
 		o.cpu.L1SnoopProbes++
 		o.l1.Invalidate(first + uint64(i))
 	}
-	o.l2.SetInL1(unit, false)
 }
 
 // fillL2Unit installs a unit arriving from the bus, evicting a victim
 // block if the set is full and notifying the filter bank of every tag
-// event.
-func (s *System) fillL2Unit(n *node, unit, block uint64, st cache.State) {
-	ev, allocated := n.l2.EnsureBlock(block)
+// event. It returns the unit's frame.
+func (s *System) fillL2Unit(n *node, unit, block uint64, st cache.State) cache.Frame {
+	ev, allocated, f := n.l2.EnsureFrame(block)
 	if ev != nil {
 		s.handleEviction(n, ev)
 	}
 	if allocated {
 		n.l2c.TagAllocs++
-		for _, f := range n.filters {
-			f.BlockAllocated(block)
+		for _, fl := range n.bank.ijs {
+			fl.BlockAllocated(block)
+		}
+		for _, fl := range n.bank.hjs {
+			fl.BlockAllocated(block)
+		}
+		for _, fl := range n.bank.gen {
+			fl.BlockAllocated(block)
 		}
 	}
-	n.l2.SetUnitState(unit, st)
-	n.l2.Touch(block)
+	n.l2.SetStateAt(f, unit, st)
+	n.l2.TouchAt(f)
 	n.l2c.LocalFills++
-	for _, f := range n.filters {
-		f.Fill(unit, block)
+	// Only exclude structures react to unit fills (Include.Fill is a
+	// no-op), but every filter is offered the event.
+	for _, fl := range n.bank.ejs {
+		fl.Fill(unit, block)
 	}
+	for _, fl := range n.bank.hjs {
+		fl.Fill(unit, block)
+	}
+	for _, fl := range n.bank.gen {
+		fl.Fill(unit, block)
+	}
+	return f
 }
 
 // handleEviction processes a block displaced from the L2: dirty units are
 // written back to memory, covered L1 lines are invalidated (inclusion),
-// and the filter bank learns of the deallocation.
+// and the filter bank learns of the deallocation. ev points into the
+// evicting L2's scratch buffer; it stays valid here because eviction
+// handling never allocates in that same L2 (writeback snoops only touch
+// other nodes).
 func (s *System) handleEviction(n *node, ev *cache.Eviction) {
 	n.l2c.TagEvictions++
-	for _, f := range n.filters {
-		f.BlockEvicted(ev.Block)
-	}
+	n.blockEvictedFilters(ev.Block)
 	for _, u := range ev.Units {
 		if u.InL1 {
 			s.l1SnoopInvalidate(n, u.Unit)
@@ -201,7 +266,8 @@ func (s *System) handleEviction(n *node, ev *cache.Eviction) {
 		// it (an Owned departure can still hit surviving Shared copies).
 		n.l2c.DirtyWBUnits++
 		hits := 0
-		for _, o := range s.nodes {
+		for i := range s.nodes {
+			o := &s.nodes[i]
 			if o == n {
 				continue
 			}

@@ -11,8 +11,8 @@ import (
 // EnergyCounts returns the aggregated L2 event counts of all CPUs.
 func (s *System) EnergyCounts() energy.Counts {
 	var c energy.Counts
-	for _, n := range s.nodes {
-		c.Add(n.l2c)
+	for i := range s.nodes {
+		c.Add(s.nodes[i].l2c)
 	}
 	return c
 }
@@ -23,8 +23,8 @@ func (s *System) EnergyCountsCPU(cpu int) energy.Counts { return s.nodes[cpu].l2
 // CPUStatsTotal returns the aggregated processor-side counters.
 func (s *System) CPUStatsTotal() CPUStats {
 	var c CPUStats
-	for _, n := range s.nodes {
-		c.Add(n.cpu)
+	for i := range s.nodes {
+		c.Add(s.nodes[i].cpu)
 	}
 	return c
 }
@@ -49,9 +49,9 @@ func (s *System) FilterNames() []string {
 // which must be zero for a correct filter).
 func (s *System) FilterCounts(idx int) energy.FilterCounts {
 	var c energy.FilterCounts
-	for _, n := range s.nodes {
-		c.Add(n.filters[idx].Counts())
-		c.FilteredHits += n.unsafeFl[idx]
+	for i := range s.nodes {
+		c.Add(s.nodes[i].filters[idx].Counts())
+		c.FilteredHits += s.nodes[i].unsafeFl[idx]
 	}
 	return c
 }
@@ -81,7 +81,8 @@ func (s *System) CheckFilterSafety() error {
 				s.cfg.Filters[i].Name(), c.FilteredHits)
 		}
 	}
-	for _, n := range s.nodes {
+	for i := range s.nodes {
+		n := &s.nodes[i]
 		var err error
 		n.l2.ForEachValidUnit(func(unit uint64, _ cache.State) {
 			if err != nil {

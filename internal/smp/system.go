@@ -41,16 +41,56 @@ func (s *CPUStats) Add(o CPUStats) {
 }
 
 // node is one processor: core-side buffers, caches and filter bank.
+// Caches and write buffer are embedded by value so one node is one
+// contiguous region.
 type node struct {
 	id  int
-	l1  *cache.L1
-	l2  *cache.L2
-	wb  *writeBuffer
+	l1  cache.L1
+	l2  cache.L2
+	wb  writeBuffer
 	cpu CPUStats
 	l2c energy.Counts
 
 	filters  []jetty.Filter
+	bank     filterBank
 	unsafeFl []uint64 // per-filter count of filtered-but-present snoops (must stay 0)
+}
+
+// filterBank groups the node's filters by concrete type so the per-snoop
+// event loops make direct (inlinable) calls instead of interface
+// dispatch — with ~20 filter configurations observing every snoop, the
+// itab indirection was a measurable share of the snoop path. Filters are
+// independent observers, so driving the groups in type order instead of
+// bank order delivers the identical event sequence to each filter. The
+// idx slices map each group member back to its bank position (for the
+// per-filter safety counters).
+type filterBank struct {
+	ejs    []*jetty.Exclude
+	ejIdx  []int
+	ijs    []*jetty.Include
+	ijIdx  []int
+	hjs    []*jetty.Hybrid
+	hjIdx  []int
+	gen    []jetty.Filter // any other Filter implementation
+	genIdx []int
+}
+
+// add slots a filter into its concrete-type group.
+func (b *filterBank) add(idx int, f jetty.Filter) {
+	switch t := f.(type) {
+	case *jetty.Exclude:
+		b.ejs = append(b.ejs, t)
+		b.ejIdx = append(b.ejIdx, idx)
+	case *jetty.Include:
+		b.ijs = append(b.ijs, t)
+		b.ijIdx = append(b.ijIdx, idx)
+	case *jetty.Hybrid:
+		b.hjs = append(b.hjs, t)
+		b.hjIdx = append(b.hjIdx, idx)
+	default:
+		b.gen = append(b.gen, f)
+		b.genIdx = append(b.genIdx, idx)
+	}
 }
 
 // System is the simulated SMP machine.
@@ -58,7 +98,18 @@ type System struct {
 	cfg  Config
 	geom addr.Geometry
 
-	nodes []*node
+	// Precomputed address geometry: every granularity conversion on the
+	// per-reference hot path is a shift against these instead of a
+	// division through the Geometry methods.
+	lineShift    uint // byte address >> lineShift == L1 line number
+	unitShift    uint // L1 line number >> unitShift == coherence unit
+	upbShift     uint // unit >> upbShift == L2 block
+	linesPerUnit int  // 1 << unitShift
+
+	// nodes is a value slice: the per-CPU state sits contiguously, so the
+	// per-reference node lookup and the snoop broadcast walk memory
+	// instead of chasing per-node pointers.
+	nodes []node
 	bus   *bus.Stats
 
 	refs uint64 // total references processed
@@ -71,19 +122,30 @@ func New(cfg Config) *System {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &System{cfg: cfg, geom: cfg.L2.Geom, bus: bus.NewStats(cfg.CPUs)}
-	for i := 0; i < cfg.CPUs; i++ {
-		n := &node{
-			id: i,
-			l1: cache.NewL1(cfg.L1),
-			l2: cache.NewL2(cfg.L2),
-			wb: newWriteBuffer(cfg.WBEntries),
-		}
-		for _, fc := range cfg.Filters {
-			n.filters = append(n.filters, fc.New(cfg.L2.Geom.UnitsPerBlock))
+	geom := cfg.L2.Geom
+	unitShift := uint(addr.Log2(uint64(geom.UnitBytes() / cfg.L1.LineBytes)))
+	s := &System{
+		cfg:          cfg,
+		geom:         geom,
+		lineShift:    uint(addr.Log2(uint64(cfg.L1.LineBytes))),
+		unitShift:    unitShift,
+		upbShift:     uint(addr.Log2(uint64(geom.UnitsPerBlock))),
+		linesPerUnit: 1 << unitShift,
+		bus:          bus.NewStats(cfg.CPUs),
+		nodes:        make([]node, cfg.CPUs),
+	}
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		n.id = i
+		n.l1 = *cache.NewL1(cfg.L1)
+		n.l2 = *cache.NewL2(cfg.L2)
+		n.wb = *newWriteBuffer(cfg.WBEntries)
+		for fi, fc := range cfg.Filters {
+			f := fc.New(cfg.L2.Geom.UnitsPerBlock)
+			n.filters = append(n.filters, f)
+			n.bank.add(fi, f)
 		}
 		n.unsafeFl = make([]uint64, len(cfg.Filters))
-		s.nodes = append(s.nodes, n)
 	}
 	return s
 }
@@ -99,9 +161,9 @@ func (s *System) Refs() uint64 { return s.refs }
 
 // Step processes one memory reference from the given CPU.
 func (s *System) Step(cpu int, ref trace.Ref) {
-	n := s.nodes[cpu]
+	n := &s.nodes[cpu]
 	s.refs++
-	line := n.l1.LineAddr(ref.Addr)
+	line := (ref.Addr & addr.PhysMask) >> s.lineShift
 
 	if ref.Op == trace.Write {
 		n.cpu.Stores++
@@ -109,9 +171,7 @@ func (s *System) Step(cpu int, ref trace.Ref) {
 			n.cpu.WBCoalesced++
 			return
 		}
-		if drain, must := n.wb.push(line); must {
-			s.drainStore(n, drain)
-		}
+		s.store(n, line)
 		return
 	}
 
@@ -120,7 +180,47 @@ func (s *System) Step(cpu int, ref trace.Ref) {
 		n.cpu.WBForwards++
 		return
 	}
-	s.load(n, line)
+	// L1-hit loads resolve right here: the dominant path of every run
+	// pays no extra call.
+	n.cpu.L1Probes++
+	if n.l1.Contains(line) {
+		n.cpu.L1Hits++
+		return
+	}
+	n.cpu.L1Misses++
+	s.loadMiss(n, line)
+}
+
+// store enqueues one buffered store, draining the displaced entry. This
+// is the writeBuffer's only insert path: a full buffer — the steady
+// state — replaces the oldest entry in place, an unbuffered machine
+// (cap 0) drains immediately, and a drained line whose L1 copy is
+// already dirty resolves in drainStore's fast path.
+func (s *System) store(n *node, line uint64) {
+	w := &n.wb
+	if w.cap == 0 {
+		s.drainStore(n, line)
+		return
+	}
+	if w.n < w.cap {
+		idx := w.head + w.n
+		if idx >= w.cap {
+			idx -= w.cap
+		}
+		w.buf[idx] = line
+		w.add(line)
+		w.n++
+		return
+	}
+	drain := w.buf[w.head]
+	w.remove(drain)
+	w.buf[w.head] = line
+	w.add(line)
+	w.head++
+	if w.head == w.cap {
+		w.head = 0
+	}
+	s.drainStore(n, drain)
 }
 
 // Run interleaves the per-CPU streams of src round-robin, one reference
@@ -157,68 +257,118 @@ func (s *System) Run(src trace.Source, maxRefs uint64) uint64 {
 	return s.refs - start
 }
 
+// StepBatch processes decoded trace records in recorded order. It is the
+// allocation-free replay inner loop: the sim layer decodes a JTRC chunk
+// into a reusable record buffer and hands whole batches here, with no
+// per-record Source round trip. Stepping records in recorded order is
+// exactly the decomposition Run's round-robin performs when replaying a
+// round-robin recording, so results are bit-identical.
+//
+// The dispatch is a manual inline of Step: the per-record call was the
+// single largest fixed cost of the replay loop. Any change here must
+// mirror Step exactly — TestStepBatchMatchesStep and the replay/golden
+// suites enforce the equivalence.
+func (s *System) StepBatch(recs []trace.Rec) {
+	for i := range recs {
+		cpu, op, a := recs[i].CPU, recs[i].Op, recs[i].Addr
+		n := &s.nodes[cpu]
+		s.refs++
+		line := (a & addr.PhysMask) >> s.lineShift
+
+		if op == trace.Write {
+			n.cpu.Stores++
+			if n.wb.contains(line) {
+				n.cpu.WBCoalesced++
+				continue
+			}
+			s.store(n, line)
+			continue
+		}
+
+		n.cpu.Loads++
+		if n.wb.contains(line) {
+			n.cpu.WBForwards++
+			continue
+		}
+		n.cpu.L1Probes++
+		if n.l1.Contains(line) {
+			n.cpu.L1Hits++
+			continue
+		}
+		n.cpu.L1Misses++
+		s.loadMiss(n, line)
+	}
+}
+
 // DrainWriteBuffers performs all pending stores (end-of-run cleanup so
 // that store counts reconcile).
 func (s *System) DrainWriteBuffers() {
-	for _, n := range s.nodes {
+	for i := range s.nodes {
+		n := &s.nodes[i]
 		for _, line := range n.wb.drainAll() {
 			s.drainStore(n, line)
 		}
 	}
 }
 
-// load performs a processor load of one L1 line.
-func (s *System) load(n *node, line uint64) {
-	n.cpu.L1Probes++
-	if n.l1.Contains(line) {
-		n.cpu.L1Hits++
-		return
-	}
-	n.cpu.L1Misses++
+// loadMiss performs a processor load that missed in the L1 (Step already
+// counted the probe and miss).
+func (s *System) loadMiss(n *node, line uint64) {
+	unit := line >> s.unitShift
+	block := unit >> s.upbShift
 
-	unit := s.unitOfLine(line)
-	block := s.geom.BlockOfUnit(unit)
-
-	// L2 local read probe.
+	// L2 local read probe. The frame handle from the single associative
+	// search is reused for the touch, the fill and the inL1 update.
 	n.l2c.LocalReads++
-	if n.l2.UnitState(unit).Valid() {
+	f := n.l2.FindBlock(block)
+	if f.Ok() && n.l2.StateAt(f, unit).Valid() {
 		n.l2c.LocalReadHits++
-		n.l2.Touch(block)
+		n.l2.TouchAt(f)
 	} else {
-		s.busRead(n, unit, block)
+		f = s.busRead(n, unit, block)
 	}
-	s.fillL1(n, line, unit)
+	s.fillL1(n, line, f, unit)
 }
 
 // drainStore performs one pending store (an L1-line write) in the
-// hierarchy, acquiring write permission as needed.
+// hierarchy, acquiring write permission as needed. The dominant case —
+// the line is already dirty in L1, so ownership is held and nothing
+// moves — is the inlinable fast path; everything else is drainStoreSlow.
 func (s *System) drainStore(n *node, line uint64) {
 	n.cpu.WBDrains++
-	unit := s.unitOfLine(line)
-	block := s.geom.BlockOfUnit(unit)
-
 	n.cpu.L1Probes++
-	if n.l1.Contains(line) {
+	if n.l1.Dirty(line) {
+		// Ownership was acquired when the line was first dirtied.
 		n.cpu.L1Hits++
-		if n.l1.Dirty(line) {
-			// Ownership was acquired when the line was first dirtied.
-			return
-		}
-		if n.l1.Exclusive(line) {
+		return
+	}
+	s.drainStoreSlow(n, line)
+}
+
+// drainStoreSlow is the not-already-dirty remainder of drainStore; the
+// probe and drain counters are already recorded (except L1Hits).
+func (s *System) drainStoreSlow(n *node, line uint64) {
+	unit := line >> s.unitShift
+	block := unit >> s.upbShift
+
+	if present, _, excl, f := n.l1.Lookup(line); present {
+		n.cpu.L1Hits++
+		if excl {
 			// MESI-in-L1 silent upgrade: the L2 unit is still M/E (snoop
 			// downgrades clear the hint), so the store proceeds without
-			// an L2 access; the L2 learns at writeback time.
-			st := n.l2.UnitState(unit)
+			// an L2 access; the L2 learns at writeback time. f is the
+			// line's cached L2 frame (valid by inclusion).
+			st := n.l2.StateAt(f, unit)
 			if !st.Writable() {
 				panic("smp: stale L1 exclusivity hint")
 			}
 			if st == cache.Exclusive {
-				n.l2.SetUnitState(unit, cache.Modified)
+				n.l2.SetStateAt(f, unit, cache.Modified)
 			}
 			n.l1.MarkDirty(line)
 			return
 		}
-		s.ensureWritable(n, unit, block)
+		s.ensureWritable(n, f, unit, block)
 		n.l1.MarkDirty(line)
 		return
 	}
@@ -226,47 +376,50 @@ func (s *System) drainStore(n *node, line uint64) {
 
 	// Write-allocate: obtain the unit writable in L2, then fill L1 dirty.
 	n.l2c.LocalWrites++
-	st := n.l2.UnitState(unit)
+	f := n.l2.FindBlock(block)
+	st := cache.Invalid
+	if f.Ok() {
+		st = n.l2.StateAt(f, unit)
+	}
 	switch {
 	case st.Writable():
 		n.l2c.LocalWriteHits++
-		n.l2.Touch(block)
+		n.l2.TouchAt(f)
 		if st == cache.Exclusive {
-			n.l2.SetUnitState(unit, cache.Modified)
+			n.l2.SetStateAt(f, unit, cache.Modified)
 			n.l2c.LocalStateWrite++
 		}
 	case st.Valid(): // Shared or Owned: upgrade in place
 		n.l2c.LocalWriteHits++
-		n.l2.Touch(block)
-		s.busUpgrade(n, unit, block)
+		n.l2.TouchAt(f)
+		s.busUpgrade(n, f, unit, block)
 	default:
-		s.busReadX(n, unit, block)
+		f = s.busReadX(n, unit, block)
 	}
-	s.fillL1(n, line, unit)
+	s.fillL1(n, line, f, unit)
 	n.l1.MarkDirty(line)
 	// The L2 copy is now stale relative to L1 until the line drains back;
 	// the unit must be (and is) Modified.
 }
 
 // ensureWritable upgrades the L2 unit to Modified for a store hitting a
-// clean L1 line. The unit is valid in L2 (inclusion), but its coherence
-// state must be read — and possibly upgraded — so this is a local L2
-// access (a write hit).
-func (s *System) ensureWritable(n *node, unit, block uint64) {
+// clean L1 line. The unit is valid in L2 (inclusion) in the given frame
+// (the L1 line's cached one), but its coherence state must be read — and
+// possibly upgraded — so this is a local L2 access (a write hit).
+func (s *System) ensureWritable(n *node, f cache.Frame, unit, block uint64) {
 	n.l2c.LocalWrites++
 	n.l2c.LocalWriteHits++
-	n.l2.Touch(block)
-	st := n.l2.UnitState(unit)
-	switch st {
+	n.l2.TouchAt(f)
+	switch st := n.l2.StateAt(f, unit); st {
 	case cache.Modified:
 		return
 	case cache.Exclusive:
-		n.l2.SetUnitState(unit, cache.Modified)
+		n.l2.SetStateAt(f, unit, cache.Modified)
 		n.l2c.LocalStateWrite++
 	case cache.Shared, cache.Owned:
 		// Write hit on a shared copy: bus upgrade (the "snoop on an L2
 		// hit" case Table 2's caption calls out).
-		s.busUpgrade(n, unit, block)
+		s.busUpgrade(n, f, unit, block)
 	default:
 		panic("smp: dirty/clean L1 line over invalid L2 unit (inclusion violated)")
 	}
@@ -274,47 +427,43 @@ func (s *System) ensureWritable(n *node, unit, block uint64) {
 
 // fillL1 installs a line in the L1, handling the displaced victim (dirty
 // victims write back into the L2, which holds them Modified). The line's
-// exclusivity hint mirrors whether the L2 unit is writable right now.
-func (s *System) fillL1(n *node, line, unit uint64) {
-	victim, had := n.l1.Fill(line, n.l2.UnitState(unit).Writable())
+// exclusivity hint mirrors whether the L2 unit is writable right now. f
+// is the unit's resident L2 frame, cached in the line word.
+func (s *System) fillL1(n *node, line uint64, f cache.Frame, unit uint64) {
+	victim, had := n.l1.Fill(line, n.l2.StateAt(f, unit).Writable(), f)
 	if had {
 		s.l1VictimWriteback(n, victim)
 	}
-	n.l2.SetInL1(unit, true)
+	n.l2.SetInL1At(f, unit, true)
 }
 
-// l1VictimWriteback handles a line displaced from the L1.
+// l1VictimWriteback handles a line displaced from the L1. v.Frame is the
+// victim unit's L2 frame (valid by inclusion until this moment).
 func (s *System) l1VictimWriteback(n *node, v cache.Victim) {
-	vUnit := s.unitOfLine(v.Line)
+	vUnit := v.Line >> s.unitShift
 	if v.Dirty {
 		// Dirty L1 data merges into the L2 copy: a local L2 write access.
 		n.cpu.L1Writebacks++
 		n.l2c.LocalWrites++
 		n.l2c.LocalWriteHits++ // inclusion guarantees the unit is present (Modified)
 	}
-	s.clearInL1IfGone(n, vUnit)
+	s.clearInL1IfGone(n, vUnit, v.Frame)
 }
 
 // clearInL1IfGone drops the L2's inL1 hint when no L1 line covering the
 // unit remains (a unit may span multiple L1 lines in the NSB geometry).
-func (s *System) clearInL1IfGone(n *node, unit uint64) {
-	linesPerUnit := s.geom.UnitBytes() / s.cfg.L1.LineBytes
-	firstLine := unit * uint64(linesPerUnit)
-	for i := 0; i < linesPerUnit; i++ {
+// f is the unit's L2 frame.
+func (s *System) clearInL1IfGone(n *node, unit uint64, f cache.Frame) {
+	firstLine := unit << s.unitShift
+	for i := 0; i < s.linesPerUnit; i++ {
 		if n.l1.Contains(firstLine + uint64(i)) {
 			return
 		}
 	}
-	n.l2.SetInL1(unit, false)
+	n.l2.SetInL1At(f, unit, false)
 }
 
 // unitOfLine converts an L1 line number to a coherence-unit number.
 func (s *System) unitOfLine(line uint64) uint64 {
-	return line * uint64(s.cfg.L1.LineBytes) / uint64(s.geom.UnitBytes())
-}
-
-// linesOfUnit returns the first L1 line of a unit and the line count.
-func (s *System) linesOfUnit(unit uint64) (uint64, int) {
-	n := s.geom.UnitBytes() / s.cfg.L1.LineBytes
-	return unit * uint64(n), n
+	return line >> s.unitShift
 }

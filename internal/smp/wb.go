@@ -5,18 +5,47 @@ package smp
 // to a pending line are forwarded; a store arriving at a full buffer
 // drains the oldest entry first. Snoops always probe the buffer (never
 // filtered by JETTY) — its energy is charged per snoop in the accounting.
+//
+// Every simulated reference probes the buffer, so the layout is tuned
+// for the probe: a fixed ring of line slots (no FIFO shifting) guarded
+// by an exact 64-bit membership signature — one bit per sigBit(line), kept
+// precise by per-bit occupancy counters — that rejects most probes
+// without scanning. All storage is allocated once at construction; the
+// steady-state paths are allocation-free.
 type writeBuffer struct {
-	lines []uint64 // FIFO order, oldest first
-	cap   int
+	buf      []uint64 // cap slots; empty slots hold wbEmpty
+	head     int      // index of the oldest entry
+	n        int      // occupied slots
+	cap      int
+	sig      uint64     // bit sigBit(line) set iff some buffered line maps to it
+	cnt      [64]uint16 // occupancy count per signature bit
+	drainBuf []uint64   // reusable drainAll result storage
 }
+
+// wbEmpty marks an unoccupied slot; no L1 line number (< 2^36) collides.
+const wbEmpty = ^uint64(0)
 
 func newWriteBuffer(entries int) *writeBuffer {
-	return &writeBuffer{cap: entries}
+	w := &writeBuffer{buf: make([]uint64, entries), cap: entries}
+	for i := range w.buf {
+		w.buf[i] = wbEmpty
+	}
+	return w
 }
 
-// contains reports whether a store to the line is pending.
+// sigBit hashes a line to its membership-signature bit. Folding bit 7+
+// into the low bits keeps strided access patterns from aliasing onto a
+// few signature bits.
+func sigBit(line uint64) uint { return uint(line^line>>7) & 63 }
+
+// contains reports whether a store to the line is pending: a one-word
+// signature test rejects most probes, the rest scan the (small, fixed)
+// slot array.
 func (w *writeBuffer) contains(line uint64) bool {
-	for _, l := range w.lines {
+	if w.sig&(1<<sigBit(line)) == 0 {
+		return false
+	}
+	for _, l := range w.buf {
 		if l == line {
 			return true
 		}
@@ -24,28 +53,38 @@ func (w *writeBuffer) contains(line uint64) bool {
 	return false
 }
 
-// push enqueues a store. If the buffer is full, the oldest entry is
-// returned for draining. The caller must have checked contains first
-// (coalescing happens there).
-func (w *writeBuffer) push(line uint64) (drain uint64, mustDrain bool) {
-	if w.cap == 0 {
-		// No buffering: drain immediately.
-		return line, true
+// add records line in the membership signature.
+func (w *writeBuffer) add(line uint64) {
+	b := sigBit(line)
+	if w.cnt[b] == 0 {
+		w.sig |= 1 << b
 	}
-	if len(w.lines) >= w.cap {
-		drain, mustDrain = w.lines[0], true
-		w.lines = append(w.lines[:0], w.lines[1:]...)
-	}
-	w.lines = append(w.lines, line)
-	return drain, mustDrain
+	w.cnt[b]++
 }
 
-// drainAll removes and returns all pending lines, oldest first.
+// remove drops line from the membership signature.
+func (w *writeBuffer) remove(line uint64) {
+	b := sigBit(line)
+	w.cnt[b]--
+	if w.cnt[b] == 0 {
+		w.sig &^= 1 << b
+	}
+}
+
+// drainAll removes and returns all pending lines, oldest first. The
+// returned slice is reused by the next drainAll call.
 func (w *writeBuffer) drainAll() []uint64 {
-	out := w.lines
-	w.lines = nil
+	out := w.drainBuf[:0]
+	for i := 0; i < w.n; i++ {
+		idx := w.head + i
+		if idx >= w.cap {
+			idx -= w.cap
+		}
+		out = append(out, w.buf[idx])
+		w.buf[idx] = wbEmpty
+	}
+	w.drainBuf = out
+	w.head, w.n, w.sig = 0, 0, 0
+	w.cnt = [64]uint16{}
 	return out
 }
-
-// len returns the number of pending stores.
-func (w *writeBuffer) len() int { return len(w.lines) }

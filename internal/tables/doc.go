@@ -1,0 +1,12 @@
+// Package tables renders fixed-width text tables shaped like the
+// paper's tables and figure data series, so every experiment binary
+// prints rows that can be compared against the publication side by
+// side.
+//
+// A Table is built fluently — New(title, headers...).Row(...).Note(...)
+// — and rendered with String: columns are sized to content, float64
+// cells print with one decimal (the paper's precision), and notes become
+// footnote lines. cmd/paper, cmd/jettysim and the sweep renderers all
+// print through it, which keeps "compare against the publication" a
+// side-by-side diff rather than a formatting exercise.
+package tables

@@ -1,6 +1,3 @@
-// Package tables renders fixed-width text tables shaped like the paper's
-// tables and figure data series, so every experiment binary prints rows
-// that can be compared against the publication side by side.
 package tables
 
 import (

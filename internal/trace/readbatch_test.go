@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// encodeTestTrace returns a small uncompressed trace and its records.
+func encodeTestTrace(t *testing.T, n int) ([]byte, []Rec) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 4, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Rec
+	for i := 0; i < n; i++ {
+		cpu := i % 4
+		r := Ref{Op: Op(i % 2), Addr: uint64(i) * 96}
+		if err := w.Write(cpu, r); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Rec{Addr: r.Addr, CPU: int32(cpu), Op: r.Op})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+// TestReadBatchMatchesRead decodes the same trace through Read and
+// ReadBatch (with an awkward buffer size) and requires identical record
+// sequences.
+func TestReadBatchMatchesRead(t *testing.T) {
+	data, want := encodeTestTrace(t, 1000)
+
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Rec
+	buf := make([]Rec, 7) // never aligned with chunk boundaries
+	for {
+		n, err := rd.ReadBatch(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ReadBatch decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if rd.Err() != nil {
+		t.Fatalf("clean end of trace left Err = %v", rd.Err())
+	}
+}
+
+// TestReadBatchErrorIsSticky pins the post-corruption contract: once
+// ReadBatch reports a decode error, subsequent calls return the same
+// error and decode nothing — they must not resume mid-chunk and
+// fabricate records.
+func TestReadBatchErrorIsSticky(t *testing.T) {
+	data, _ := encodeTestTrace(t, 1000)
+
+	// Corrupt a byte deep inside the first chunk's payload (past the
+	// header region) so decoding fails mid-chunk.
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)/2] ^= 0xff
+
+	rd, err := NewReader(bytes.NewReader(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Rec, 64)
+	var firstErr error
+	for firstErr == nil {
+		_, err := rd.ReadBatch(buf)
+		if err == io.EOF {
+			t.Skip("corruption was not detectable at this byte (valid re-encoding)")
+		}
+		firstErr = err
+	}
+	before := rd.Records()
+	n, err := rd.ReadBatch(buf)
+	if n != 0 || err != firstErr {
+		t.Fatalf("ReadBatch after error = (%d, %v), want (0, %v)", n, err, firstErr)
+	}
+	if rd.Records() != before {
+		t.Fatalf("ReadBatch after error advanced the record count %d -> %d", before, rd.Records())
+	}
+}

@@ -149,6 +149,66 @@ func (t *Reader) Read() (cpu int, r Ref, err error) {
 	return cpu, Ref{Op: op, Addr: addr}, nil
 }
 
+// ReadBatch decodes up to len(dst) records into dst, in recorded order,
+// and returns how many it wrote. It returns io.EOF (possibly alongside
+// n > 0 decoded records) at a clean end of trace and the decoding error
+// otherwise. It is the batched counterpart of Read — the replay hot path
+// fills one reusable buffer per chunk instead of making a call per
+// record. Do not mix ReadBatch with the Next (Source) view: Next's
+// pending record is not visible to batched reads.
+func (t *Reader) ReadBatch(dst []Rec) (int, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	n := 0
+	for n < len(dst) {
+		// Decode straight from the current chunk while records remain;
+		// this inner loop is the allocation-free fast path.
+		for t.left > 0 && n < len(dst) {
+			if t.off >= len(t.chunk) {
+				return n, t.corrupt("chunk payload ends before its %d records do", t.left)
+			}
+			head := t.chunk[t.off]
+			t.off++
+			cpu := int(head >> 1)
+			if cpu >= t.cpus {
+				return n, t.corrupt("record for cpu %d beyond the header's %d", cpu, t.cpus)
+			}
+			u, un := binary.Uvarint(t.chunk[t.off:])
+			if un <= 0 {
+				return n, t.corrupt("truncated record varint")
+			}
+			t.off += un
+			a := uint64(int64(t.last[cpu]) + unzigzag(u))
+			t.last[cpu] = a
+			op := Read
+			if head&1 != 0 {
+				op = Write
+			}
+			dst[n] = Rec{Addr: a, CPU: int32(cpu), Op: op}
+			n++
+			t.left--
+			t.total++
+		}
+		if n == len(dst) {
+			return n, nil
+		}
+		if t.err != nil {
+			return n, t.err
+		}
+		if t.done {
+			return n, io.EOF
+		}
+		if err := t.nextChunk(); err != nil {
+			if err != io.EOF {
+				t.err = err
+			}
+			return n, err
+		}
+	}
+	return n, nil
+}
+
 // nextChunk loads and decodes the next frame. io.EOF signals a clean end
 // marker; any other error is corruption.
 func (t *Reader) nextChunk() error {

@@ -29,6 +29,16 @@ type Ref struct {
 	Addr uint64
 }
 
+// Rec is one decoded trace record: the issuing CPU and its reference,
+// packed flat into 16 bytes so batched decoding (Reader.ReadBatch) fills
+// caller-owned []Rec buffers with minimal memory traffic and replay
+// loops stream records without per-record interface hops.
+type Rec struct {
+	Addr uint64
+	CPU  int32
+	Op   Op
+}
+
 // Source produces per-CPU reference streams. Implementations must be
 // deterministic for a fixed construction (seeded), so experiments are
 // reproducible. Next returns ok=false when cpu's stream is exhausted.
