@@ -21,6 +21,7 @@ import (
 	"jetty/internal/energy"
 	"jetty/internal/engine"
 	"jetty/internal/jetty"
+	"jetty/internal/metrics"
 	"jetty/internal/sim"
 	"jetty/internal/smp"
 	"jetty/internal/sweep"
@@ -396,6 +397,10 @@ func BenchmarkFilterProbe(b *testing.B) {
 //   - steady: the same machine replaying the stream repeatedly after a
 //     warm-up pass — the sustained inner loop, which must stay at
 //     0 allocs/op (TestStepSteadyStateAllocs asserts the same property).
+//   - sampled: steady with an interval sampler attached (8192-access
+//     windows). PERFORMANCE.md tracks sampled-vs-steady as the sampling
+//     overhead, which must stay under 5%; the 0 allocs/op guarantee
+//     holds here too (TestStepSteadyStateAllocsSampled).
 func BenchmarkAccessHotPath(b *testing.B) {
 	cfg := smp.PaperConfig(4).WithFilters(jetty.MustParse(bestHybrid))
 	sp, err := workload.ByName("Ocean")
@@ -428,6 +433,27 @@ func BenchmarkAccessHotPath(b *testing.B) {
 			sys.StepBatch(recs)
 		}
 		perAccess(b)
+	})
+	b.Run("sampled", func(b *testing.B) {
+		const interval = 8192
+		sys := smp.New(cfg)
+		sm := metrics.NewSampler(metrics.Config{
+			Interval: interval,
+			Filters:  len(cfg.Filters),
+			Capacity: len(recs)/interval + 4,
+		})
+		sys.SetSampler(sm)
+		sys.StepBatch(recs) // cold pass, also grows the window arena
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sm.Rewind() // keep retention bounded; the delta base survives
+			sys.StepBatch(recs)
+		}
+		perAccess(b)
+		if len(sm.Windows()) == 0 {
+			b.Fatal("sampler emitted no windows")
+		}
 	})
 }
 

@@ -14,6 +14,7 @@
 //	jettysim -app Ocean -accesses 500000 -l2 2097152 -assoc 8
 //	jettysim -app WebServer -capture web.jtrc -gzip
 //	jettysim -trace web.jtrc -filters EJ-32x4
+//	jettysim -app PhasedWebServer -timeline tl.csv -interval 8192
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 	traceFile := flag.String("trace", "", "replay this recorded trace file instead of generating -app")
 	capture := flag.String("capture", "", "record the run's reference stream to this trace file")
 	gz := flag.Bool("gzip", false, "gzip-compress the -capture trace")
+	timeline := flag.String("timeline", "", "sample the run and write the per-window timeline as CSV to this file (\"-\" = stdout)")
+	interval := flag.Uint64("interval", 0, "timeline window width in accesses (0 with -timeline = 10000)")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -61,6 +64,7 @@ func main() {
 		app: *app, cpus: *cpus, cpusSet: set["cpus"], accesses: *accesses,
 		filters: *filters, l2size: *l2size, l2assoc: *l2assoc, nsb: *nsb,
 		serial: *serial, traceFile: *traceFile, capture: *capture, gzip: *gz,
+		timeline: *timeline, interval: *interval,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "jettysim:", err)
 		os.Exit(1)
@@ -78,11 +82,29 @@ type runOpts struct {
 	traceFile       string
 	capture         string
 	gzip            bool
+	timeline        string
+	interval        uint64
+}
+
+// sampled reports whether the run records a timeline (-timeline and/or
+// -interval given).
+func (o runOpts) sampled() bool { return o.timeline != "" || o.interval > 0 }
+
+// sampleOpt builds the sampling options, defaulting the interval.
+func (o runOpts) sampleOpt() sim.SampleOptions {
+	iv := o.interval
+	if iv == 0 {
+		iv = 10_000
+	}
+	return sim.SampleOptions{Interval: iv}
 }
 
 func run(o runOpts) error {
 	if o.traceFile != "" && o.capture != "" {
 		return fmt.Errorf("-trace and -capture are mutually exclusive")
+	}
+	if o.capture != "" && o.sampled() {
+		return fmt.Errorf("-capture and -timeline/-interval are mutually exclusive (capture, then replay sampled)")
 	}
 
 	// Replay path: the trace fixes the workload and the machine width.
@@ -126,13 +148,18 @@ func run(o runOpts) error {
 	defer stop()
 
 	if o.traceFile != "" {
-		res, err := sim.RunTraceCtx(ctx, in, cfg, nil)
+		var res sim.AppResult
+		if o.sampled() {
+			res, err = sim.RunTraceSampledCtx(ctx, in, cfg, o.sampleOpt(), nil)
+		} else {
+			res, err = sim.RunTraceCtx(ctx, in, cfg, nil)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("replaying %s (%d records, digest %.12s…)\n", o.traceFile, in.Records, in.Digest)
 		printResult(res, cfg, o.serial)
-		return nil
+		return writeTimeline(o.timeline, res)
 	}
 
 	sp, err := workload.Lookup(o.app)
@@ -171,11 +198,42 @@ func run(o runOpts) error {
 		return nil
 	}
 
-	res, err := sim.RunAppCtx(ctx, sp, cfg, nil)
+	var res sim.AppResult
+	if o.sampled() {
+		res, err = sim.RunAppSampledCtx(ctx, sp, cfg, o.sampleOpt(), nil)
+	} else {
+		res, err = sim.RunAppCtx(ctx, sp, cfg, nil)
+	}
 	if err != nil {
 		return err
 	}
 	printResult(res, cfg, o.serial)
+	return writeTimeline(o.timeline, res)
+}
+
+// writeTimeline writes a sampled run's timeline as CSV to path ("-" or
+// "" with sampling = stdout) and reports where it went.
+func writeTimeline(path string, res sim.AppResult) error {
+	tl := res.Timeline
+	if tl == nil {
+		return nil
+	}
+	if path == "" || path == "-" {
+		fmt.Printf("\ntimeline (%d windows of %d accesses):\n", len(tl.Windows), tl.Interval)
+		return tl.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d timeline windows (interval %d) to %s\n", len(tl.Windows), tl.Interval, path)
 	return nil
 }
 

@@ -32,7 +32,8 @@ commands:
   record   -app <workload> [-cpus N] [-n refs] [-gzip] [-note s] [-o file]
            record a library workload to a trace file
   inspect  <file...>   print header and framing summary (no payload decode)
-  stats    <file...>   decode fully: per-CPU reference statistics
+  stats    [-window N] <file...>   decode fully: per-CPU reference statistics
+           (-window adds one summary row per N-record window)
   head     [-n N] <file>   print the first N records as text
   convert  [-gzip] [-chunk N] -o <out> <in>   re-encode a trace
   merge    -o <out> <in...>   concatenate traces with equal CPU counts
@@ -193,6 +194,7 @@ func cmdInspect(args []string) error {
 
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	window := fs.Uint64("window", 0, "also print one summary row per this many records (0 = whole-trace stats only)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -200,14 +202,39 @@ func cmdStats(args []string) error {
 		return usagef("no trace files given")
 	}
 	for _, path := range fs.Args() {
-		if err := statOne(path); err != nil {
+		if err := statOne(path, *window); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 	}
 	return nil
 }
 
-func statOne(path string) error {
+// winStat accumulates one window of the windowed stats output.
+type winStat struct {
+	records uint64
+	writes  uint64
+	blocks  map[uint64]struct{} // distinct 64B blocks touched in the window
+}
+
+func (w *winStat) reset() {
+	w.records, w.writes = 0, 0
+	if w.blocks == nil {
+		w.blocks = make(map[uint64]struct{})
+	} else {
+		clear(w.blocks) // keep the grown buckets across windows
+	}
+}
+
+func (w *winStat) row(idx uint64, start uint64) {
+	wf := 0.0
+	if w.records > 0 {
+		wf = float64(w.writes) / float64(w.records)
+	}
+	fmt.Printf("  window %4d  [%9d, %9d)  %8d recs  %5.1f%% writes  %7d blocks (%.1f KB)\n",
+		idx, start, start+w.records, w.records, wf*100, len(w.blocks), float64(len(w.blocks))*64/1024)
+}
+
+func statOne(path string, window uint64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -222,6 +249,13 @@ func statOne(path string) error {
 	writes := make([]uint64, cpus)
 	blocks := make(map[uint64]struct{})
 	var minA, maxA uint64 = ^uint64(0), 0
+
+	var win winStat
+	var winIdx, winStart uint64
+	if window > 0 {
+		win.reset()
+		fmt.Printf("%s: windowed statistics (%d records per window)\n", path, window)
+	}
 	for {
 		cpu, r, err := rd.Read()
 		if err == io.EOF {
@@ -237,6 +271,22 @@ func statOne(path string) error {
 		blocks[r.Addr>>6] = struct{}{}
 		minA = min(minA, r.Addr)
 		maxA = max(maxA, r.Addr)
+		if window > 0 {
+			win.records++
+			if r.Op == trace.Write {
+				win.writes++
+			}
+			win.blocks[r.Addr>>6] = struct{}{}
+			if win.records == window {
+				win.row(winIdx, winStart)
+				winIdx++
+				winStart += win.records
+				win.reset()
+			}
+		}
+	}
+	if window > 0 && win.records > 0 {
+		win.row(winIdx, winStart)
 	}
 	total := rd.Records()
 	if total == 0 {

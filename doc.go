@@ -31,6 +31,15 @@
 // folds the results into paper-style aggregates; jettyd exposes the same
 // engine as POST/GET /v1/sweeps.
 //
+// Every run can also be observed in time, not just in aggregate: the
+// interval-sampling layer (internal/metrics) splits a run into
+// fixed-size windows of snoop, coverage and energy activity with zero
+// steady-state allocation cost, phased library scenarios
+// (PhasedWebServer, PhasedOLTP) exercise genuinely time-varying
+// behaviour, and jettyd streams windows live over SSE
+// (/v1/experiments/{id}/live) while exposing service counters at
+// /metrics.
+//
 // Start with examples/quickstart, or run:
 //
 //	go run ./cmd/paper -exp all

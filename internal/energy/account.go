@@ -61,6 +61,27 @@ func (c *Counts) Add(other Counts) {
 	c.SnoopStateWrites += other.SnoopStateWrites
 }
 
+// Sub returns c - other field by field. Counters are monotone within one
+// run, so subtracting an earlier snapshot from a later one yields the
+// interval's activity (the metrics sampler's window deltas).
+func (c Counts) Sub(other Counts) Counts {
+	c.LocalReads -= other.LocalReads
+	c.LocalWrites -= other.LocalWrites
+	c.LocalReadHits -= other.LocalReadHits
+	c.LocalWriteHits -= other.LocalWriteHits
+	c.LocalFills -= other.LocalFills
+	c.LocalStateWrite -= other.LocalStateWrite
+	c.TagAllocs -= other.TagAllocs
+	c.TagEvictions -= other.TagEvictions
+	c.DirtyWBUnits -= other.DirtyWBUnits
+	c.Snoops -= other.Snoops
+	c.SnoopHits -= other.SnoopHits
+	c.SnoopMisses -= other.SnoopMisses
+	c.SnoopSupplies -= other.SnoopSupplies
+	c.SnoopStateWrites -= other.SnoopStateWrites
+	return c
+}
+
 // LocalProbes returns all processor-side tag probes.
 func (c Counts) LocalProbes() uint64 { return c.LocalReads + c.LocalWrites }
 
@@ -83,6 +104,18 @@ func (f *FilterCounts) Add(other FilterCounts) {
 	f.CntUpdates += other.CntUpdates
 	f.PBitWrites += other.PBitWrites
 	f.FilteredHits += other.FilteredHits
+}
+
+// Sub returns f - other field by field (interval deltas between two
+// cumulative snapshots, like Counts.Sub).
+func (f FilterCounts) Sub(other FilterCounts) FilterCounts {
+	f.Probes -= other.Probes
+	f.Filtered -= other.Filtered
+	f.EJWrites -= other.EJWrites
+	f.CntUpdates -= other.CntUpdates
+	f.PBitWrites -= other.PBitWrites
+	f.FilteredHits -= other.FilteredHits
+	return f
 }
 
 // Breakdown is the energy (J) of one run split by component.

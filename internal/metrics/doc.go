@@ -1,0 +1,31 @@
+// Package metrics is the time-resolved instrumentation layer: a
+// zero-allocation interval sampler that turns a running machine's
+// cumulative counters into fixed-size windows, and the Timeline those
+// windows accumulate into.
+//
+// Everything above the simulator reports end-of-run aggregates; this
+// package opens the time axis. A Sampler attaches to an smp.System
+// (SetSampler) and the machine itself calls Observe at every interval
+// boundary — a boundary is fixed in accesses, never wall time, so a
+// timeline is as deterministic and replayable as the run it measures.
+// Each Window holds the interval's delta of the L2 event counts
+// (energy.Counts) and of every filter's counts (energy.FilterCounts);
+// summing a timeline's windows reproduces the end-of-run totals exactly,
+// and attaching a sampler never perturbs simulation results (both
+// properties are pinned by tests in internal/sim).
+//
+// The hot-path cost is one uint64 comparison per access plus an
+// O(cpus × filters) counter sweep per boundary; steady-state emission
+// allocates nothing (windows and their filter slices come from
+// pre-grown arenas, double-buffered against the OnWindow streaming
+// hook). TestStepSteadyStateAllocs in internal/smp and
+// BenchmarkAccessHotPath/sampled pin that guarantee; PERFORMANCE.md
+// tracks the overhead.
+//
+// Consumers: internal/sim returns a Timeline on sampled runs (and fills
+// each window's baseline energy Breakdown), internal/sweep retains
+// per-cell timelines under a retention policy, the jettyd service
+// serves them (GET /v1/experiments/{id}/timeline), streams windows live
+// over SSE (/v1/experiments/{id}/live), and cmd/jettysim writes them as
+// CSV (-timeline). EXPERIMENTS.md has the walkthrough.
+package metrics

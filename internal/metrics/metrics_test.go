@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"jetty/internal/energy"
+)
+
+// fakeSource is a scripted CounterSource.
+type fakeSource struct {
+	refs    uint64
+	counts  energy.Counts
+	filters []energy.FilterCounts
+}
+
+func (f *fakeSource) Refs() uint64                           { return f.refs }
+func (f *fakeSource) EnergyCounts() energy.Counts            { return f.counts }
+func (f *fakeSource) FilterCounts(i int) energy.FilterCounts { return f.filters[i] }
+func (f *fakeSource) step(refs uint64, snoops, filtered uint64) {
+	f.refs += refs
+	f.counts.Snoops += snoops
+	f.counts.SnoopMisses += snoops
+	for i := range f.filters {
+		f.filters[i].Probes += snoops
+		f.filters[i].Filtered += filtered
+	}
+}
+
+func TestSamplerWindowsAreDeltas(t *testing.T) {
+	src := &fakeSource{filters: make([]energy.FilterCounts, 2)}
+	sm := NewSampler(Config{Interval: 128, Filters: 2})
+	sm.Prime(src)
+
+	src.step(128, 10, 4)
+	sm.Observe(src)
+	src.step(128, 30, 15)
+	sm.Observe(src)
+	src.step(13, 5, 1) // tail
+	sm.Flush(src)
+
+	wins := sm.Windows()
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3", len(wins))
+	}
+	if wins[0].Counts.Snoops != 10 || wins[1].Counts.Snoops != 30 || wins[2].Counts.Snoops != 5 {
+		t.Errorf("window snoop deltas = %d/%d/%d, want 10/30/5",
+			wins[0].Counts.Snoops, wins[1].Counts.Snoops, wins[2].Counts.Snoops)
+	}
+	if wins[1].Filters[0].Filtered != 15 || wins[1].Filters[1].Filtered != 15 {
+		t.Errorf("window 1 filtered = %+v, want 15 per filter", wins[1].Filters)
+	}
+	if wins[2].StartRef != 256 || wins[2].EndRef != 269 || wins[2].Refs != 13 {
+		t.Errorf("tail window = %+v", wins[2])
+	}
+	if cov := wins[1].Coverage(0); cov != 0.5 {
+		t.Errorf("window 1 coverage = %v, want 0.5", cov)
+	}
+
+	// Summing the timeline reproduces the cumulative totals.
+	tl := &Timeline{Interval: 128, FilterNames: []string{"a", "b"}, Windows: wins}
+	refs, counts, filters := tl.Sum()
+	if refs != src.refs || counts != src.counts {
+		t.Errorf("sum = %d refs %+v, want %d refs %+v", refs, counts, src.refs, src.counts)
+	}
+	for i := range filters {
+		if filters[i] != src.filters[i] {
+			t.Errorf("filter %d sum = %+v, want %+v", i, filters[i], src.filters[i])
+		}
+	}
+}
+
+func TestFlushIsIdempotentAndDrainAware(t *testing.T) {
+	src := &fakeSource{filters: make([]energy.FilterCounts, 1)}
+	sm := NewSampler(Config{Interval: 64, Filters: 1})
+	sm.Prime(src)
+
+	src.step(64, 8, 2)
+	sm.Observe(src)
+	sm.Flush(src) // nothing since the boundary: no extra window
+	if n := len(sm.Windows()); n != 1 {
+		t.Fatalf("flush after clean boundary added a window: %d", n)
+	}
+
+	// A drain moves counters without references: the flush window must
+	// capture it (Refs == 0, counts nonzero) or totals would not conserve.
+	src.counts.LocalWrites += 3
+	sm.Flush(src)
+	wins := sm.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("drain-only flush missing: %d windows", len(wins))
+	}
+	if wins[1].Refs != 0 || wins[1].Counts.LocalWrites != 3 {
+		t.Errorf("drain window = %+v", wins[1])
+	}
+	sm.Flush(src) // and idempotent again
+	if n := len(sm.Windows()); n != 2 {
+		t.Errorf("repeated flush added a window: %d", n)
+	}
+}
+
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	src := &fakeSource{filters: make([]energy.FilterCounts, 4)}
+	sm := NewSampler(Config{Interval: 64, Filters: 4, Capacity: 4096})
+	sm.Prime(src)
+	if avg := testing.AllocsPerRun(200, func() {
+		src.step(64, 7, 3)
+		sm.Observe(src)
+	}); avg != 0 {
+		t.Fatalf("Observe allocates %v allocs/op in steady state (want 0)", avg)
+	}
+}
+
+func TestOnWindowIsBorrowedPerBoundary(t *testing.T) {
+	src := &fakeSource{filters: make([]energy.FilterCounts, 1)}
+	var seen []uint64
+	sm := NewSampler(Config{Interval: 64, Filters: 1, OnWindow: func(w *Window) {
+		seen = append(seen, w.Counts.Snoops)
+	}})
+	sm.Prime(src)
+	for i := uint64(1); i <= 3; i++ {
+		src.step(64, i, 0)
+		sm.Observe(src)
+	}
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 2 || seen[2] != 3 {
+		t.Errorf("streamed snoop deltas = %v, want [1 2 3]", seen)
+	}
+}
+
+func TestRewindKeepsDeltaBase(t *testing.T) {
+	src := &fakeSource{filters: make([]energy.FilterCounts, 1)}
+	sm := NewSampler(Config{Interval: 64, Filters: 1})
+	sm.Prime(src)
+	src.step(64, 10, 0)
+	sm.Observe(src)
+	sm.Rewind()
+	if len(sm.Windows()) != 0 {
+		t.Fatal("rewind kept windows")
+	}
+	src.step(64, 7, 0)
+	sm.Observe(src)
+	if w := sm.Windows(); len(w) != 1 || w[0].Counts.Snoops != 7 {
+		t.Errorf("post-rewind window = %+v, want snoop delta 7", w)
+	}
+}
+
+func TestTimelineCloneIsDeep(t *testing.T) {
+	src := &fakeSource{filters: make([]energy.FilterCounts, 1)}
+	sm := NewSampler(Config{Interval: 64, Filters: 1})
+	sm.Prime(src)
+	src.step(64, 4, 2)
+	sm.Observe(src)
+	tl := &Timeline{Interval: 64, FilterNames: []string{"EJ"}, Windows: append([]Window(nil), sm.Windows()...)}
+	cp := tl.Clone()
+	cp.Windows[0].Filters[0].Filtered = 999
+	cp.FilterNames[0] = "mutated"
+	if tl.Windows[0].Filters[0].Filtered != 2 || tl.FilterNames[0] != "EJ" {
+		t.Error("Clone shares storage with the original")
+	}
+	if (*Timeline)(nil).Clone() != nil {
+		t.Error("nil clone not nil")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	src := &fakeSource{filters: make([]energy.FilterCounts, 1)}
+	sm := NewSampler(Config{Interval: 64, Filters: 1})
+	sm.Prime(src)
+	src.step(64, 8, 4)
+	sm.Observe(src)
+	tl := &Timeline{Interval: 64, FilterNames: []string{"EJ-32x4"}, Windows: sm.Windows()}
+	var b strings.Builder
+	if err := tl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header+1:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "coverage[EJ-32x4]") {
+		t.Errorf("header lacks per-filter column: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,64,64,8,0,8") {
+		t.Errorf("row = %s", lines[1])
+	}
+	if !strings.HasSuffix(lines[1], ",4,0.500000") {
+		t.Errorf("row lacks filtered/coverage tail: %s", lines[1])
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	for _, bad := range []Config{{Interval: 0}, {Interval: MinInterval - 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSampler(%+v) did not panic", bad)
+				}
+			}()
+			NewSampler(bad)
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"jetty/internal/energy"
+)
+
+// Timeline is the time-resolved record of one run: fixed-size windows in
+// emission order. It is what the sim layer returns alongside the
+// end-of-run metrics, what the jettyd service serves and streams, and
+// what jettysim writes as CSV.
+type Timeline struct {
+	// Interval is the window width in accesses.
+	Interval uint64 `json:"interval"`
+	// FilterNames labels the per-window Filters slices, in bank order.
+	FilterNames []string `json:"filter_names,omitempty"`
+	// Windows are the emitted windows. Every counter in them is a
+	// window-local delta; summing all windows reproduces the end-of-run
+	// totals exactly (the conservation property the sim tests pin).
+	Windows []Window `json:"windows"`
+}
+
+// Clone returns a deep copy (timelines ride on engine-cached results
+// that are shared between submitters).
+func (t *Timeline) Clone() *Timeline {
+	if t == nil {
+		return nil
+	}
+	out := &Timeline{
+		Interval:    t.Interval,
+		FilterNames: append([]string(nil), t.FilterNames...),
+		Windows:     append([]Window(nil), t.Windows...),
+	}
+	for i := range out.Windows {
+		out.Windows[i].Filters = append([]energy.FilterCounts(nil), out.Windows[i].Filters...)
+	}
+	return out
+}
+
+// Sum folds every window back into run totals: references, L2 counts
+// and per-filter counts.
+func (t *Timeline) Sum() (refs uint64, counts energy.Counts, filters []energy.FilterCounts) {
+	filters = make([]energy.FilterCounts, len(t.FilterNames))
+	for i := range t.Windows {
+		w := &t.Windows[i]
+		refs += w.Refs
+		counts.Add(w.Counts)
+		for fi := range w.Filters {
+			filters[fi].Add(w.Filters[fi])
+		}
+	}
+	return refs, counts, filters
+}
+
+// WriteCSV renders the timeline as CSV: one row per window with the
+// snoop activity, the baseline energy split by component (joules), and
+// per-filter filtered counts and in-window coverage.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("window,start_ref,end_ref,refs,snoops,snoop_hits,snoop_misses,local_reads,local_writes,tag_allocs,tag_evictions")
+	b.WriteString(",local_tag_j,local_data_j,snoop_tag_j,snoop_data_j,snoop_state_j,snoop_wb_j")
+	for _, name := range t.FilterNames {
+		fmt.Fprintf(&b, ",filtered[%s],coverage[%s]", name, name)
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for i := range t.Windows {
+		b.Reset()
+		win := &t.Windows[i]
+		c := win.Counts
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+			win.Index, win.StartRef, win.EndRef, win.Refs,
+			c.Snoops, c.SnoopHits, c.SnoopMisses, c.LocalReads, c.LocalWrites,
+			c.TagAllocs, c.TagEvictions)
+		e := win.Energy
+		fmt.Fprintf(&b, ",%.6g,%.6g,%.6g,%.6g,%.6g,%.6g",
+			e.LocalTag, e.LocalData, e.SnoopTag, e.SnoopData, e.SnoopState, e.SnoopWB)
+		for fi := range win.Filters {
+			fmt.Fprintf(&b, ",%d,%.6f", win.Filters[fi].Filtered, win.Coverage(fi))
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"jetty/internal/engine"
+	"jetty/internal/metrics"
+	"jetty/internal/sim"
+)
+
+// Live observability: sampled experiments (SubmitRequest.Interval > 0)
+// expose their timeline two ways — GET .../timeline serves the finished
+// per-app timelines, and GET .../live streams windows as Server-Sent
+// Events while the simulation runs. The stream source is a liveFeed fed
+// by the sampler's OnWindow hook on the engine worker; subscribers that
+// attach late (or whose experiment was served from the result cache, so
+// no hook ever fired) are topped up from the retained timelines when the
+// experiment finishes, so every subscriber always sees the complete
+// window sequence exactly once.
+
+// liveFeed accumulates pre-encoded windows per job and wakes subscribers
+// on every publish. The notify channel is replaced under the lock each
+// time it is closed — the classic broadcast-by-closed-channel pattern —
+// so any number of SSE handlers can wait without goroutine leaks.
+type liveFeed struct {
+	mu     sync.Mutex
+	apps   []string
+	wins   [][]json.RawMessage // per job, in emission order
+	done   bool
+	notify chan struct{}
+}
+
+func newLiveFeed(apps []string) *liveFeed {
+	return &liveFeed{
+		apps:   apps,
+		wins:   make([][]json.RawMessage, len(apps)),
+		notify: make(chan struct{}),
+	}
+}
+
+// publish appends one window for job idx. The window pointer is borrowed
+// from the sampler (valid only during the callback), so it is encoded
+// before the lock, never stored.
+func (f *liveFeed) publish(idx int, w *metrics.Window) {
+	raw, err := json.Marshal(w)
+	if err != nil {
+		return // windows are plain data; cannot happen
+	}
+	f.mu.Lock()
+	if !f.done {
+		f.wins[idx] = append(f.wins[idx], raw)
+	}
+	close(f.notify)
+	f.notify = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// finish tops up windows no hook delivered (cache-hit jobs ran before
+// this experiment attached, or a subscriber raced the last publishes)
+// from the jobs' retained timelines, then marks the feed complete.
+// Idempotent; any SSE handler that observes the experiment terminal may
+// call it.
+func (f *liveFeed) finish(timelines []*metrics.Timeline) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return
+	}
+	for i, tl := range timelines {
+		if tl == nil {
+			continue
+		}
+		for wi := len(f.wins[i]); wi < len(tl.Windows); wi++ {
+			raw, err := json.Marshal(&tl.Windows[wi])
+			if err != nil {
+				continue
+			}
+			f.wins[i] = append(f.wins[i], raw)
+		}
+	}
+	f.done = true
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+// liveEvent is one SSE "window" payload.
+type liveEvent struct {
+	App    string          `json:"app"`
+	Index  int             `json:"index"` // window ordinal within the app
+	Window json.RawMessage `json:"window"`
+}
+
+// next returns the events past the given per-job cursors (advancing
+// them), whether the feed is complete, and the channel to wait on for
+// more.
+func (f *liveFeed) next(cursors []int) (events []liveEvent, done bool, wait <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.wins {
+		for ; cursors[i] < len(f.wins[i]); cursors[i]++ {
+			events = append(events, liveEvent{App: f.apps[i], Index: cursors[i], Window: f.wins[i][cursors[i]]})
+		}
+	}
+	return events, f.done, f.notify
+}
+
+// resultTimelines collects the finished jobs' timelines in job order
+// (nil for jobs that failed, were canceled, or ran unsampled). It never
+// blocks: only terminal-state jobs are consulted, so Wait returns
+// immediately — and it deliberately waits under the background context,
+// not the subscriber's: a detaching subscriber's canceled request must
+// not race the finished channel into finishing the feed with nil
+// timelines (which would permanently truncate every later subscriber's
+// stream).
+func (e *experiment) resultTimelines() []*metrics.Timeline {
+	out := make([]*metrics.Timeline, len(e.jobs))
+	for i, j := range e.jobs {
+		if j.State() != engine.Done {
+			continue
+		}
+		v, err := j.Wait(context.Background())
+		if err != nil {
+			continue
+		}
+		out[i] = v.(sim.AppResult).Timeline
+	}
+	return out
+}
+
+// AppTimeline pairs one app run with its timeline.
+type AppTimeline struct {
+	App      string            `json:"app"`
+	Timeline *metrics.Timeline `json:"timeline"`
+}
+
+// TimelineResponse is the GET /v1/experiments/{id}/timeline payload.
+type TimelineResponse struct {
+	ID       string        `json:"id"`
+	Interval uint64        `json:"interval"`
+	Apps     []AppTimeline `json:"apps"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	exp := s.lookup(w, r)
+	if exp == nil {
+		return
+	}
+	if exp.interval == 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("experiment %s was not sampled; submit with \"interval\" to record a timeline", exp.id))
+		return
+	}
+	st := exp.status()
+	if st.State != "done" {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  "experiment not finished",
+			"status": st,
+		})
+		return
+	}
+	out := TimelineResponse{ID: exp.id, Interval: exp.interval}
+	for i, j := range exp.jobs {
+		v, err := j.Wait(r.Context())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out.Apps = append(out.Apps, AppTimeline{
+			App:      exp.specs[i].Name,
+			Timeline: v.(sim.AppResult).Timeline.Clone(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// livePollPeriod bounds how long a live stream can go without
+// re-checking experiment state (terminal detection, client liveness):
+// window publishes wake it immediately, the ticker catches everything
+// else.
+const livePollPeriod = 100 * time.Millisecond
+
+// handleLive streams an experiment's windows as SSE:
+//
+//	event: window    data: {"app":..., "index":..., "window":{...}}
+//	event: done      data: {final ExperimentStatus}
+//
+// Works for unsampled experiments too (no window events, a final done),
+// and for experiments canceled or evicted mid-stream (their jobs reach a
+// terminal state, closing the stream cleanly).
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	exp := s.lookup(w, r)
+	if exp == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	s.ctr.liveSubscribers.Add(1)
+	defer s.ctr.liveSubscribers.Add(-1)
+
+	var cursors []int
+	if exp.feed != nil {
+		cursors = make([]int, len(exp.jobs))
+	}
+	ticker := time.NewTicker(livePollPeriod)
+	defer ticker.Stop()
+	for {
+		st := exp.status()
+		terminal := st.State == "done" || st.State == "failed" || st.State == "canceled"
+		var done bool
+		var wait <-chan struct{}
+		if exp.feed != nil {
+			if terminal {
+				exp.feed.finish(exp.resultTimelines())
+			}
+			var events []liveEvent
+			events, done, wait = exp.feed.next(cursors)
+			for _, ev := range events {
+				raw, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: window\ndata: %s\n\n", raw)
+				s.ctr.windowsStreamed.Add(1)
+			}
+			if len(events) > 0 {
+				flusher.Flush()
+			}
+		} else {
+			done = terminal
+		}
+		if done && terminal {
+			raw, _ := json.Marshal(st)
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", raw)
+			flusher.Flush()
+			return
+		}
+		if wait == nil {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-ticker.C:
+			}
+			continue
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wait:
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// Service-level observability: GET /metrics exposes the daemon's own
+// counters in the Prometheus text exposition format (version 0.0.4),
+// so a stock Prometheus scrape — or `curl localhost:8077/metrics` —
+// sees admission, registry, trace-store, live-stream and engine state
+// without touching the JSON API. These are operational counters about
+// the service; the simulation-level timelines live under
+// /v1/experiments/{id}/timeline.
+
+// counters are the monotone event counts and live gauges the handlers
+// bump. Atomics: they are touched from request handlers and engine
+// workers (OnWindow hooks) concurrently.
+type counters struct {
+	expSubmitted    atomic.Uint64
+	sweepSubmitted  atomic.Uint64
+	traceUploads    atomic.Uint64
+	evicted         atomic.Uint64
+	liveSubscribers atomic.Int64
+	windowsStreamed atomic.Uint64
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	registered := len(s.exps)
+	sweepsRegistered := len(s.sweeps)
+	unfinished := s.unfinishedLocked()
+	tracesStored := len(s.traces)
+	var traceBytes int
+	for _, in := range s.traces {
+		traceBytes += len(in.Data)
+	}
+	s.mu.Unlock()
+
+	eng := s.runner.Engine()
+	st := eng.Stats()
+
+	var b strings.Builder
+	metric := func(name, typ, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	metric("jettyd_experiments_submitted_total", "counter",
+		"Experiments accepted via POST /v1/experiments.", s.ctr.expSubmitted.Load())
+	metric("jettyd_sweeps_submitted_total", "counter",
+		"Sweeps accepted via POST /v1/sweeps.", s.ctr.sweepSubmitted.Load())
+	metric("jettyd_trace_uploads_total", "counter",
+		"Trace files stored via POST /v1/traces.", s.ctr.traceUploads.Load())
+	metric("jettyd_registry_evictions_total", "counter",
+		"Finished experiments and sweeps evicted from the registry.", s.ctr.evicted.Load())
+	metric("jettyd_experiments_registered", "gauge",
+		"Experiments currently in the registry.", registered)
+	metric("jettyd_sweeps_registered", "gauge",
+		"Sweeps currently in the registry.", sweepsRegistered)
+	metric("jettyd_jobs_unfinished", "gauge",
+		"Experiments and sweeps still queued or running (admission cap accounting).", unfinished)
+	metric("jettyd_traces_stored", "gauge",
+		"Uploaded traces currently retained.", tracesStored)
+	metric("jettyd_trace_bytes_stored", "gauge",
+		"Total bytes of retained uploaded traces.", traceBytes)
+	metric("jettyd_live_subscribers", "gauge",
+		"SSE subscribers currently attached to /v1/experiments/{id}/live.", s.ctr.liveSubscribers.Load())
+	metric("jettyd_live_windows_streamed_total", "counter",
+		"Timeline windows written to SSE subscribers.", s.ctr.windowsStreamed.Load())
+	metric("jettyd_engine_workers", "gauge",
+		"Engine worker pool size.", eng.Workers())
+	metric("jettyd_engine_submitted_total", "counter",
+		"Tasks submitted to the engine.", st.Submitted)
+	metric("jettyd_engine_executed_total", "counter",
+		"Tasks actually run by a worker.", st.Executed)
+	metric("jettyd_engine_cache_hits_total", "counter",
+		"Submissions served from the finished-result cache.", st.CacheHits)
+	metric("jettyd_engine_coalesced_total", "counter",
+		"Submissions attached to an identical in-flight run.", st.Coalesced)
+	metric("jettyd_engine_canceled_total", "counter",
+		"Executions that ended canceled.", st.Canceled)
+	metric("jettyd_engine_failed_total", "counter",
+		"Executions that ended in error.", st.Failed)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

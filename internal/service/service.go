@@ -9,12 +9,15 @@
 // API (bodies JSON unless noted):
 //
 //	GET    /healthz                     liveness + engine stats
+//	GET    /metrics                     service counters, Prometheus text format
 //	GET    /v1/workloads                the workload library (Table 2 + scenarios)
 //	GET    /v1/filters                  the figure filter configurations
 //	POST   /v1/experiments              submit (SubmitRequest) -> 202 ExperimentStatus
 //	GET    /v1/experiments              list all experiments
 //	GET    /v1/experiments/{id}         status/progress
 //	GET    /v1/experiments/{id}/result  finished results + rendered tables
+//	GET    /v1/experiments/{id}/timeline  finished per-app timelines (sampled runs)
+//	GET    /v1/experiments/{id}/live    SSE stream of timeline windows while running
 //	DELETE /v1/experiments/{id}         cancel and forget
 //	POST   /v1/sweeps                   submit (sweep.Spec) -> 202 SweepStatus
 //	GET    /v1/sweeps                   list all sweeps
@@ -42,8 +45,10 @@ import (
 	"sync"
 
 	"jetty/internal/engine"
+	"jetty/internal/metrics"
 	"jetty/internal/sim"
 	"jetty/internal/smp"
+	"jetty/internal/sweep"
 	"jetty/internal/workload"
 )
 
@@ -87,6 +92,8 @@ type Server struct {
 	maxTraces     int
 	maxTraceBytes int64
 
+	ctr counters // service-level /metrics counters
+
 	mu         sync.Mutex
 	exps       map[string]*experiment
 	order      []string // insertion order, for stable listings
@@ -104,6 +111,12 @@ type experiment struct {
 	cfg   smp.Config
 	specs []workload.Spec
 	jobs  []*engine.Job
+
+	// interval and feed are set on sampled experiments: interval is the
+	// timeline window width, feed the live-stream buffer the samplers'
+	// OnWindow hooks publish into.
+	interval uint64
+	feed     *liveFeed
 }
 
 // New builds a server (and its engine). Close it to stop the workers.
@@ -144,12 +157,15 @@ func (s *Server) Close() { s.runner.Engine().Close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/filters", s.handleFilters)
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/experiments/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/experiments/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /v1/experiments/{id}/live", s.handleLive)
 	mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
@@ -183,6 +199,11 @@ type SubmitRequest struct {
 	Filters []string `json:"filters,omitempty"`
 	// NSB disables L2 subblocking (the §4.3 comparison machine).
 	NSB bool `json:"nsb,omitempty"`
+	// Interval, when nonzero, samples every run with that timeline
+	// window width (accesses per window). The finished experiment then
+	// serves GET .../timeline, and GET .../live streams windows while it
+	// runs. Sampling never changes the experiment's results.
+	Interval uint64 `json:"interval,omitempty"`
 }
 
 // JobStatus is one app run's progress snapshot.
@@ -262,17 +283,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	exp := &experiment{
-		id:    fmt.Sprintf("exp-%06d", s.seq),
-		req:   req,
-		cfg:   cfg,
-		specs: specs,
+		id:       fmt.Sprintf("exp-%06d", s.seq),
+		req:      req,
+		cfg:      cfg,
+		specs:    specs,
+		interval: req.Interval,
+	}
+	// Sampled experiments stream into a live feed; each job's sampler
+	// publishes under its own index. The hook only fires for executions
+	// this submission actually started — cache hits and coalesced runs
+	// are topped up from the retained timelines when the stream finishes.
+	if exp.interval > 0 {
+		apps := make([]string, len(specs))
+		for i, sp := range specs {
+			apps[i] = sp.Name
+		}
+		exp.feed = newLiveFeed(apps)
+	}
+	// Streamed windows must match the retained timeline's exactly, so
+	// the hook attaches the same energy breakdown buildTimeline will.
+	windowEnergy := sim.WindowEnergy(cfg)
+	sampleOpt := func(idx int) sim.SampleOptions {
+		return sim.SampleOptions{
+			Interval: exp.interval,
+			OnWindow: func(win *metrics.Window) {
+				win.Energy = windowEnergy(win)
+				exp.feed.publish(idx, win)
+			},
+		}
 	}
 	// Submit while holding the registry lock so a canceling client can
 	// never observe the experiment without its jobs. Submit never blocks
 	// on the work itself.
-	if traceIn != nil {
+	switch {
+	case traceIn != nil && exp.interval > 0:
+		exp.jobs = append(exp.jobs, s.runner.SubmitTraceSampled(*traceIn, cfg, sampleOpt(0)))
+	case traceIn != nil:
 		exp.jobs = append(exp.jobs, s.runner.SubmitTrace(*traceIn, cfg))
-	} else {
+	case exp.interval > 0:
+		for i, sp := range specs {
+			exp.jobs = append(exp.jobs, s.runner.SubmitSampled(sp, cfg, sampleOpt(i)))
+		}
+	default:
 		for _, sp := range specs {
 			exp.jobs = append(exp.jobs, s.runner.Submit(sp, cfg))
 		}
@@ -282,6 +334,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictLocked()
 	s.mu.Unlock()
 
+	s.ctr.expSubmitted.Add(1)
 	writeJSON(w, http.StatusAccepted, exp.status())
 }
 
@@ -297,6 +350,12 @@ const (
 	// maxListLen bounds the apps and filters list lengths (the full
 	// suite is 10 apps; the full figure bank is 21 configurations).
 	maxListLen = 64
+	// maxTimelineWindows bounds one sampled run's timeline: interval and
+	// budget must combine to at most this many windows, or a tiny
+	// interval against a scaled-up budget would retain unbounded window
+	// lists per cached result. The same cap guards sweep cells; sharing
+	// the constant keeps the two admission layers consistent.
+	maxTimelineWindows = sweep.MaxWindowsPerCell
 )
 
 // buildExperiment validates a request into runnable specs (or a stored
@@ -358,6 +417,19 @@ func (s *Server) buildExperiment(req SubmitRequest) ([]workload.Spec, *sim.Trace
 		}
 		for i := range specs {
 			specs[i] = specs[i].Scale(scale)
+		}
+	}
+
+	if req.Interval > 0 {
+		if req.Interval < metrics.MinInterval {
+			return nil, nil, smp.Config{}, fmt.Errorf("interval %d below minimum %d", req.Interval, metrics.MinInterval)
+		}
+		for _, sp := range specs {
+			if windows := sp.Accesses / req.Interval; windows > maxTimelineWindows {
+				return nil, nil, smp.Config{}, fmt.Errorf(
+					"%s at interval %d yields %d timeline windows (cap %d); raise the interval",
+					sp.Name, req.Interval, windows, maxTimelineWindows)
+			}
 		}
 	}
 
@@ -511,6 +583,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	s.traceOrder = append(s.traceOrder, in.Digest)
 	s.mu.Unlock()
 
+	s.ctr.traceUploads.Add(1)
 	writeJSON(w, http.StatusCreated, traceInfo(in))
 }
 
@@ -575,6 +648,7 @@ func (s *Server) evictLocked() {
 			for _, j := range exp.jobs {
 				j.Cancel() // no-op on finished jobs; releases the handle
 			}
+			s.ctr.evicted.Add(1)
 			excess--
 			continue
 		}

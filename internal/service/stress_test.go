@@ -15,8 +15,9 @@ import (
 
 // Stress test: many concurrent clients hammering every mutating endpoint
 // at once — experiment submit/poll/cancel, sweep submission, trace
-// upload/delete against a deliberately tiny store — asserting the three
-// properties a long-running daemon must keep:
+// upload/delete against a deliberately tiny store, SSE live subscribers
+// attaching and detaching mid-run, timeline fetches racing eviction —
+// asserting the three properties a long-running daemon must keep:
 //
 //   - no deadlock: the test finishes (every client's loop completes
 //     under a global deadline);
@@ -67,7 +68,7 @@ func TestServiceStress(t *testing.T) {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("client %d: deadline exceeded at iteration %d", c, i)
 			}
-			switch r.Intn(5) {
+			switch r.Intn(7) {
 			case 0: // experiment: submit, poll to done, fetch
 				req := SubmitRequest{Apps: []string{apps[r.Intn(len(apps))]}, Scale: 0.02, Filters: []string{"EJ-16x2"}}
 				id, err := stressSubmit(base, "/v1/experiments", req, deadline)
@@ -134,6 +135,59 @@ func TestServiceStress(t *testing.T) {
 				}
 				if len(list) > maxTraces {
 					return fmt.Errorf("client %d: trace store holds %d > cap %d", c, len(list), maxTraces)
+				}
+			case 5: // sampled experiment + SSE subscriber detaching mid-run
+				req := SubmitRequest{
+					Apps: []string{apps[r.Intn(len(apps))]}, Scale: 0.05,
+					Filters: []string{"EJ-16x2"}, Interval: 512,
+				}
+				id, err := stressSubmit(base, "/v1/experiments", req, deadline)
+				if err != nil {
+					return fmt.Errorf("client %d: %w", c, err)
+				}
+				if id == "" {
+					continue
+				}
+				// Attach, read a handful of events, hang up mid-stream —
+				// the server must neither block a worker nor leak the
+				// subscription (the quiesce phase and the responsive
+				// healthz check below would catch either).
+				resp, err := http.Get(base + "/v1/experiments/" + id + "/live")
+				if err != nil {
+					return fmt.Errorf("client %d: live attach: %w", c, err)
+				}
+				if resp.StatusCode == http.StatusOK {
+					buf := make([]byte, 512)
+					for n := 0; n < 1+r.Intn(3); n++ {
+						if _, err := resp.Body.Read(buf); err != nil {
+							break
+						}
+					}
+				}
+				resp.Body.Close() // detach, very likely mid-run
+				if err := stressPoll(base, "/v1/experiments/", id, deadline); err != nil {
+					return fmt.Errorf("client %d: %w", c, err)
+				}
+			case 6: // timeline fetches racing completion and eviction
+				var exps []ExperimentStatus
+				if _, err := clientJSON("GET", base+"/v1/experiments", nil, &exps); err != nil {
+					return fmt.Errorf("client %d: list: %w", c, err)
+				}
+				if len(exps) == 0 {
+					continue
+				}
+				id := exps[r.Intn(len(exps))].ID
+				code, err := clientJSON("GET", base+"/v1/experiments/"+id+"/timeline", nil, nil)
+				if err != nil {
+					return fmt.Errorf("client %d: timeline %s: %w", c, id, err)
+				}
+				switch code {
+				case http.StatusOK, // sampled and done
+					http.StatusBadRequest, // not sampled
+					http.StatusConflict,   // still running
+					http.StatusNotFound:   // evicted or canceled between list and fetch
+				default:
+					return fmt.Errorf("client %d: timeline %s: code %d", c, id, code)
 				}
 			case 4: // registry bounds under listing load
 				var exps []ExperimentStatus

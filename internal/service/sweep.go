@@ -29,12 +29,14 @@ type SweepStatus struct {
 }
 
 // SweepResult is the finished payload: the flattened per-filter metrics
-// plus rendered aggregate tables.
+// plus rendered aggregate tables, and — for sampled sweeps — the
+// per-cell timelines the spec's retention policy kept.
 type SweepResult struct {
-	ID      string            `json:"id"`
-	Spec    sweep.Spec        `json:"spec"`
-	Metrics []sweep.Metric    `json:"metrics"`
-	Tables  map[string]string `json:"tables"`
+	ID        string               `json:"id"`
+	Spec      sweep.Spec           `json:"spec"`
+	Metrics   []sweep.Metric       `json:"metrics"`
+	Timelines []sweep.CellTimeline `json:"timelines,omitempty"`
+	Tables    map[string]string    `json:"tables"`
 }
 
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
@@ -83,6 +85,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictSweepsLocked()
 	s.mu.Unlock()
 
+	s.ctr.sweepSubmitted.Add(1)
 	writeJSON(w, http.StatusAccepted, SweepStatus{ID: job.id, Status: sw.Status(true)})
 }
 
@@ -136,10 +139,11 @@ func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SweepResult{
-		ID:      job.id,
-		Spec:    res.Spec,
-		Metrics: res.Metrics,
-		Tables:  renderSweepTables(res),
+		ID:        job.id,
+		Spec:      res.Spec,
+		Metrics:   res.Metrics,
+		Timelines: res.Timelines,
+		Tables:    renderSweepTables(res),
 	})
 }
 
@@ -179,6 +183,7 @@ func (s *Server) evictSweepsLocked() {
 		if excess > 0 && !job.sw.Unfinished() {
 			delete(s.sweeps, id)
 			job.sw.Cancel() // no-op on finished cells; releases the handles
+			s.ctr.evicted.Add(1)
 			excess--
 			continue
 		}

@@ -11,6 +11,7 @@ import (
 	"jetty/internal/energy"
 	"jetty/internal/engine"
 	"jetty/internal/jetty"
+	"jetty/internal/metrics"
 	"jetty/internal/smp"
 	"jetty/internal/trace"
 	"jetty/internal/workload"
@@ -93,7 +94,7 @@ func runChunked(ctx context.Context, sys *smp.System, src trace.Source, accesses
 // returning ctx.Err() promptly after cancellation. Results are
 // bit-identical to RunApp.
 func RunAppCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, report func(done uint64)) (AppResult, error) {
-	return runApp(ctx, sp, cfg, nil, report)
+	return runApp(ctx, sp, cfg, nil, SampleOptions{}, report)
 }
 
 // RunAppCapturedCtx is RunAppCtx with the capture hook attached: every
@@ -102,12 +103,52 @@ func RunAppCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, report fun
 // (RunTraceCtx) reproduces this run's statistics identically. The
 // caller owns tw and must Close it after the run to finish the file.
 func RunAppCapturedCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, tw *trace.Writer, report func(done uint64)) (AppResult, error) {
-	return runApp(ctx, sp, cfg, tw, report)
+	return runApp(ctx, sp, cfg, tw, SampleOptions{}, report)
+}
+
+// SampleOptions attaches interval sampling to a run.
+type SampleOptions struct {
+	// Interval is the timeline window width in accesses (0 disables
+	// sampling; otherwise at least metrics.MinInterval).
+	Interval uint64
+	// OnWindow, if non-nil, streams each window as it is emitted, on the
+	// simulation goroutine. The pointer is borrowed per boundary — copy
+	// or encode before returning (the jettyd live stream does).
+	OnWindow func(*metrics.Window)
+}
+
+// enabled reports whether sampling is requested.
+func (o SampleOptions) enabled() bool { return o.Interval > 0 }
+
+// newSampler sizes a sampler for a run of total references (0 when the
+// length is unknown) so steady-state emission never reallocates.
+func (o SampleOptions) newSampler(cfg smp.Config, total uint64) (*metrics.Sampler, error) {
+	if o.Interval < metrics.MinInterval {
+		return nil, fmt.Errorf("sim: sampling interval %d below minimum %d", o.Interval, metrics.MinInterval)
+	}
+	capacity := 0
+	if total > 0 {
+		capacity = int(total/o.Interval) + 2
+	}
+	return metrics.NewSampler(metrics.Config{
+		Interval: o.Interval,
+		Filters:  len(cfg.Filters),
+		Capacity: capacity,
+		OnWindow: o.OnWindow,
+	}), nil
+}
+
+// RunAppSampledCtx is RunAppCtx with an interval sampler attached: the
+// result carries a Timeline whose windows sum exactly to the aggregate
+// metrics. Sampling is observation only — every aggregate is
+// bit-identical to the unsampled run (TestSampledRunMatchesUnsampled).
+func RunAppSampledCtx(ctx context.Context, sp workload.Spec, cfg smp.Config, opt SampleOptions, report func(done uint64)) (AppResult, error) {
+	return runApp(ctx, sp, cfg, nil, opt, report)
 }
 
 // runApp is the shared generator-driven path, optionally teeing the
-// reference stream into a trace writer.
-func runApp(ctx context.Context, sp workload.Spec, cfg smp.Config, tw *trace.Writer, report func(done uint64)) (AppResult, error) {
+// reference stream into a trace writer and/or sampling a timeline.
+func runApp(ctx context.Context, sp workload.Spec, cfg smp.Config, tw *trace.Writer, opt SampleOptions, report func(done uint64)) (AppResult, error) {
 	if err := sp.Validate(); err != nil {
 		return AppResult{}, err
 	}
@@ -115,6 +156,13 @@ func runApp(ctx context.Context, sp workload.Spec, cfg smp.Config, tw *trace.Wri
 		return AppResult{}, err
 	}
 	sys := smp.New(cfg)
+	if opt.enabled() {
+		sm, err := opt.newSampler(cfg, sp.Accesses)
+		if err != nil {
+			return AppResult{}, err
+		}
+		sys.SetSampler(sm)
+	}
 	var src trace.Source = sp.Source(cfg.CPUs)
 	var cp *trace.Capture
 	if tw != nil {
@@ -148,6 +196,32 @@ func Task(sp workload.Spec, cfg smp.Config) engine.Task {
 	}
 }
 
+// SampledKey extends a run's content address with the sampling interval:
+// a sampled result carries a payload (the timeline) an unsampled run of
+// the same (spec, config) does not, so they must not share a cache slot.
+// The streaming hook is deliberately NOT part of the key — coalesced
+// submitters share one execution, and only the first submitter's
+// OnWindow observes it live (late subscribers replay from the retained
+// timeline; the jettyd live stream does exactly that).
+func SampledKey(base string, interval uint64) string {
+	return fmt.Sprintf("%s#tl%d", base, interval)
+}
+
+// SampledTask wraps one sampled app run as an engine task.
+func SampledTask(sp workload.Spec, cfg smp.Config, opt SampleOptions) engine.Task {
+	return engine.Task{
+		Key:   SampledKey(Fingerprint(sp, cfg), opt.Interval),
+		Total: sp.Accesses,
+		Run: func(ctx context.Context, report func(uint64)) (any, error) {
+			res, err := RunAppSampledCtx(ctx, sp, cfg, opt, report)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	}
+}
+
 // Runner executes app runs on an engine worker pool.
 type Runner struct {
 	eng *engine.Engine
@@ -165,6 +239,12 @@ func (r *Runner) Engine() *engine.Engine { return r.eng }
 // asynchronous status (the jettyd service does).
 func (r *Runner) Submit(sp workload.Spec, cfg smp.Config) *engine.Job {
 	return r.eng.Submit(Task(sp, cfg))
+}
+
+// SubmitSampled schedules one sampled app run (timeline attached to the
+// result). opt.Interval must be valid — the task fails otherwise.
+func (r *Runner) SubmitSampled(sp workload.Spec, cfg smp.Config, opt SampleOptions) *engine.Job {
+	return r.eng.Submit(SampledTask(sp, cfg, opt))
 }
 
 // RunApp runs one application through the engine and waits for it.

@@ -11,6 +11,7 @@ import (
 	"jetty/internal/bus"
 	"jetty/internal/energy"
 	"jetty/internal/jetty"
+	"jetty/internal/metrics"
 	"jetty/internal/smp"
 	"jetty/internal/workload"
 )
@@ -37,6 +38,12 @@ type AppResult struct {
 	FilterNames  []string
 	FilterCounts []energy.FilterCounts
 	Coverage     []float64
+
+	// Timeline is the time-resolved record of the run: present only when
+	// the run was sampled (RunAppSampledCtx / RunTraceSampledCtx). Its
+	// windows sum exactly to the aggregates above, and sampling never
+	// changes them (both pinned by tests).
+	Timeline *metrics.Timeline `json:"Timeline,omitempty"`
 }
 
 // Clone returns a deep copy of the result. The engine's content-
@@ -48,6 +55,7 @@ func (r AppResult) Clone() AppResult {
 	r.FilterCounts = append([]energy.FilterCounts(nil), r.FilterCounts...)
 	r.Coverage = append([]float64(nil), r.Coverage...)
 	r.Bus.RemoteHits = append([]uint64(nil), r.Bus.RemoteHits...)
+	r.Timeline = r.Timeline.Clone()
 	return r
 }
 
@@ -92,9 +100,15 @@ func RunApp(sp workload.Spec, cfg smp.Config) (AppResult, error) {
 }
 
 // finishRun drains, checks and measures a completed simulation pass. It
-// is shared by the serial (RunApp) and chunked (RunAppCtx) paths.
+// is shared by the serial (RunApp) and chunked (RunAppCtx) paths. A
+// sampler attached to the machine is flushed after the drain — the tail
+// window must include the drained stores or the timeline would not
+// conserve the end-of-run totals — and its timeline rides on the result.
 func finishRun(sys *smp.System, sp workload.Spec, cfg smp.Config) (AppResult, error) {
 	sys.DrainWriteBuffers()
+	if sm := sys.Sampler(); sm != nil {
+		sm.Flush(sys)
+	}
 
 	if err := sys.CheckFilterSafety(); err != nil {
 		return AppResult{}, err
@@ -122,7 +136,41 @@ func finishRun(sys *smp.System, sp workload.Spec, cfg smp.Config) (AppResult, er
 		res.FilterCounts = append(res.FilterCounts, sys.FilterCounts(i))
 		res.Coverage = append(res.Coverage, sys.Coverage(i))
 	}
+	if sm := sys.Sampler(); sm != nil {
+		res.Timeline = buildTimeline(sm, cfg)
+	}
 	return res, nil
+}
+
+// WindowEnergy returns the per-window baseline energy function for one
+// machine: the breakdown every finished timeline's windows carry
+// (serial tag/data, 0.18 µm — the paper's energy-optimized L2; other
+// modes are derivable from the window counts). Streaming consumers that
+// see windows before the timeline is finished (the jettyd live feed)
+// apply it so live and retained windows are identical.
+func WindowEnergy(cfg smp.Config) func(*metrics.Window) energy.Breakdown {
+	org := L2EnergyOrg(cfg)
+	costs := energy.Tech180().Costs(org)
+	return func(w *metrics.Window) energy.Breakdown {
+		return energy.Account(w.Counts, costs, org.Assoc, energy.SerialTagData)
+	}
+}
+
+// buildTimeline detaches the sampler's windows into a self-contained
+// Timeline: fresh slices (the sampler's arenas are reusable), the bank's
+// filter names, and each window's baseline energy split (WindowEnergy).
+func buildTimeline(sm *metrics.Sampler, cfg smp.Config) *metrics.Timeline {
+	we := WindowEnergy(cfg)
+	wins := append([]metrics.Window(nil), sm.Windows()...)
+	for i := range wins {
+		wins[i].Filters = append([]energy.FilterCounts(nil), wins[i].Filters...)
+		wins[i].Energy = we(&wins[i])
+	}
+	names := make([]string, len(cfg.Filters))
+	for i, f := range cfg.Filters {
+		names[i] = f.Name()
+	}
+	return &metrics.Timeline{Interval: sm.Interval(), FilterNames: names, Windows: wins}
 }
 
 // RunSuite runs every application of the paper's benchmark suite on the

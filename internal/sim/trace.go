@@ -130,6 +130,18 @@ func replayBuf(ctx context.Context) []trace.Rec {
 // Source-driven round-robin path does for a round-robin recording, so
 // the batching is invisible in the results.
 func RunTraceCtx(ctx context.Context, in TraceInput, cfg smp.Config, report func(done uint64)) (AppResult, error) {
+	return runTrace(ctx, in, cfg, SampleOptions{}, report)
+}
+
+// RunTraceSampledCtx is RunTraceCtx with an interval sampler attached:
+// the replayed result carries a Timeline, exactly like a sampled
+// generator run (the trace fixes the stream, so the timeline is as
+// reproducible as the replay itself).
+func RunTraceSampledCtx(ctx context.Context, in TraceInput, cfg smp.Config, opt SampleOptions, report func(done uint64)) (AppResult, error) {
+	return runTrace(ctx, in, cfg, opt, report)
+}
+
+func runTrace(ctx context.Context, in TraceInput, cfg smp.Config, opt SampleOptions, report func(done uint64)) (AppResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return AppResult{}, err
 	}
@@ -141,6 +153,13 @@ func RunTraceCtx(ctx context.Context, in TraceInput, cfg smp.Config, report func
 		return AppResult{}, fmt.Errorf("sim: trace has %d cpus but the machine only %d", rd.CPUs(), cfg.CPUs)
 	}
 	sys := smp.New(cfg)
+	if opt.enabled() {
+		sm, err := opt.newSampler(cfg, in.Records)
+		if err != nil {
+			return AppResult{}, err
+		}
+		sys.SetSampler(sm)
+	}
 	buf := replayBuf(ctx)
 	var done uint64
 	for {
@@ -185,10 +204,31 @@ func TraceTask(in TraceInput, cfg smp.Config) engine.Task {
 	}
 }
 
+// SampledTraceTask wraps one sampled replay as an engine task (key
+// extended with the interval, like SampledTask).
+func SampledTraceTask(in TraceInput, cfg smp.Config, opt SampleOptions) engine.Task {
+	return engine.Task{
+		Key:   SampledKey(TraceFingerprint(in.Digest, cfg), opt.Interval),
+		Total: in.Records,
+		Run: func(ctx context.Context, report func(uint64)) (any, error) {
+			res, err := RunTraceSampledCtx(ctx, in, cfg, opt, report)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	}
+}
+
 // SubmitTrace schedules one replay and returns its job handle (the
 // jettyd service's trace experiments run through here).
 func (r *Runner) SubmitTrace(in TraceInput, cfg smp.Config) *engine.Job {
 	return r.eng.Submit(TraceTask(in, cfg))
+}
+
+// SubmitTraceSampled schedules one sampled replay.
+func (r *Runner) SubmitTraceSampled(in TraceInput, cfg smp.Config, opt SampleOptions) *engine.Job {
+	return r.eng.Submit(SampledTraceTask(in, cfg, opt))
 }
 
 // RunTrace replays a trace through the engine and waits for it.

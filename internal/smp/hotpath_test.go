@@ -6,6 +6,7 @@ import (
 
 	"jetty/internal/cache"
 	"jetty/internal/jetty"
+	"jetty/internal/metrics"
 	"jetty/internal/trace"
 )
 
@@ -78,6 +79,47 @@ func TestStepSteadyStateAllocs(t *testing.T) {
 	}
 	if sn := sys.EnergyCounts().Snoops; sn == 0 {
 		t.Fatal("reference mix caused no snoops; the alloc assertion is vacuous")
+	}
+}
+
+// TestStepSteadyStateAllocsSampled is the sampled twin: with an interval
+// sampler attached, windowed emission must also be allocation-free in
+// steady state — the windows and their per-filter slices come from the
+// sampler's pre-grown arenas. PERFORMANCE.md tracks the matching
+// overhead benchmark (BenchmarkAccessHotPath/sampled).
+func TestStepSteadyStateAllocsSampled(t *testing.T) {
+	cfg := hotPathConfig()
+	sys := New(cfg)
+	recs := hotPathRecs(1 << 15)
+
+	// Capacity covers every window the warm-up and the measured runs will
+	// emit, so steady state never grows the arena.
+	const interval = 1 << 12
+	windows := (len(recs) * 16 / interval) + 4
+	sm := metrics.NewSampler(metrics.Config{
+		Interval: interval,
+		Filters:  len(cfg.Filters),
+		Capacity: windows,
+	})
+	sys.SetSampler(sm)
+	sys.StepBatch(recs) // warm-up: reach steady state
+
+	if avg := testing.AllocsPerRun(10, func() { sys.StepBatch(recs) }); avg != 0 {
+		t.Fatalf("sampled steady-state StepBatch allocates: %v allocs per batch (want 0)", avg)
+	}
+
+	// The sampler must have actually emitted — and kept emitting during
+	// the measured runs — or the assertion is vacuous.
+	wins := sm.Windows()
+	if len(wins) < 12*len(recs)/interval {
+		t.Fatalf("sampler emitted only %d windows", len(wins))
+	}
+	var snoops uint64
+	for i := range wins {
+		snoops += wins[i].Counts.Snoops
+	}
+	if snoops == 0 {
+		t.Fatal("no snoops crossed a window; the sampled assertion is vacuous")
 	}
 }
 

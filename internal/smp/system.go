@@ -6,6 +6,7 @@ import (
 	"jetty/internal/cache"
 	"jetty/internal/energy"
 	"jetty/internal/jetty"
+	"jetty/internal/metrics"
 	"jetty/internal/trace"
 )
 
@@ -113,6 +114,13 @@ type System struct {
 	bus   *bus.Stats
 
 	refs uint64 // total references processed
+
+	// Interval sampling (SetSampler). nextSample is the refs value of the
+	// next window boundary; with no sampler attached it is ^uint64(0), so
+	// the per-access equality check never fires. Sampling only reads
+	// counters: results are bit-identical with and without it.
+	sampler    *metrics.Sampler
+	nextSample uint64
 }
 
 // New builds a system. It panics on an invalid configuration (machine
@@ -133,6 +141,7 @@ func New(cfg Config) *System {
 		linesPerUnit: 1 << unitShift,
 		bus:          bus.NewStats(cfg.CPUs),
 		nodes:        make([]node, cfg.CPUs),
+		nextSample:   noSample,
 	}
 	for i := range s.nodes {
 		n := &s.nodes[i]
@@ -160,6 +169,11 @@ func (s *System) Geometry() addr.Geometry { return s.geom }
 func (s *System) Refs() uint64 { return s.refs }
 
 // Step processes one memory reference from the given CPU.
+//
+// The dispatch is a single-exit if/else chain (no early returns): the
+// interval-sampling boundary check at the bottom must see every
+// reference, whichever path resolved it. With no sampler attached the
+// check is one always-false uint64 comparison.
 func (s *System) Step(cpu int, ref trace.Ref) {
 	n := &s.nodes[cpu]
 	s.refs++
@@ -169,26 +183,28 @@ func (s *System) Step(cpu int, ref trace.Ref) {
 		n.cpu.Stores++
 		if n.wb.contains(line) {
 			n.cpu.WBCoalesced++
-			return
+		} else {
+			s.store(n, line)
 		}
-		s.store(n, line)
-		return
+	} else {
+		n.cpu.Loads++
+		if n.wb.contains(line) {
+			n.cpu.WBForwards++
+		} else {
+			// L1-hit loads resolve right here: the dominant path of every
+			// run pays no extra call.
+			n.cpu.L1Probes++
+			if n.l1.Contains(line) {
+				n.cpu.L1Hits++
+			} else {
+				n.cpu.L1Misses++
+				s.loadMiss(n, line)
+			}
+		}
 	}
-
-	n.cpu.Loads++
-	if n.wb.contains(line) {
-		n.cpu.WBForwards++
-		return
+	if s.refs == s.nextSample {
+		s.sampleWindow()
 	}
-	// L1-hit loads resolve right here: the dominant path of every run
-	// pays no extra call.
-	n.cpu.L1Probes++
-	if n.l1.Contains(line) {
-		n.cpu.L1Hits++
-		return
-	}
-	n.cpu.L1Misses++
-	s.loadMiss(n, line)
 }
 
 // store enqueues one buffered store, draining the displaced entry. This
@@ -279,24 +295,26 @@ func (s *System) StepBatch(recs []trace.Rec) {
 			n.cpu.Stores++
 			if n.wb.contains(line) {
 				n.cpu.WBCoalesced++
-				continue
+			} else {
+				s.store(n, line)
 			}
-			s.store(n, line)
-			continue
+		} else {
+			n.cpu.Loads++
+			if n.wb.contains(line) {
+				n.cpu.WBForwards++
+			} else {
+				n.cpu.L1Probes++
+				if n.l1.Contains(line) {
+					n.cpu.L1Hits++
+				} else {
+					n.cpu.L1Misses++
+					s.loadMiss(n, line)
+				}
+			}
 		}
-
-		n.cpu.Loads++
-		if n.wb.contains(line) {
-			n.cpu.WBForwards++
-			continue
+		if s.refs == s.nextSample {
+			s.sampleWindow()
 		}
-		n.cpu.L1Probes++
-		if n.l1.Contains(line) {
-			n.cpu.L1Hits++
-			continue
-		}
-		n.cpu.L1Misses++
-		s.loadMiss(n, line)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"jetty/internal/energy"
+	"jetty/internal/metrics"
 	"jetty/internal/sim"
 )
 
@@ -38,20 +39,53 @@ type Metric struct {
 	SnoopMissOfAll    float64 `json:"snoopmiss_of_all"`
 }
 
-// Result is a finished sweep: the raw per-cell measurements and the
-// flattened per-filter metrics.
-type Result struct {
-	Spec    Spec         `json:"spec"`
-	Cells   []CellResult `json:"cells"`
-	Metrics []Metric     `json:"metrics"`
+// CellTimeline is one retained per-cell timeline (see Spec.Timelines).
+type CellTimeline struct {
+	Cell     int               `json:"cell"`
+	Workload string            `json:"workload"`
+	Machine  string            `json:"machine"`
+	Repeat   int               `json:"repeat"`
+	Timeline *metrics.Timeline `json:"timeline"`
 }
 
-// fold derives the metric set from finished cells.
+// Result is a finished sweep: the raw per-cell measurements and the
+// flattened per-filter metrics. Sampled sweeps additionally carry the
+// timelines the retention policy kept; cell results themselves are
+// always stripped of timelines (Timelines is the one home, applied
+// once, instead of a copy hiding in every CellResult).
+type Result struct {
+	Spec      Spec           `json:"spec"`
+	Cells     []CellResult   `json:"cells"`
+	Metrics   []Metric       `json:"metrics"`
+	Timelines []CellTimeline `json:"timelines,omitempty"`
+}
+
+// fold derives the metric set from finished cells and applies the
+// timeline retention policy.
 func fold(spec Spec, cells []Cell, results []sim.AppResult) *Result {
 	out := &Result{Spec: spec}
 	tech := energy.Tech180()
+	policy := spec.normalize().Timelines
+	keepFirst := map[string]bool{}
 	for i, c := range cells {
 		res := results[i]
+		if tl := res.Timeline; tl != nil {
+			res.Timeline = nil // stripped from the cell; retained below
+			switch policy {
+			case TimelinesAll:
+				out.Timelines = append(out.Timelines, CellTimeline{
+					Cell: c.Index, Workload: c.Workload, Machine: c.Machine, Repeat: c.Repeat, Timeline: tl,
+				})
+			case TimelinesFirst:
+				key := c.Workload + "\x00" + c.Machine
+				if !keepFirst[key] {
+					keepFirst[key] = true
+					out.Timelines = append(out.Timelines, CellTimeline{
+						Cell: c.Index, Workload: c.Workload, Machine: c.Machine, Repeat: c.Repeat, Timeline: tl,
+					})
+				}
+			}
+		}
 		out.Cells = append(out.Cells, CellResult{Cell: c, Result: res})
 		serial := sim.EnergyReductions(res, c.cfg, tech, energy.SerialTagData)
 		parallel := sim.EnergyReductions(res, c.cfg, tech, energy.ParallelTagData)

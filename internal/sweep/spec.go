@@ -6,6 +6,7 @@ import (
 
 	"jetty/internal/addr"
 	"jetty/internal/jetty"
+	"jetty/internal/metrics"
 	"jetty/internal/sim"
 	"jetty/internal/smp"
 	"jetty/internal/workload"
@@ -120,7 +121,33 @@ type Spec struct {
 	Repeat int `json:"repeat,omitempty"`
 	// SeedStride is the per-repetition seed offset (0 = 1).
 	SeedStride int64 `json:"seed_stride,omitempty"`
+	// Interval, when nonzero, samples every cell with that timeline
+	// window width (accesses per window, >= metrics.MinInterval; see
+	// internal/metrics). Sampling never changes per-filter numbers; it
+	// adds a per-cell timeline whose retention Timelines controls.
+	Interval uint64 `json:"interval,omitempty"`
+	// Timelines is the per-cell timeline retention policy, applied when
+	// folding a sampled sweep (Interval > 0):
+	//
+	//	"none"  (default) timelines are computed and dropped — the cheap
+	//	        way to keep sampled cache keys warm for later fetches
+	//	"first" retain repeat 0 of every (workload, machine) — one
+	//	        representative time series per axis point
+	//	"all"   retain every cell's timeline (largest results)
+	Timelines string `json:"timelines,omitempty"`
 }
+
+// Timeline retention policies.
+const (
+	TimelinesNone  = "none"
+	TimelinesFirst = "first"
+	TimelinesAll   = "all"
+)
+
+// MaxWindowsPerCell bounds one cell's timeline (sweeps arrive from
+// unauthenticated service clients; a tiny interval against a huge scaled
+// budget would otherwise retain unbounded window lists).
+const MaxWindowsPerCell = 1 << 14
 
 // Filter-placement modes.
 const (
@@ -148,6 +175,9 @@ func (s Spec) normalize() Spec {
 	if s.SeedStride == 0 {
 		s.SeedStride = 1
 	}
+	if s.Timelines == "" {
+		s.Timelines = TimelinesNone
+	}
 	return s
 }
 
@@ -167,6 +197,18 @@ func (s Spec) Validate() error {
 	if n.FilterMode != ModeBank && n.FilterMode != ModeEach {
 		return fmt.Errorf("sweep: filter_mode %q must be %q or %q", n.FilterMode, ModeBank, ModeEach)
 	}
+	if n.Interval > 0 && n.Interval < metrics.MinInterval {
+		return fmt.Errorf("sweep: interval %d below minimum %d", n.Interval, metrics.MinInterval)
+	}
+	switch n.Timelines {
+	case TimelinesNone, TimelinesFirst, TimelinesAll:
+	default:
+		return fmt.Errorf("sweep: timelines %q must be %q, %q or %q",
+			n.Timelines, TimelinesNone, TimelinesFirst, TimelinesAll)
+	}
+	if n.Interval == 0 && s.Timelines != "" && n.Timelines != TimelinesNone {
+		return fmt.Errorf("sweep: timelines %q needs a sampling interval", n.Timelines)
+	}
 	for _, w := range n.Workloads {
 		if strings.HasPrefix(w, TracePrefix) {
 			if w == TracePrefix {
@@ -174,8 +216,15 @@ func (s Spec) Validate() error {
 			}
 			continue
 		}
-		if _, err := workload.Lookup(w); err != nil {
+		sp, err := workload.Lookup(w)
+		if err != nil {
 			return fmt.Errorf("sweep: %w", err)
+		}
+		if n.Interval > 0 {
+			if windows := sp.Scale(n.Scale).Accesses / n.Interval; windows > MaxWindowsPerCell {
+				return fmt.Errorf("sweep: %s at interval %d yields %d windows per cell (cap %d)",
+					w, n.Interval, windows, MaxWindowsPerCell)
+			}
 		}
 	}
 	if _, err := jetty.ParseAll(n.Filters); err != nil {
@@ -292,6 +341,12 @@ func (s Spec) Expand(traces TraceResolver) ([]Cell, error) {
 			}
 			sp = sp.Scale(n.Scale)
 		}
+		if isTrace && n.Interval > 0 {
+			if windows := in.Records / n.Interval; windows > MaxWindowsPerCell {
+				return nil, fmt.Errorf("sweep: trace %s at interval %d yields %d windows per cell (cap %d)",
+					in.Name, n.Interval, windows, MaxWindowsPerCell)
+			}
+		}
 		for _, pt := range points {
 			if isTrace && pt.cfg.CPUs < in.CPUs {
 				return nil, fmt.Errorf("sweep: trace %s needs %d cpus, machine %s has %d",
@@ -318,6 +373,11 @@ func (s Spec) Expand(traces TraceResolver) ([]Cell, error) {
 					c.spec = sp
 					c.spec.Seed = sp.Seed + n.SeedStride*int64(r)
 					c.Key = sim.Fingerprint(c.spec, pt.cfg)
+				}
+				// Sampled cells cache under their own key (the result
+				// payload carries a timeline).
+				if n.Interval > 0 {
+					c.Key = sim.SampledKey(c.Key, n.Interval)
 				}
 				cells = append(cells, c)
 			}

@@ -27,10 +27,16 @@ func Submit(r *sim.Runner, spec Spec, traces TraceResolver) (*Sweep, error) {
 	}
 	s := &Sweep{spec: spec.normalize(), cells: cells}
 	s.jobs = make([]*engine.Job, len(cells))
+	opt := sim.SampleOptions{Interval: s.spec.Interval}
 	for i, c := range cells {
-		if c.trace != nil {
+		switch {
+		case c.trace != nil && opt.Interval > 0:
+			s.jobs[i] = r.SubmitTraceSampled(*c.trace, c.cfg, opt)
+		case c.trace != nil:
 			s.jobs[i] = r.SubmitTrace(*c.trace, c.cfg)
-		} else {
+		case opt.Interval > 0:
+			s.jobs[i] = r.SubmitSampled(c.spec, c.cfg, opt)
+		default:
 			s.jobs[i] = r.Submit(c.spec, c.cfg)
 		}
 	}

@@ -311,6 +311,10 @@ func TestSpecValidation(t *testing.T) {
 		{Workloads: []string{"Lu"}, Repeat: MaxRepeat + 1},           // over repeat cap
 		{Workloads: []string{"Lu"}, Machines: []Machine{{CPUs: 99}}}, // invalid machine
 		{Workloads: []string{TracePrefix}},                           // empty trace ref
+		{Workloads: []string{"Lu"}, Interval: 8},                     // interval below minimum
+		{Workloads: []string{"Lu"}, Timelines: "some"},               // bad retention policy
+		{Workloads: []string{"Lu"}, Timelines: TimelinesAll},         // retention without sampling
+		{Workloads: []string{"Lu"}, Interval: 64, Scale: MaxScale},   // over the per-cell window cap
 		{ // over the cell cap
 			Workloads:  []string{"Lu", "ch", "ff", "oc", "ra", "em", "ba", "fm", "rt", "un"},
 			FilterMode: ModeEach,
@@ -324,6 +328,127 @@ func TestSpecValidation(t *testing.T) {
 	}
 	if err := acceptanceSpec().Validate(); err != nil {
 		t.Errorf("acceptance spec rejected: %v", err)
+	}
+}
+
+// TestSweepTimelines covers the sampled-sweep path end to end: every
+// cell runs sampled, per-filter metrics are unchanged versus the
+// unsampled sweep, cell results are stripped of timelines, and the
+// retention policy keeps exactly the advertised set.
+func TestSweepTimelines(t *testing.T) {
+	r := testRunner(t)
+	base := Spec{
+		Name:      "timelines",
+		Workloads: []string{"Lu", "ch"},
+		Filters:   []string{"EJ-16x2", "EJ-32x4"},
+		Scale:     0.02,
+		Repeat:    2,
+		Interval:  1024,
+	}
+
+	plain := base
+	plain.Interval, plain.Timelines = 0, ""
+	plainRes, err := Run(context.Background(), r, plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, policy := range []string{TimelinesNone, TimelinesFirst, TimelinesAll} {
+		spec := base
+		spec.Timelines = policy
+		res, err := Run(context.Background(), r, spec, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+
+		// Sampling changes no metric (bit-identical per-filter numbers).
+		if len(res.Metrics) != len(plainRes.Metrics) {
+			t.Fatalf("%s: %d metrics vs %d unsampled", policy, len(res.Metrics), len(plainRes.Metrics))
+		}
+		for i := range res.Metrics {
+			if res.Metrics[i] != plainRes.Metrics[i] {
+				t.Errorf("%s: metric %d drifted under sampling:\n sampled %+v\n plain   %+v",
+					policy, i, res.Metrics[i], plainRes.Metrics[i])
+			}
+		}
+
+		// Cells never carry timelines (Result.Timelines is the one home).
+		for _, c := range res.Cells {
+			if c.Result.Timeline != nil {
+				t.Fatalf("%s: cell %d kept its timeline", policy, c.Cell.Index)
+			}
+		}
+
+		var want int
+		switch policy {
+		case TimelinesNone:
+			want = 0
+		case TimelinesFirst:
+			want = 2 // one per (workload, machine); repeats collapse
+		case TimelinesAll:
+			want = len(res.Cells)
+		}
+		if len(res.Timelines) != want {
+			t.Fatalf("%s: retained %d timelines, want %d", policy, len(res.Timelines), want)
+		}
+		for _, ct := range res.Timelines {
+			if policy == TimelinesFirst && ct.Repeat != 0 {
+				t.Errorf("%s: retained repeat %d of %s", policy, ct.Repeat, ct.Workload)
+			}
+			if ct.Timeline == nil || len(ct.Timeline.Windows) == 0 {
+				t.Fatalf("%s: empty retained timeline for cell %d", policy, ct.Cell)
+			}
+			// The retained timeline conserves its cell's run length.
+			refs, _, _ := ct.Timeline.Sum()
+			if cellRefs := res.Cells[ct.Cell].Result.Refs; refs != cellRefs {
+				t.Errorf("%s: timeline sums to %d refs, cell ran %d", policy, refs, cellRefs)
+			}
+		}
+	}
+}
+
+// TestSampledSweepRerunHitsCache pins the cache key discipline: a
+// sampled rerun recomputes nothing, and sampled cells never collide
+// with the unsampled cells of the same cross-product.
+func TestSampledSweepRerunHitsCache(t *testing.T) {
+	r := testRunner(t)
+	spec := Spec{
+		Workloads: []string{"Lu"},
+		Filters:   []string{"EJ-16x2"},
+		Scale:     0.02,
+		Interval:  1024,
+		Timelines: TimelinesAll,
+	}
+	if _, err := Run(context.Background(), r, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Submit(r, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Status(false); st.CacheHits != st.Cells {
+		t.Errorf("sampled rerun recomputed: %d/%d cache hits", st.CacheHits, st.Cells)
+	}
+	if len(res.Timelines) == 0 {
+		t.Fatal("cached sampled rerun lost its timelines")
+	}
+
+	// The unsampled variant must not be served the sampled cell.
+	plain := spec
+	plain.Interval, plain.Timelines = 0, ""
+	ps, err := Submit(r, plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := ps.Status(false); st.CacheHits != 0 {
+		t.Errorf("unsampled sweep hit the sampled cache entry (%d hits)", st.CacheHits)
 	}
 }
 

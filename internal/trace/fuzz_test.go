@@ -5,6 +5,9 @@ import (
 	"encoding/binary"
 	"io"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -29,6 +32,50 @@ func goldenBytes(f *testing.F) []byte {
 		f.Fatal(err)
 	}
 	return data
+}
+
+// readerCorpusEntries decodes every corpus entry committed under
+// testdata/fuzz/FuzzReader (Go fuzz-corpus v1 files: one []byte
+// argument each). Go feeds those files to FuzzReader automatically;
+// FuzzRoundTrip seeds from them too, so an interesting Reader input
+// found by past fuzzing — typically a framing edge case — also
+// exercises the writer path without anyone re-adding it by hand.
+func readerCorpusEntries(tb testing.TB) [][]byte {
+	tb.Helper()
+	dir := filepath.Join("testdata", "fuzz", "FuzzReader")
+	files, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var out [][]byte
+	for _, fe := range files {
+		if fe.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, fe.Name()))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		lines := strings.Split(string(raw), "\n")
+		if len(lines) == 0 || !strings.HasPrefix(lines[0], "go test fuzz v1") {
+			tb.Fatalf("%s: not a go fuzz corpus file", fe.Name())
+		}
+		for _, ln := range lines[1:] {
+			ln = strings.TrimSpace(ln)
+			if !strings.HasPrefix(ln, "[]byte(") || !strings.HasSuffix(ln, ")") {
+				continue
+			}
+			s, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(ln, "[]byte("), ")"))
+			if err != nil {
+				tb.Fatalf("%s: %v", fe.Name(), err)
+			}
+			out = append(out, []byte(s))
+		}
+	}
+	return out
 }
 
 func FuzzReader(f *testing.F) {
@@ -99,6 +146,13 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add(goldenBytes(f), uint8(3), uint16(4), false)
 	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0xFF, 0x80, 0x7F}, uint8(1), uint16(1), true)
 	f.Add([]byte{}, uint8(127), uint16(0), false)
+	// Every committed FuzzReader corpus entry doubles as record-stream
+	// material here (the round-trip fuzzer has a different signature, so
+	// Go would not feed it those files on its own).
+	for _, data := range readerCorpusEntries(f) {
+		f.Add(data, uint8(2), uint16(3), false)
+		f.Add(data, uint8(5), uint16(0), true)
+	}
 
 	f.Fuzz(func(t *testing.T, raw []byte, cpus uint8, chunk uint16, compress bool) {
 		ncpu := int(cpus)%MaxCPUs + 1
@@ -176,9 +230,11 @@ func FuzzRoundTrip(f *testing.F) {
 	})
 }
 
-// TestFuzzSeedsAreWellFormed sanity-checks the seeding helper: the
+// TestFuzzSeedsAreWellFormed sanity-checks the seeding helpers: the
 // golden seed really decodes (so the fuzzers start from a valid corpus
-// entry, not an instantly rejected one).
+// entry, not an instantly rejected one), and the committed FuzzReader
+// corpus parses — if it did not, FuzzRoundTrip would silently lose its
+// cross-seeding and the CI fuzz smoke would cover less than it claims.
 func TestFuzzSeedsAreWellFormed(t *testing.T) {
 	data, err := os.ReadFile("testdata/v1.jtrc")
 	if err != nil {
@@ -187,6 +243,9 @@ func TestFuzzSeedsAreWellFormed(t *testing.T) {
 	sum, err := Summarize(bytes.NewReader(data))
 	if err != nil || sum.Records == 0 {
 		t.Fatalf("golden seed: %v, %d records", err, sum.Records)
+	}
+	if entries := readerCorpusEntries(t); len(entries) == 0 {
+		t.Fatal("no committed FuzzReader corpus entries decoded (testdata/fuzz/FuzzReader)")
 	}
 	// And the reader's hostile-input bounds are consistent with the
 	// format constants (a drifting bound would let a fuzz input demand

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"jetty/internal/trace"
+)
+
+func TestPhasedScenariosValid(t *testing.T) {
+	for _, sp := range []Spec{PhasedWebServer(), PhasedOLTP()} {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+		}
+		if len(sp.Phases) < 3 {
+			t.Errorf("%s: %d phases, want a warmup→steady→disturbance splice", sp.Name, len(sp.Phases))
+		}
+		if sp.MemoryBytes(4) == 0 {
+			t.Errorf("%s: zero footprint", sp.Name)
+		}
+	}
+	// Both are reachable through the library.
+	for _, key := range []string{"PhasedWebServer", "pw", "phasedoltp", "po"} {
+		if _, err := Lookup(key); err != nil {
+			t.Errorf("Lookup(%q): %v", key, err)
+		}
+	}
+}
+
+func TestPhasedValidateErrors(t *testing.T) {
+	base := PhasedWebServer()
+
+	sp := base
+	sp.Phases = append([]Phase(nil), base.Phases...)
+	sp.Phases[0].Frac = 0.5 // sum drifts off 1
+	if err := sp.Validate(); err == nil {
+		t.Error("bad phase fraction sum accepted")
+	}
+
+	sp = base
+	sp.Phases = append([]Phase(nil), base.Phases...)
+	sp.Phases[1].Frac = 0
+	if err := sp.Validate(); err == nil {
+		t.Error("zero phase fraction accepted")
+	}
+
+	sp = base
+	sp.Phases = append([]Phase(nil), base.Phases...)
+	sp.Phases[0].Spec = base // nested phases
+	if err := sp.Validate(); err == nil {
+		t.Error("nested phases accepted")
+	}
+
+	sp = base
+	sp.Phases = append([]Phase(nil), base.Phases...)
+	bad := sp.Phases[0].Spec
+	bad.Hot.Frac = 99
+	sp.Phases[0].Spec = bad
+	if err := sp.Validate(); err == nil {
+		t.Error("invalid phase mixture accepted")
+	}
+
+	sp = base
+	sp.Accesses = 0
+	if err := sp.Validate(); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestPhasedDeterminismAndSeedSensitivity(t *testing.T) {
+	sp := PhasedWebServer()
+	a, b := sp.Source(4), sp.Source(4)
+	for i := 0; i < 30000; i++ {
+		cpu := i % 4
+		ra, _ := a.Next(cpu)
+		rb, _ := b.Next(cpu)
+		if ra != rb {
+			t.Fatalf("ref %d diverged: %v vs %v", i, ra, rb)
+		}
+	}
+
+	// Perturbing the top-level seed must reach every phase (the sweep
+	// repeat axis relies on it).
+	sp2 := sp
+	sp2.Seed++
+	c, d := sp.Source(4), sp2.Source(4)
+	perPhase := int(sp.Accesses) / 4 / len(sp.Phases) // per-CPU slice of each phase
+	for p := 0; p < len(sp.Phases); p++ {
+		same := 0
+		for i := 0; i < 1000; i++ {
+			rc, _ := c.Next(0)
+			rd, _ := d.Next(0)
+			if rc == rd {
+				same++
+			}
+		}
+		if same > 200 {
+			t.Errorf("phase %d: %d/1000 refs identical across seeds", p, same)
+		}
+		// Skip ahead to the next phase.
+		for i := 1000; i < perPhase; i++ {
+			c.Next(0)
+			d.Next(0)
+		}
+	}
+}
+
+// TestPhasedTransitionsChangeBehaviour drives the phased stream and
+// checks the phases are really different: the warmup phase's write
+// fraction and streaming share must differ measurably from the steady
+// phase's, and the migration phase must touch foreign data sets.
+func TestPhasedTransitionsChangeBehaviour(t *testing.T) {
+	sp := PhasedWebServer()
+	const cpus = 4
+	src := sp.Source(cpus).(*phasedSource)
+	perCPU := sp.Accesses / cpus
+
+	writeFrac := func(upTo float64) float64 {
+		writes, total := 0, 0
+		for uint64(total/cpus) < uint64(upTo*float64(perCPU)) {
+			r, _ := src.Next(total % cpus)
+			if r.Op == trace.Write {
+				writes++
+			}
+			total++
+		}
+		return float64(writes) / float64(total)
+	}
+	warm := writeFrac(0.25)   // the warmup phase
+	steady := writeFrac(0.75) // the steady phase
+	if diff := warm - steady; diff < 0.03 {
+		t.Errorf("warmup write fraction %.3f vs steady %.3f: phases indistinguishable", warm, steady)
+	}
+
+	// The migration phase rotates processes onto foreign data sets.
+	mig := src.gens[2]
+	crossed := false
+	for i := 0; i < 200000 && !crossed; i++ {
+		cpu := i % cpus
+		r, _ := mig.next(cpu)
+		for other := 0; other < cpus; other++ {
+			if other != cpu && crossedInto(mig, other, r.Addr) {
+				crossed = true
+			}
+		}
+	}
+	if !crossed {
+		t.Error("migration phase never touched a foreign data set")
+	}
+}
+
+// TestPhasedSharesOnePageTable pins the address-space splice: a virtual
+// page first touched during warmup keeps its physical frame when a later
+// phase touches it (one first-touch table serves the whole scenario).
+func TestPhasedSharesOnePageTable(t *testing.T) {
+	sp := PhasedWebServer()
+	src := sp.Source(2).(*phasedSource)
+	if len(src.gens) != 3 {
+		t.Fatalf("%d phase generators", len(src.gens))
+	}
+	for i := 1; i < len(src.gens); i++ {
+		if src.gens[i].pt != src.gens[0].pt {
+			t.Fatal("phase generators do not share the page table")
+		}
+	}
+
+	// Boundaries: cumulative per-CPU counts matching the fractions.
+	perCPU := float64(sp.Accesses) / 2
+	if got, want := src.bounds[0], uint64(sp.Phases[0].Frac*perCPU); got != want {
+		t.Errorf("bound 0 = %d, want %d", got, want)
+	}
+	if src.bounds[len(src.bounds)-1] != ^uint64(0) {
+		t.Error("last phase is not unbounded")
+	}
+}
+
+// TestPhasedScaleMovesBoundaries pins that Scale shrinks phase
+// boundaries with the budget (golden tests run at reduced scale).
+func TestPhasedScaleMovesBoundaries(t *testing.T) {
+	sp := PhasedWebServer()
+	full := sp.Source(4).(*phasedSource)
+	half := sp.Scale(0.5).Source(4).(*phasedSource)
+	if half.bounds[0] >= full.bounds[0] {
+		t.Errorf("scaled bound %d not below full bound %d", half.bounds[0], full.bounds[0])
+	}
+}

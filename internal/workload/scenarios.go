@@ -75,6 +75,69 @@ func Migratory() Spec {
 	}
 }
 
+// PhasedWebServer models a web server's life cycle as three spliced
+// phases over one address space: a cold warmup (streaming fills and
+// little sharing while content caches populate), the steady serving mix
+// of WebServer (zipf-hot shared objects), then an operational reshuffle
+// where the OS migrates processes across CPUs. Snoop-filter coverage is
+// strongly time-dependent here — high while warmup's misses are
+// compulsory, settling as sharing develops, dipping when migration
+// scrambles locality — which is exactly what the interval-sampling
+// timeline (and its golden test) is built to expose.
+func PhasedWebServer() Spec {
+	warmup := Spec{
+		Name: "warmup", WriteFrac: 0.35,
+		Hot:    Region{Frac: 0.30, Bytes: 16 << 10},
+		Warm:   Region{Frac: 0.20, Bytes: 128 << 10, Burst: 4},
+		Stream: Region{Frac: 0.50, Bytes: 6 << 20, Stride: 16},
+		Seed:   2051,
+	}
+	steady := WebServer()
+	steady.Name = "steady"
+	migration := WebServer()
+	migration.Name = "migration"
+	migration.MigrationPeriod = 25_000
+	return Spec{
+		Name: "PhasedWebServer", Abbrev: "pw", Accesses: 1_500_000,
+		Phases: []Phase{
+			{Name: "warmup", Frac: 0.25, Spec: warmup},
+			{Name: "steady", Frac: 0.50, Spec: steady},
+			{Name: "migration", Frac: 0.25, Spec: migration},
+		},
+		Seed: 205,
+	}
+}
+
+// PhasedOLTP models a database node's life cycle: a write-heavy bulk
+// load (table streaming, almost no sharing), the steady OLTP mix of
+// Database (zipf-hot rows under read-modify-write), then a failover
+// rebalance with heavier lock migration and process movement.
+func PhasedOLTP() Spec {
+	load := Spec{
+		Name: "bulkload", WriteFrac: 0.60,
+		Hot:    Region{Frac: 0.25, Bytes: 16 << 10},
+		Warm:   Region{Frac: 0.15, Bytes: 256 << 10, Burst: 8},
+		Stream: Region{Frac: 0.60, Bytes: 16 << 20, Stride: 16},
+		Seed:   2061,
+	}
+	steady := Database()
+	steady.Name = "steady"
+	rebalance := Database()
+	rebalance.Name = "rebalance"
+	rebalance.MigrationPeriod = 20_000
+	rebalance.Mig = MigratorySharing{Frac: 0.10, Records: 256, Hold: 8}
+	rebalance.Zipf.Frac = 0.07 // the migratory share comes out of the hot rows
+	return Spec{
+		Name: "PhasedOLTP", Abbrev: "po", Accesses: 1_500_000,
+		Phases: []Phase{
+			{Name: "bulkload", Frac: 0.30, Spec: load},
+			{Name: "steady", Frac: 0.45, Spec: steady},
+			{Name: "rebalance", Frac: 0.25, Spec: rebalance},
+		},
+		Seed: 206,
+	}
+}
+
 // DefaultMigrationPeriod is the MigratingThroughput period used for the
 // library's named "Throughput+migration" entry.
 const DefaultMigrationPeriod = 100_000
@@ -89,6 +152,8 @@ func Scenarios() []Spec {
 		Database(),
 		Pipeline(),
 		Migratory(),
+		PhasedWebServer(),
+		PhasedOLTP(),
 	}
 }
 

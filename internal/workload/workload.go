@@ -83,11 +83,21 @@ type Spec struct {
 	// data stays put; the compute moves.
 	MigrationPeriod uint64
 
+	// Phases, when non-empty, makes this a phased scenario: the run
+	// splices the phase specs in order, each consuming its Frac of the
+	// access budget, all sharing one physical address space (see
+	// phased.go). The top-level mixture fields are then unused; only
+	// Name, Abbrev, Accesses and Seed apply.
+	Phases []Phase `json:",omitempty"`
+
 	Seed int64
 }
 
 // Validate reports specification errors.
 func (sp Spec) Validate() error {
+	if len(sp.Phases) > 0 {
+		return sp.validatePhases()
+	}
 	total := sp.Hot.Frac + sp.Warm.Frac + sp.Stream.Frac + sp.Pair.Frac + sp.Mig.Frac + sp.Wide.Frac + sp.Zipf.Frac
 	if total < 0.999 || total > 1.001 {
 		return fmt.Errorf("workload %s: fractions sum to %.4f, want 1", sp.Name, total)
@@ -127,26 +137,57 @@ func (sp Spec) Validate() error {
 }
 
 // MemoryBytes returns the total allocated footprint (the MA column of
-// Table 2) for an nCPU machine.
+// Table 2) for an nCPU machine. Phases share one address space with
+// fixed region bases, so a phased scenario's footprint is the union:
+// the per-region maximum across phases, not a sum (and not the largest
+// single phase — different phases may dominate different regions).
 func (sp Spec) MemoryBytes(cpus int) uint64 {
-	perCPU := sp.Hot.Bytes + sp.Warm.Bytes + sp.Stream.Bytes
-	pair := uint64(0)
+	if len(sp.Phases) > 0 {
+		var u regionBytes
+		for _, ph := range sp.Phases {
+			u.union(ph.Spec.regions())
+		}
+		return u.total(cpus)
+	}
+	return sp.regions().total(cpus)
+}
+
+// regionBytes is a spec's footprint split by region (only regions with
+// references count).
+type regionBytes struct {
+	hot, warm, stream, pair uint64 // per CPU
+	mig, wide, zipf         uint64 // shared
+}
+
+func (sp Spec) regions() regionBytes {
+	r := regionBytes{hot: sp.Hot.Bytes, warm: sp.Warm.Bytes, stream: sp.Stream.Bytes}
 	if sp.Pair.Frac > 0 {
-		pair = sp.Pair.Bytes
+		r.pair = sp.Pair.Bytes
 	}
-	wide := uint64(0)
-	if sp.Wide.Frac > 0 {
-		wide = sp.Wide.Bytes
-	}
-	mig := uint64(0)
 	if sp.Mig.Frac > 0 {
-		mig = uint64(sp.Mig.Records) * migRecordBytes
+		r.mig = uint64(sp.Mig.Records) * migRecordBytes
 	}
-	zipf := uint64(0)
+	if sp.Wide.Frac > 0 {
+		r.wide = sp.Wide.Bytes
+	}
 	if sp.Zipf.Frac > 0 {
-		zipf = sp.Zipf.Bytes
+		r.zipf = sp.Zipf.Bytes
 	}
-	return uint64(cpus)*(perCPU+pair) + wide + mig + zipf
+	return r
+}
+
+func (r *regionBytes) union(o regionBytes) {
+	r.hot = max(r.hot, o.hot)
+	r.warm = max(r.warm, o.warm)
+	r.stream = max(r.stream, o.stream)
+	r.pair = max(r.pair, o.pair)
+	r.mig = max(r.mig, o.mig)
+	r.wide = max(r.wide, o.wide)
+	r.zipf = max(r.zipf, o.zipf)
+}
+
+func (r regionBytes) total(cpus int) uint64 {
+	return uint64(cpus)*(r.hot+r.warm+r.stream+r.pair) + r.wide + r.mig + r.zipf
 }
 
 // migRecordBytes is the size of one migratory record (one L2 block).
@@ -157,18 +198,28 @@ const regionGap = 1 << 26 // 64 MB
 
 // Source builds the deterministic reference generator for an nCPU run.
 // Each CPU's stream is infinite; wrap it with trace.NewLimit or use the
-// simulator's maxRefs to bound a run.
+// simulator's maxRefs to bound a run. A phased spec returns the
+// phase-splicing source (see phased.go).
 func (sp Spec) Source(cpus int) trace.Source {
 	if err := sp.Validate(); err != nil {
 		panic(err)
 	}
+	if len(sp.Phases) > 0 {
+		return sp.phasedSource(cpus)
+	}
+	return sp.newGenerator(cpus, newPageTable())
+}
+
+// newGenerator builds one mixture generator over the given (possibly
+// shared) page table. The caller has validated the spec.
+func (sp Spec) newGenerator(cpus int, pt *pageTable) *generator {
 	g := &generator{spec: sp, cpus: cpus}
 	g.rng = make([]*rand.Rand, cpus)
 	g.stream = make([]uint64, cpus)
 	g.prod = make([]uint64, cpus)
 	g.burst = make([][3]burstState, cpus)
 	g.served = make([]uint64, cpus)
-	g.pageTable = make(map[uint64]uint64)
+	g.pt = pt
 	for i := 0; i < cpus; i++ {
 		g.rng[i] = rand.New(rand.NewSource(sp.Seed + int64(i)*7919))
 	}
@@ -222,19 +273,10 @@ type generator struct {
 
 	burst [][3]burstState // per-CPU burst state for hot/warm/stream tiers
 
-	// First-touch page table: virtual 4 KB pages are assigned physical
-	// frames in touch order, as an OS allocator would. This compacts and
-	// interleaves all CPUs' data in physical space — the address
-	// distribution the snooped bus actually sees (WWT2 traces are
-	// physical). Without it, the widely-spaced virtual regions would hand
-	// the include-JETTY artificially separable high address bits.
-	//
-	// Allocation is page-colored (frame color == virtual color), as
-	// SPARC-era operating systems did, so the direct-mapped L1's conflict
-	// behaviour matches the virtual layout instead of suffering random
-	// page-slot collisions.
-	pageTable map[uint64]uint64
-	perColor  [pageColors]uint64
+	// pt is the first-touch page table; phase generators of one phased
+	// scenario share a single table so all phases live in one physical
+	// address space (see pageTable).
+	pt *pageTable
 }
 
 // pageBits is the simulated page size (4 KB).
@@ -244,16 +286,41 @@ const pageBits = 12
 // one per page-sized slot of the 64 KB direct-mapped L1.
 const pageColors = 16
 
+// pageTable is the first-touch page table: virtual 4 KB pages are
+// assigned physical frames in touch order, as an OS allocator would.
+// This compacts and interleaves all CPUs' data in physical space — the
+// address distribution the snooped bus actually sees (WWT2 traces are
+// physical). Without it, the widely-spaced virtual regions would hand
+// the include-JETTY artificially separable high address bits.
+//
+// Allocation is page-colored (frame color == virtual color), as
+// SPARC-era operating systems did, so the direct-mapped L1's conflict
+// behaviour matches the virtual layout instead of suffering random
+// page-slot collisions.
+//
+// One table serves one run: the phase generators of a phased scenario
+// share it, so a virtual page touched during warmup keeps its frame in
+// the steady phase — later phases genuinely rewalk warm data instead of
+// aliasing fresh frames over it.
+type pageTable struct {
+	table    map[uint64]uint64
+	perColor [pageColors]uint64
+}
+
+func newPageTable() *pageTable {
+	return &pageTable{table: make(map[uint64]uint64)}
+}
+
 // translate maps a virtual address to its physical address, assigning a
 // color-preserving frame on first touch.
-func (g *generator) translate(va uint64) uint64 {
+func (pt *pageTable) translate(va uint64) uint64 {
 	page := va >> pageBits
-	frame, ok := g.pageTable[page]
+	frame, ok := pt.table[page]
 	if !ok {
 		color := page % pageColors
-		frame = g.perColor[color]*pageColors + color
-		g.perColor[color]++
-		g.pageTable[page] = frame
+		frame = pt.perColor[color]*pageColors + color
+		pt.perColor[color]++
+		pt.table[page] = frame
 	}
 	return frame<<pageBits | va&((1<<pageBits)-1)
 }
@@ -272,7 +339,7 @@ func (g *generator) CPUs() int { return g.cpus }
 // virtual region layout and issued as first-touch physical addresses.
 func (g *generator) Next(cpu int) (trace.Ref, bool) {
 	ref, ok := g.next(cpu)
-	ref.Addr = g.translate(ref.Addr)
+	ref.Addr = g.pt.translate(ref.Addr)
 	return ref, ok
 }
 

@@ -173,9 +173,9 @@ func TestPagingIsCompactAndDeterministic(t *testing.T) {
 			maxA = ra.Addr
 		}
 	}
-	touched := uint64(len(a.pageTable))
+	touched := uint64(len(a.pt.table))
 	var handed uint64
-	for _, n := range a.perColor {
+	for _, n := range a.pt.perColor {
 		handed += n
 	}
 	if handed != touched {
@@ -184,7 +184,7 @@ func TestPagingIsCompactAndDeterministic(t *testing.T) {
 	// Color-preserving compactness: the footprint spans at most
 	// pageColors times the per-color maximum.
 	var maxColor uint64
-	for _, n := range a.perColor {
+	for _, n := range a.pt.perColor {
 		if n > maxColor {
 			maxColor = n
 		}
@@ -193,7 +193,7 @@ func TestPagingIsCompactAndDeterministic(t *testing.T) {
 		t.Errorf("physical address %#x beyond the colored footprint", maxA)
 	}
 	// Frames preserve the virtual color (L1 page-slot behaviour).
-	for page, frame := range a.pageTable {
+	for page, frame := range a.pt.table {
 		if page%pageColors != frame%pageColors {
 			t.Fatalf("page %#x color %d mapped to frame %#x color %d",
 				page, page%pageColors, frame, frame%pageColors)
