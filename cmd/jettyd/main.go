@@ -7,10 +7,13 @@
 //
 //	jettyd                       # listen on :8077, GOMAXPROCS workers
 //	jettyd -addr :9000 -workers 4 -cache 512
+//	jettyd -log-format text -log-level debug -pprof
 //
 // Quick tour (see README.md for more):
 //
 //	curl -s localhost:8077/healthz
+//	curl -s localhost:8077/buildinfo
+//	curl -s localhost:8077/metrics
 //	curl -s -X POST localhost:8077/v1/experiments \
 //	     -d '{"apps":["Barnes","Ocean"],"scale":0.1}'
 //	curl -s localhost:8077/v1/experiments/exp-000001
@@ -20,6 +23,10 @@
 //
 //	curl -s --data-binary @ocean.jtrc localhost:8077/v1/traces
 //	curl -s -X POST localhost:8077/v1/experiments -d '{"trace":"<digest>"}'
+//
+// Every response carries an X-Request-Id header; the same ID appears in
+// the access log and in the status JSON of any job the request
+// submitted, so a slow experiment is greppable end to end.
 package main
 
 import (
@@ -27,13 +34,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"jetty/internal/obs"
 	"jetty/internal/service"
 )
 
@@ -44,7 +51,17 @@ func main() {
 	maxUnfinished := flag.Int("max-unfinished", 0, "max queued+running experiments (0 = default)")
 	maxTraces := flag.Int("max-traces", 0, "max uploaded traces retained (0 = default)")
 	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "max bytes per uploaded trace (0 = default)")
+	logFormat := flag.String("log-format", "json", "log output format: json|text")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	slowJob := flag.Duration("slow-job", 0, "log engine jobs running longer than this (0 = default 30s)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jettyd:", err)
+		os.Exit(2)
+	}
 
 	if err := run(service.Options{
 		Workers:       *workers,
@@ -52,13 +69,17 @@ func main() {
 		MaxUnfinished: *maxUnfinished,
 		MaxTraces:     *maxTraces,
 		MaxTraceBytes: *maxTraceBytes,
+		Logger:        log,
+		SlowJob:       *slowJob,
+		Pprof:         *pprofFlag,
 	}, *addr); err != nil {
-		fmt.Fprintln(os.Stderr, "jettyd:", err)
+		log.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
 func run(opts service.Options, addr string) error {
+	log := opts.Logger
 	svc := service.New(opts)
 	defer svc.Close()
 
@@ -68,14 +89,16 @@ func run(opts service.Options, addr string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight HTTP requests
-	// before tearing the engine down.
+	// Serve until SIGINT/SIGTERM, then drain: /healthz flips to 503 so
+	// load balancers stop routing here, in-flight HTTP requests finish,
+	// and only then is the engine torn down.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("jettyd: serving on %s", addr)
+		bi := obs.ReadBuildInfo()
+		log.Info("serving", "addr", addr, "version", bi.Version, "go", bi.GoVersion, "pprof", opts.Pprof)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -83,7 +106,8 @@ func run(opts service.Options, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Print("jettyd: shutting down")
+		log.Info("shutting down", "state", "draining")
+		svc.SetDraining(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"jetty/internal/obs"
+	"jetty/internal/service"
+)
+
+// TestJettydEndToEnd boots the real daemon (the same run() main uses),
+// drives one experiment through it, scrapes /metrics twice around the
+// load and lints both expositions, then shuts it down with the same
+// SIGTERM an orchestrator would send. CI runs this as the live-scrape
+// check.
+func TestJettydEndToEnd(t *testing.T) {
+	// Pick a free port. (Listen/close/reuse has a tiny race window, but
+	// the test binary is the only thing binding ports in CI.)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	log, err := obs.NewLogger(io.Discard, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(service.Options{Workers: 2, Logger: log, Pprof: true}, addr)
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Wait for the daemon to come up ready.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("jettyd exited during startup: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jettyd not ready at %s", base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Request-Id"); got == "" {
+			t.Error("scrape response missing X-Request-Id")
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	before := scrape()
+	if problems := obs.Lint(before); len(problems) != 0 {
+		t.Fatalf("scrape fails lint: %v", problems)
+	}
+
+	// One real experiment through the live daemon.
+	resp, err := client.Post(base+"/v1/experiments", "application/json",
+		strings.NewReader(`{"apps":["Lu"],"scale":0.02,"filters":["EJ-16x2"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.ExperimentStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	submitID := resp.Header.Get("X-Request-Id")
+	if submitID == "" {
+		t.Fatal("submit response missing X-Request-Id")
+	}
+
+	for {
+		resp, err := client.Get(base + "/v1/experiments/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur service.ExperimentStatus
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.State == "done" {
+			if cur.Jobs[0].Origin != submitID {
+				t.Errorf("job origin %q != submit X-Request-Id %q", cur.Jobs[0].Origin, submitID)
+			}
+			break
+		}
+		if cur.State == "failed" || cur.State == "canceled" {
+			t.Fatalf("experiment ended %s", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("experiment stuck in %s", cur.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	after := scrape()
+	if problems := obs.Lint(after); len(problems) != 0 {
+		t.Fatalf("post-load scrape fails lint: %v", problems)
+	}
+	if problems := obs.CheckMonotone(before, after); len(problems) != 0 {
+		t.Errorf("counters went backwards across the run: %v", problems)
+	}
+	for _, want := range []string{
+		"jettyd_http_request_duration_seconds_bucket",
+		`jettyd_engine_run_duration_seconds_count{kind="workload"}`,
+		"jettyd_engine_queue_depth",
+		"jettyd_build_info",
+	} {
+		if !strings.Contains(after, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+
+	// The -pprof mount serves on the live daemon.
+	resp, err = client.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status %d", resp.StatusCode)
+	}
+
+	// Shut down exactly as an orchestrator would: SIGTERM, then the
+	// daemon drains and run() returns nil.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run() returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("jettyd did not shut down after SIGTERM")
+	}
+}

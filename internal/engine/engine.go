@@ -4,7 +4,25 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// TaskTrace is one submission's telemetry record, delivered to
+// Options.OnRetire. For executed tasks it carries the lifecycle timing
+// breakdown; cache hits and coalesced submissions report their
+// disposition with zero durations (they did no queueing or running of
+// their own).
+type TaskTrace struct {
+	Kind        string // Task.Kind ("" when the submitter set none)
+	Key         string // content address
+	Origin      string // Task.Origin of the execution's first submitter
+	Disposition string // DispositionExecuted | DispositionCacheHit | DispositionCoalesced
+	State       State  // terminal state (Done/Failed/Canceled); Queued for coalesced notifications
+	QueueWait   time.Duration
+	Run         time.Duration
+	Err         error // non-nil iff State is Failed or Canceled
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -14,13 +32,22 @@ type Options struct {
 	// CacheEntries bounds the result cache. 0 means the default (256);
 	// negative disables caching entirely.
 	CacheEntries int
+	// OnRetire, when non-nil, observes every submission's outcome: once
+	// per executed task as its worker retires it (with the timing
+	// breakdown), and once per cache-hit or coalesced submission at
+	// submit time. Called outside engine locks, possibly from several
+	// goroutines at once; it must be cheap and must not call back into
+	// the engine. jettyd wires this to its latency histograms and
+	// slow-job log.
+	OnRetire func(TaskTrace)
 }
 
 // DefaultCacheEntries is the result-cache capacity when Options leaves
 // CacheEntries zero.
 const DefaultCacheEntries = 256
 
-// Stats is a snapshot of the engine's lifetime counters.
+// Stats is a snapshot of the engine's lifetime counters plus the
+// instantaneous saturation gauges a scheduler or scrape wants.
 type Stats struct {
 	Submitted uint64 // Submit calls
 	Executed  uint64 // tasks actually run by a worker
@@ -28,11 +55,15 @@ type Stats struct {
 	Coalesced uint64 // submissions attached to an identical in-flight run
 	Canceled  uint64 // executions that ended canceled
 	Failed    uint64 // executions that ended in error
+
+	QueueDepth int // executions queued, not yet picked up by a worker
+	Inflight   int // executions currently running on a worker
 }
 
 // Engine runs tasks on a fixed worker pool.
 type Engine struct {
-	workers int
+	workers  int
+	onRetire func(TaskTrace) // nil when unobserved
 
 	mu       sync.Mutex
 	inflight map[string]*execution // queued or running, by key
@@ -40,8 +71,9 @@ type Engine struct {
 	stats    Stats
 	closed   bool
 
-	queue *queue
-	wg    sync.WaitGroup
+	queue   *queue
+	running atomic.Int64 // executions currently inside a worker's Run
+	wg      sync.WaitGroup
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -64,6 +96,7 @@ func New(opts Options) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		workers:    w,
+		onRetire:   opts.OnRetire,
 		inflight:   make(map[string]*execution),
 		cache:      cache,
 		queue:      newQueue(),
@@ -90,10 +123,10 @@ func (e *Engine) Workers() int { return e.workers }
 // to it has been canceled.
 func (e *Engine) Submit(t Task) *Job {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.stats.Submitted++
 
 	if e.closed {
+		e.mu.Unlock()
 		ex := newExecution(t, context.Background(), func() {})
 		ex.finish(nil, ErrClosed)
 		return ex.attach()
@@ -101,10 +134,15 @@ func (e *Engine) Submit(t Task) *Job {
 	if e.cache != nil {
 		if res, ok := e.cache.get(t.Key); ok {
 			e.stats.CacheHits++
+			e.mu.Unlock()
 			ex := newExecution(t, context.Background(), func() {})
 			ex.cacheHit = true
 			ex.done.Store(ex.total.Load())
 			ex.finish(res, nil)
+			e.retire(TaskTrace{
+				Kind: t.Kind, Key: t.Key, Origin: t.Origin,
+				Disposition: DispositionCacheHit, State: Done,
+			})
 			return ex.attach()
 		}
 	}
@@ -117,6 +155,12 @@ func (e *Engine) Submit(t Task) *Job {
 	if ex, ok := e.inflight[t.Key]; ok {
 		if j := ex.attach(); j != nil {
 			e.stats.Coalesced++
+			e.mu.Unlock()
+			j.coalesced = true
+			e.retire(TaskTrace{
+				Kind: t.Kind, Key: t.Key, Origin: ex.task.Origin,
+				Disposition: DispositionCoalesced, State: State(ex.state.Load()),
+			})
 			return j
 		}
 	}
@@ -125,14 +169,28 @@ func (e *Engine) Submit(t Task) *Job {
 	ex := newExecution(t, ctx, cancel)
 	e.inflight[t.Key] = ex
 	e.queue.push(ex)
-	return ex.attach()
+	j := ex.attach()
+	e.mu.Unlock()
+	return j
 }
 
-// Stats returns a snapshot of the lifetime counters.
+// retire delivers one telemetry record to the OnRetire hook, if any.
+// Never called with engine locks held.
+func (e *Engine) retire(t TaskTrace) {
+	if e.onRetire != nil {
+		e.onRetire(t)
+	}
+}
+
+// Stats returns a snapshot of the lifetime counters and the queue-depth
+// and in-flight gauges.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	e.mu.Unlock()
+	st.QueueDepth = e.queue.len()
+	st.Inflight = int(e.running.Load())
+	return st
 }
 
 // Close cancels every queued and running execution, waits for the
@@ -183,8 +241,15 @@ func (e *Engine) runOne(ex *execution, scratch *Scratch) {
 		err error
 	)
 	if err = ex.ctx.Err(); err == nil {
+		ex.markStart()
 		ex.state.Store(int32(Running))
-		res, err = ex.task.Run(withScratch(ex.ctx, scratch), ex.report)
+		e.running.Add(1)
+		ctx := withScratch(ex.ctx, scratch)
+		if ex.task.Origin != "" {
+			ctx = context.WithValue(ctx, originKey{}, ex.task.Origin)
+		}
+		res, err = ex.task.Run(ctx, ex.report)
+		e.running.Add(-1)
 	}
 
 	e.mu.Lock()
@@ -213,4 +278,15 @@ func (e *Engine) runOne(ex *execution, scratch *Scratch) {
 	// baseCtx's children for the engine's lifetime. Must come after
 	// finish so a plain failure is not misclassified as canceled.
 	ex.cancel()
+
+	e.retire(TaskTrace{
+		Kind:        ex.task.Kind,
+		Key:         ex.task.Key,
+		Origin:      ex.task.Origin,
+		Disposition: DispositionExecuted,
+		State:       State(ex.state.Load()),
+		QueueWait:   ex.queueWait(),
+		Run:         ex.runTime(),
+		Err:         err,
+	})
 }

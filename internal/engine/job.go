@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned by jobs submitted to a closed engine.
@@ -16,6 +17,19 @@ type Task struct {
 	// compute equal results: the engine deduplicates and caches by it.
 	Key string
 
+	// Kind labels the task for telemetry (per-kind latency histograms,
+	// slow-job logs): "workload", "trace", "sweep", ... Not part of the
+	// content address — two kinds submitting the same Key still share
+	// one execution and one cache slot.
+	Kind string
+
+	// Origin is the request ID (or other correlation token) of the
+	// submitter, carried into the task context (OriginFrom) and the
+	// job's Status so telemetry ties back to the request that caused the
+	// work. Not part of the content address; a coalesced execution keeps
+	// its first submitter's origin.
+	Origin string
+
 	// Total is the task's progress denominator (e.g. references to
 	// simulate). 0 means progress is not reported.
 	Total uint64
@@ -24,6 +38,23 @@ type Task struct {
 	// promptly once canceled) and may call report with the number of
 	// progress units completed so far.
 	Run func(ctx context.Context, report func(done uint64)) (any, error)
+}
+
+// Dispositions: how a submission was satisfied.
+const (
+	DispositionExecuted  = "executed"  // ran (or will run) on a worker
+	DispositionCacheHit  = "cache_hit" // served from the finished-result cache
+	DispositionCoalesced = "coalesced" // attached to an identical in-flight run
+)
+
+// originKey carries Task.Origin in the task context.
+type originKey struct{}
+
+// OriginFrom returns the submitting request's origin (Task.Origin) from
+// a task context, or "" when the task was submitted without one.
+func OriginFrom(ctx context.Context) string {
+	id, _ := ctx.Value(originKey{}).(string)
+	return id
 }
 
 // State is the lifecycle of an execution.
@@ -66,6 +97,20 @@ type Status struct {
 	Total    uint64 // progress denominator (0 = unknown)
 	Err      string // non-empty iff State == Failed or Canceled
 	CacheHit bool   // served from the finished-result cache
+
+	// Disposition is how this handle's submission was satisfied:
+	// DispositionExecuted, DispositionCacheHit or DispositionCoalesced.
+	Disposition string
+	// Origin is the correlation token of the submission that created the
+	// underlying execution (Task.Origin of the first submitter).
+	Origin string
+	// QueueWait is how long the execution sat queued before a worker
+	// picked it up (live while queued, frozen once running). Zero for
+	// cache hits.
+	QueueWait time.Duration
+	// Run is the execution's running time (live while running, frozen
+	// once terminal). Zero for cache hits and never-run cancellations.
+	Run time.Duration
 }
 
 // Fraction returns completed progress in 0..1 (1 when finished, 0 when
@@ -95,6 +140,14 @@ type execution struct {
 	done  atomic.Uint64
 	total atomic.Uint64
 
+	// Lifecycle timeline. submitted is written once before the execution
+	// is published; startNS and finishNS are nanosecond offsets from
+	// submitted (0 = not yet reached), written by the worker and read by
+	// any number of Status snapshots.
+	submitted time.Time
+	startNS   atomic.Int64
+	finishNS  atomic.Int64
+
 	cacheHit bool
 
 	mu      sync.Mutex
@@ -107,9 +160,41 @@ type execution struct {
 }
 
 func newExecution(t Task, ctx context.Context, cancel context.CancelFunc) *execution {
-	ex := &execution{task: t, ctx: ctx, cancel: cancel, finished: make(chan struct{})}
+	ex := &execution{task: t, ctx: ctx, cancel: cancel, finished: make(chan struct{}), submitted: time.Now()}
 	ex.total.Store(t.Total)
 	return ex
+}
+
+// markStart records the queued→running transition (worker pickup).
+func (ex *execution) markStart() { ex.startNS.Store(time.Since(ex.submitted).Nanoseconds()) }
+
+// queueWait returns how long the execution sat queued: live while still
+// queued, frozen at worker pickup (or at finish, for executions canceled
+// before any worker saw them).
+func (ex *execution) queueWait() time.Duration {
+	if s := ex.startNS.Load(); s > 0 {
+		return time.Duration(s)
+	}
+	if f := ex.finishNS.Load(); f > 0 {
+		return time.Duration(f)
+	}
+	if ex.cacheHit {
+		return 0
+	}
+	return time.Since(ex.submitted)
+}
+
+// runTime returns the execution's running time: live while running,
+// frozen once finished, zero before any worker picked it up.
+func (ex *execution) runTime() time.Duration {
+	s := ex.startNS.Load()
+	if s == 0 {
+		return 0
+	}
+	if f := ex.finishNS.Load(); f > 0 {
+		return time.Duration(f - s)
+	}
+	return time.Since(ex.submitted) - time.Duration(s)
 }
 
 // attach registers one more observer of the execution, or returns nil
@@ -141,6 +226,7 @@ func (ex *execution) finish(res any, err error) {
 	default:
 	}
 	ex.result, ex.err = res, err
+	ex.finishNS.Store(time.Since(ex.submitted).Nanoseconds())
 	switch {
 	case err == nil:
 		ex.state.Store(int32(Done))
@@ -158,6 +244,7 @@ func (ex *execution) finish(res any, err error) {
 // only cancels the run once every handle has been canceled.
 type Job struct {
 	exec       *execution
+	coalesced  bool // this handle attached to an already in-flight execution
 	cancelOnce sync.Once
 }
 
@@ -165,11 +252,15 @@ type Job struct {
 func (j *Job) Status() Status {
 	ex := j.exec
 	st := Status{
-		Key:      ex.task.Key,
-		State:    State(ex.state.Load()),
-		Done:     ex.done.Load(),
-		Total:    ex.total.Load(),
-		CacheHit: ex.cacheHit,
+		Key:         ex.task.Key,
+		State:       State(ex.state.Load()),
+		Done:        ex.done.Load(),
+		Total:       ex.total.Load(),
+		CacheHit:    ex.cacheHit,
+		Disposition: j.Disposition(),
+		Origin:      ex.task.Origin,
+		QueueWait:   ex.queueWait(),
+		Run:         ex.runTime(),
 	}
 	if st.State.Terminal() {
 		ex.mu.Lock()
@@ -216,3 +307,17 @@ func (j *Job) Cancel() {
 // State returns the job's current lifecycle state without allocating a
 // full Status snapshot (cheap enough for hot aggregation loops).
 func (j *Job) State() State { return State(j.exec.state.Load()) }
+
+// Disposition reports how this handle's submission was satisfied:
+// served from the result cache, coalesced onto an in-flight execution,
+// or executed (i.e. this submission created the execution).
+func (j *Job) Disposition() string {
+	switch {
+	case j.exec.cacheHit:
+		return DispositionCacheHit
+	case j.coalesced:
+		return DispositionCoalesced
+	default:
+		return DispositionExecuted
+	}
+}

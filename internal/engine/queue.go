@@ -44,6 +44,13 @@ func (q *queue) pop() (*execution, bool) {
 	return ex, true
 }
 
+// len reports the number of queued executions (the queue-depth gauge).
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
 // close wakes all poppers; the queue drains and then reports empty.
 func (q *queue) close() {
 	q.mu.Lock()

@@ -1,0 +1,42 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo is the subset of runtime/debug.BuildInfo worth exposing on
+// /buildinfo and as the jettyd_build_info metric.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path"`
+	Version   string `json:"version"`            // module version ("(devel)" for local builds)
+	Revision  string `json:"revision,omitempty"` // vcs.revision when stamped
+	Time      string `json:"time,omitempty"`     // vcs.time when stamped
+	Modified  bool   `json:"modified,omitempty"` // vcs.modified when stamped
+}
+
+// ReadBuildInfo reads the running binary's build information. Binaries
+// built without module support (rare) report only zero values.
+func ReadBuildInfo() BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return BuildInfo{Version: "unknown"}
+	}
+	out := BuildInfo{
+		GoVersion: bi.GoVersion,
+		Path:      bi.Path,
+		Version:   bi.Main.Version,
+	}
+	if out.Version == "" {
+		out.Version = "unknown"
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.Time = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}

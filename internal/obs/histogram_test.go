@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// 0.5 and 1 land in le=1 (bounds are inclusive upper), 1.5 in le=2,
+	// 3 in le=5, 100 in +Inf.
+	counts, sum := h.snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d: got %d, want %d", i, counts[i], w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if sum != 106 {
+		t.Errorf("Sum = %v, want 106", sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Errorf("Count = %d, want %d", got, goroutines*per)
+	}
+	if got, want := h.Sum(), float64(goroutines*per)*0.001; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramObserveAllocs pins the hot-path property the engine hook
+// and HTTP middleware rely on: recording into a resolved child costs no
+// allocations, and neither does the family lookup once the child exists.
+func TestHistogramObserveAllocs(t *testing.T) {
+	r := NewRegistry()
+	fam := r.NewHistogramFamily("test_latency_seconds", "test.", []string{"kind"}, nil)
+	h := fam.With("workload")
+
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.017) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { fam.With("workload").Observe(0.017) }); n != 0 {
+		t.Errorf("With+Observe on an existing child allocates %v per run, want 0", n)
+	}
+
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v per run, want 0", n)
+	}
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v per run, want 0", n)
+	}
+}
+
+func TestHistogramFamilyWithPanics(t *testing.T) {
+	r := NewRegistry()
+	fam := r.NewHistogramFamily("test_hist_seconds", "test.", []string{"a", "b"}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With with wrong label count did not panic")
+		}
+	}()
+	fam.With("only-one")
+}
+
+func TestHistogramFamilyChildrenDistinct(t *testing.T) {
+	r := NewRegistry()
+	fam := r.NewHistogramFamily("test_routes_seconds", "test.", []string{"route", "status"}, nil)
+	a := fam.With("/v1/experiments", "200")
+	b := fam.With("/v1/experiments", "404")
+	if a == b {
+		t.Fatal("distinct label values returned the same child")
+	}
+	if fam.With("/v1/experiments", "200") != a {
+		t.Fatal("same label values did not return the same child")
+	}
+	a.Observe(1)
+	if b.Count() != 0 {
+		t.Fatal("observation leaked across children")
+	}
+}

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// An in-repo promlint: enough of the Prometheus text-format contract to
+// keep /metrics honest without importing a client library. The rules it
+// enforces are the ones a real scraper depends on:
+//
+//   - every series belongs to a family with # HELP and # TYPE lines
+//   - counter families end in _total
+//   - no duplicate series (same name and label set twice)
+//   - histogram buckets are cumulative, carry a +Inf bucket, and the
+//     +Inf bucket equals the family's _count
+//
+// CheckMonotone adds the cross-scrape rule: counters (and histogram
+// bucket/count/sum series) never decrease between two scrapes.
+
+// MetricMeta is one family's declared metadata.
+type MetricMeta struct {
+	Help string
+	Type string
+}
+
+// Sample is one parsed series line.
+type Sample struct {
+	Name   string            // full series name (may carry _bucket/_sum/_count)
+	Labels map[string]string // parsed label set
+	Value  float64
+}
+
+// seriesID is a canonical identity for one series: name plus the sorted
+// label pairs.
+func (s Sample) seriesID() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// Exposition is one parsed /metrics payload.
+type Exposition struct {
+	Meta    map[string]MetricMeta
+	Samples []Sample
+}
+
+// ParseText parses a Prometheus text-format exposition. It is strict
+// about line shape (that is the point) but does not validate semantics;
+// Lint does.
+func ParseText(text string) (*Exposition, error) {
+	exp := &Exposition{Meta: make(map[string]MetricMeta)}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				name := fields[2]
+				m := exp.Meta[name]
+				if fields[1] == "HELP" {
+					if len(fields) == 4 {
+						m.Help = fields[3]
+					}
+				} else {
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("line %d: TYPE without a type", ln+1)
+					}
+					m.Type = fields[3]
+				}
+				exp.Meta[name] = m
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	return exp, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in series %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	s.Labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in series %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` handling \\, \" and \n escapes.
+func parseLabels(body string) (map[string]string, error) {
+	out := map[string]string{}
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without =")
+		}
+		key := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for i < len(body) && body[i] != '"' {
+			if body[i] == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+			} else {
+				val.WriteByte(body[i])
+			}
+			i++
+		}
+		if i >= len(body) {
+			return nil, fmt.Errorf("label %s value unterminated", key)
+		}
+		i++ // closing quote
+		out[key] = val.String()
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return out, nil
+}
+
+// familyOf strips the histogram sample suffixes so a series maps back to
+// its declared family. typ guards against families whose own names end
+// in _sum or _count.
+func familyOf(name string, meta map[string]MetricMeta) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if m, ok := meta[base]; ok && m.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// Lint checks one exposition against the format contract and returns the
+// problems found (empty means clean).
+func Lint(text string) []string {
+	exp, err := ParseText(text)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	seen := map[string]bool{}
+	type histSeries struct {
+		buckets map[float64]float64 // le -> cumulative count
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+	}
+	hists := map[string]*histSeries{}
+
+	for _, s := range exp.Samples {
+		fam := familyOf(s.Name, exp.Meta)
+		meta, ok := exp.Meta[fam]
+		switch {
+		case !ok:
+			problems = append(problems, fmt.Sprintf("%s: series without # HELP/# TYPE", s.Name))
+			continue
+		case meta.Help == "":
+			problems = append(problems, fmt.Sprintf("%s: missing # HELP", fam))
+		case meta.Type == "":
+			problems = append(problems, fmt.Sprintf("%s: missing # TYPE", fam))
+		}
+		if meta.Type == "counter" && !strings.HasSuffix(fam, "_total") {
+			problems = append(problems, fmt.Sprintf("%s: counter not suffixed _total", fam))
+		}
+		if !metricNameRE.MatchString(s.Name) {
+			problems = append(problems, fmt.Sprintf("%s: invalid metric name", s.Name))
+		}
+		id := s.seriesID()
+		if seen[id] {
+			problems = append(problems, fmt.Sprintf("%s: duplicate series %s", fam, id))
+		}
+		seen[id] = true
+
+		if meta.Type == "histogram" {
+			// Key the child by the label set minus le, under the family name.
+			labels := make(map[string]string, len(s.Labels))
+			for k, v := range s.Labels {
+				if k != "le" {
+					labels[k] = v
+				}
+			}
+			key := Sample{Name: fam, Labels: labels}.seriesID()
+			h := hists[key]
+			if h == nil {
+				h = &histSeries{buckets: map[float64]float64{}}
+				hists[key] = h
+			}
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				le := s.Labels["le"]
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					b, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						problems = append(problems, fmt.Sprintf("%s: bad le %q", fam, le))
+						continue
+					}
+					bound = b
+				}
+				h.buckets[bound] = s.Value
+			case strings.HasSuffix(s.Name, "_count"):
+				h.count, h.hasCnt = s.Value, true
+			case strings.HasSuffix(s.Name, "_sum"):
+				h.hasSum = true
+			default:
+				problems = append(problems, fmt.Sprintf("%s: bare series on histogram family", fam))
+			}
+		}
+	}
+
+	// Histogram shape: cumulative buckets, +Inf present and == _count.
+	histKeys := make([]string, 0, len(hists))
+	for k := range hists {
+		histKeys = append(histKeys, k)
+	}
+	sort.Strings(histKeys)
+	for _, key := range histKeys {
+		h := hists[key]
+		if !h.hasCnt || !h.hasSum {
+			problems = append(problems, fmt.Sprintf("%s: histogram missing _count or _sum", key))
+		}
+		bounds := make([]float64, 0, len(h.buckets))
+		for b := range h.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+			problems = append(problems, fmt.Sprintf("%s: histogram missing +Inf bucket", key))
+			continue
+		}
+		prev := 0.0
+		for _, b := range bounds {
+			if h.buckets[b] < prev {
+				problems = append(problems, fmt.Sprintf("%s: bucket counts not cumulative at le=%v", key, b))
+			}
+			prev = h.buckets[b]
+		}
+		if h.hasCnt && h.buckets[math.Inf(1)] != h.count {
+			problems = append(problems, fmt.Sprintf("%s: +Inf bucket %v != count %v",
+				key, h.buckets[math.Inf(1)], h.count))
+		}
+	}
+	return problems
+}
+
+// CheckMonotone compares two scrapes (before, then after) and reports
+// every counter-typed series — including histogram _bucket/_count/_sum
+// series — whose value decreased. Series present only in one scrape are
+// fine (children appear as label values are first observed).
+func CheckMonotone(before, after string) []string {
+	b, err := ParseText(before)
+	if err != nil {
+		return []string{"before: " + err.Error()}
+	}
+	a, err := ParseText(after)
+	if err != nil {
+		return []string{"after: " + err.Error()}
+	}
+	prev := map[string]float64{}
+	for _, s := range b.Samples {
+		prev[s.seriesID()] = s.Value
+	}
+	var problems []string
+	for _, s := range a.Samples {
+		fam := familyOf(s.Name, a.Meta)
+		typ := a.Meta[fam].Type
+		monotone := typ == "counter" || typ == "histogram"
+		if !monotone {
+			continue
+		}
+		if old, ok := prev[s.seriesID()]; ok && s.Value < old {
+			problems = append(problems, fmt.Sprintf("%s: %v -> %v went backwards", s.seriesID(), old, s.Value))
+		}
+	}
+	return problems
+}

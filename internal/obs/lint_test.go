@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const cleanExposition = `# HELP test_events_total Events.
+# TYPE test_events_total counter
+test_events_total 4
+# HELP test_lat_seconds Latency.
+# TYPE test_lat_seconds histogram
+test_lat_seconds_bucket{le="0.1"} 2
+test_lat_seconds_bucket{le="+Inf"} 3
+test_lat_seconds_sum 1.5
+test_lat_seconds_count 3
+`
+
+func TestLintClean(t *testing.T) {
+	if problems := Lint(cleanExposition); len(problems) != 0 {
+		t.Errorf("clean exposition reported problems: %v", problems)
+	}
+}
+
+func TestLintProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of one reported problem
+	}{
+		{
+			"series without metadata",
+			"orphan_series 1\n",
+			"without # HELP",
+		},
+		{
+			"counter not suffixed",
+			"# HELP test_events Events.\n# TYPE test_events counter\ntest_events 1\n",
+			"not suffixed _total",
+		},
+		{
+			"duplicate series",
+			"# HELP test_g G.\n# TYPE test_g gauge\ntest_g 1\ntest_g 2\n",
+			"duplicate series",
+		},
+		{
+			"buckets not cumulative",
+			"# HELP test_h Latency.\n# TYPE test_h histogram\n" +
+				"test_h_bucket{le=\"0.1\"} 5\ntest_h_bucket{le=\"+Inf\"} 3\ntest_h_sum 1\ntest_h_count 3\n",
+			"not cumulative",
+		},
+		{
+			"+Inf disagrees with count",
+			"# HELP test_h Latency.\n# TYPE test_h histogram\n" +
+				"test_h_bucket{le=\"+Inf\"} 3\ntest_h_sum 1\ntest_h_count 5\n",
+			"!= count",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP test_h Latency.\n# TYPE test_h histogram\n" +
+				"test_h_bucket{le=\"0.1\"} 3\ntest_h_sum 1\ntest_h_count 3\n",
+			"missing +Inf",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := Lint(tc.text)
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Errorf("want a problem containing %q, got %v", tc.want, problems)
+		})
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, text := range []string{
+		"novalue\n",
+		"bad{unterminated 1\n",
+		"bad{k=\"v\"} notanumber\n",
+	} {
+		if _, err := ParseText(text); err == nil {
+			t.Errorf("ParseText(%q) did not error", text)
+		}
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	before := cleanExposition
+	after := strings.NewReplacer(
+		"test_events_total 4", "test_events_total 9",
+		`test_lat_seconds_bucket{le="+Inf"} 3`, `test_lat_seconds_bucket{le="+Inf"} 7`,
+		"test_lat_seconds_count 3", "test_lat_seconds_count 7",
+	).Replace(before)
+	if problems := CheckMonotone(before, after); len(problems) != 0 {
+		t.Errorf("monotone growth reported problems: %v", problems)
+	}
+
+	regressed := strings.Replace(before, "test_events_total 4", "test_events_total 1", 1)
+	problems := CheckMonotone(before, regressed)
+	if len(problems) == 0 {
+		t.Fatal("counter regression not reported")
+	}
+	if !strings.Contains(problems[0], "went backwards") {
+		t.Errorf("unexpected problem text: %v", problems)
+	}
+
+	// Gauges may move freely.
+	gBefore := "# HELP test_g G.\n# TYPE test_g gauge\ntest_g 5\n"
+	gAfter := strings.Replace(gBefore, "test_g 5", "test_g 2", 1)
+	if problems := CheckMonotone(gBefore, gAfter); len(problems) != 0 {
+		t.Errorf("gauge decrease reported as problem: %v", problems)
+	}
+
+	// A series appearing only after (new histogram child) is fine.
+	withNew := after + "# HELP test_new_total New.\n# TYPE test_new_total counter\ntest_new_total 1\n"
+	if problems := CheckMonotone(before, withNew); len(problems) != 0 {
+		t.Errorf("new series reported as problem: %v", problems)
+	}
+}

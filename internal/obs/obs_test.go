@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestNewRequestID(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{8}-[0-9a-f]{8}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !re.MatchString(id) {
+			t.Fatalf("malformed request ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("empty context carries ID %q", got)
+	}
+	ctx := WithRequestID(context.Background(), "abc-123")
+	if got := RequestID(ctx); got != "abc-123" {
+		t.Errorf("RequestID = %q, want abc-123", got)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("visible", "k", "v")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 line (debug suppressed at info), got %d: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v: %q", err, lines[0])
+	}
+	if rec["msg"] != "visible" || rec["k"] != "v" {
+		t.Errorf("unexpected record: %v", rec)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("shown")
+	if !strings.Contains(buf.String(), "msg=shown") {
+		t.Errorf("text logger at debug suppressed debug: %q", buf.String())
+	}
+
+	for _, bad := range [][2]string{{"xml", "info"}, {"json", "loud"}} {
+		if _, err := NewLogger(&buf, bad[0], bad[1]); err == nil {
+			t.Errorf("NewLogger(%q, %q) did not error", bad[0], bad[1])
+		}
+	}
+}
+
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if bi.Version == "" {
+		t.Error("Version empty (expect (devel) or a tag)")
+	}
+}

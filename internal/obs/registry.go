@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone event count. Add bumps it; Set mirrors an
+// external monotone counter (e.g. an engine.Stats field) into the
+// exposition — callers must only ever set non-decreasing values.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the counter with an externally maintained total.
+func (c *Counter) Set(total uint64) { c.v.Store(total) }
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.v.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// GaugeFamily is a set of Gauges sharing a name, distinguished by label
+// values (e.g. jettyd_build_info's version labels).
+type GaugeFamily struct {
+	name   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[labelKey]*Gauge
+	order    []labelKey
+}
+
+// With returns the child gauge for the given label values, creating it
+// on first use. Panics on a label-count mismatch (programming error).
+func (f *GaugeFamily) With(values ...string) *Gauge {
+	if len(values) != len(f.labels) {
+		panic("obs: label value count mismatch for " + f.name)
+	}
+	var key labelKey
+	copy(key[:], values)
+	f.mu.RLock()
+	g := f.children[key]
+	f.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g := f.children[key]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	f.children[key] = g
+	f.order = append(f.order, key)
+	return g
+}
+
+// family is one registered metric family: exactly one of the instrument
+// pointers is set, matching typ.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+
+	counter *Counter
+	gauge   *Gauge
+	gauges  *GaugeFamily
+	hist    *HistogramFamily
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4). Families render in registration
+// order; every family always renders its HELP and TYPE lines, so a
+// scrape can never observe a bare series (the promlint invariant).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// register panics on duplicate or malformed names: instruments are wired
+// at construction time, so a bad registration is a programming error.
+func (r *Registry) register(f *family) {
+	if !metricNameRE.MatchString(f.name) {
+		panic("obs: invalid metric name " + f.name)
+	}
+	if f.typ == "counter" && !strings.HasSuffix(f.name, "_total") {
+		panic("obs: counter " + f.name + " must end in _total")
+	}
+	if len(f.labels) > maxLabels {
+		panic("obs: too many labels on " + f.name)
+	}
+	for _, l := range f.labels {
+		if !metricNameRE.MatchString(l) || strings.HasPrefix(l, "__") {
+			panic("obs: invalid label name " + l + " on " + f.name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic("obs: duplicate metric " + f.name)
+	}
+	r.families = append(r.families, f)
+	r.byName[f.name] = f
+}
+
+// NewCounter registers an unlabeled counter. The name must end in
+// _total (Prometheus counter convention; the in-repo linter enforces
+// the same rule on scrape output).
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// NewGaugeFamily registers a labeled gauge family.
+func (r *Registry) NewGaugeFamily(name, help string, labels []string) *GaugeFamily {
+	f := &GaugeFamily{name: name, labels: labels, children: make(map[labelKey]*Gauge)}
+	r.register(&family{name: name, help: help, typ: "gauge", labels: labels, gauges: f})
+	return f
+}
+
+// NewHistogramFamily registers a labeled histogram family with the given
+// bucket upper bounds (nil means DefBuckets). Bounds must be strictly
+// ascending.
+func (r *Registry) NewHistogramFamily(name, help string, labels []string, bounds []float64) *HistogramFamily {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending for " + name)
+		}
+	}
+	f := &HistogramFamily{
+		name:     name,
+		help:     help,
+		labels:   labels,
+		bounds:   bounds,
+		children: make(map[labelKey]*Histogram),
+	}
+	r.register(&family{name: name, help: help, typ: "histogram", labels: labels, hist: f})
+	return f
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format. Values are read live from the instruments; callers that need a
+// consistent multi-source snapshot (the jettyd /metrics handler does)
+// set the mirrored instruments from one snapshot first, then render.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
+		case f.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gauge.Value()))
+		case f.gauges != nil:
+			f.gauges.mu.RLock()
+			for _, key := range f.gauges.order {
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(f.labels, key, "", 0),
+					formatFloat(f.gauges.children[key].Value()))
+			}
+			f.gauges.mu.RUnlock()
+		case f.hist != nil:
+			renderHistogramFamily(&b, f)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderHistogramFamily writes one histogram family: per child, the
+// cumulative le-labeled buckets, then _sum and _count. Children render
+// sorted by label values so successive scrapes are diffable.
+func renderHistogramFamily(b *strings.Builder, f *family) {
+	f.hist.mu.RLock()
+	keys := append([]labelKey(nil), f.hist.order...)
+	children := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		children[i] = f.hist.children[k]
+	}
+	f.hist.mu.RUnlock()
+	sort.Sort(&byKey{keys, children})
+
+	for i, key := range keys {
+		counts, sum := children[i].snapshot()
+		var cum uint64
+		for bi, c := range counts {
+			cum += c
+			le := "+Inf"
+			if bi < len(f.hist.bounds) {
+				le = formatFloat(f.hist.bounds[bi])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, key, le, 1), cum)
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, renderLabels(f.labels, key, "", 0), formatFloat(sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, renderLabels(f.labels, key, "", 0), cum)
+	}
+}
+
+// byKey sorts histogram children and their keys together.
+type byKey struct {
+	keys     []labelKey
+	children []*Histogram
+}
+
+func (s *byKey) Len() int { return len(s.keys) }
+func (s *byKey) Less(i, j int) bool {
+	for n := range s.keys[i] {
+		if s.keys[i][n] != s.keys[j][n] {
+			return s.keys[i][n] < s.keys[j][n]
+		}
+	}
+	return false
+}
+func (s *byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.children[i], s.children[j] = s.children[j], s.children[i]
+}
+
+// renderLabels formats a label set, optionally appending le (histogram
+// buckets). extra is 1 when le is present, 0 otherwise; an empty label
+// set with no le renders as nothing.
+func renderLabels(names []string, key labelKey, le string, extra int) string {
+	if len(names)+extra == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(key[i]))
+		b.WriteByte('"')
+	}
+	if extra == 1 {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -31,6 +31,7 @@ type liveFeed struct {
 	mu     sync.Mutex
 	apps   []string
 	wins   [][]json.RawMessage // per job, in emission order
+	pubs   [][]time.Time       // publish instants, parallel to wins (fan-out lag)
 	done   bool
 	notify chan struct{}
 }
@@ -39,6 +40,7 @@ func newLiveFeed(apps []string) *liveFeed {
 	return &liveFeed{
 		apps:   apps,
 		wins:   make([][]json.RawMessage, len(apps)),
+		pubs:   make([][]time.Time, len(apps)),
 		notify: make(chan struct{}),
 	}
 }
@@ -54,10 +56,23 @@ func (f *liveFeed) publish(idx int, w *metrics.Window) {
 	f.mu.Lock()
 	if !f.done {
 		f.wins[idx] = append(f.wins[idx], raw)
+		f.pubs[idx] = append(f.pubs[idx], time.Now())
 	}
 	close(f.notify)
 	f.notify = make(chan struct{})
 	f.mu.Unlock()
+}
+
+// buffered counts the windows the feed retains, across all jobs — the
+// jettyd_live_feed_windows_buffered gauge reads it per scrape.
+func (f *liveFeed) buffered() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.wins {
+		n += len(w)
+	}
+	return n
 }
 
 // finish tops up windows no hook delivered (cache-hit jobs ran before
@@ -71,6 +86,7 @@ func (f *liveFeed) finish(timelines []*metrics.Timeline) {
 	if f.done {
 		return
 	}
+	now := time.Now()
 	for i, tl := range timelines {
 		if tl == nil {
 			continue
@@ -81,6 +97,7 @@ func (f *liveFeed) finish(timelines []*metrics.Timeline) {
 				continue
 			}
 			f.wins[i] = append(f.wins[i], raw)
+			f.pubs[i] = append(f.pubs[i], now)
 		}
 	}
 	f.done = true
@@ -88,11 +105,14 @@ func (f *liveFeed) finish(timelines []*metrics.Timeline) {
 	f.notify = make(chan struct{})
 }
 
-// liveEvent is one SSE "window" payload.
+// liveEvent is one SSE "window" payload. published is internal — the
+// fan-out lag histogram measures publish-to-write delay from it.
 type liveEvent struct {
 	App    string          `json:"app"`
 	Index  int             `json:"index"` // window ordinal within the app
 	Window json.RawMessage `json:"window"`
+
+	published time.Time `json:"-"`
 }
 
 // next returns the events past the given per-job cursors (advancing
@@ -103,7 +123,12 @@ func (f *liveFeed) next(cursors []int) (events []liveEvent, done bool, wait <-ch
 	defer f.mu.Unlock()
 	for i := range f.wins {
 		for ; cursors[i] < len(f.wins[i]); cursors[i]++ {
-			events = append(events, liveEvent{App: f.apps[i], Index: cursors[i], Window: f.wins[i][cursors[i]]})
+			events = append(events, liveEvent{
+				App:       f.apps[i],
+				Index:     cursors[i],
+				Window:    f.wins[i][cursors[i]],
+				published: f.pubs[i][cursors[i]],
+			})
 		}
 	}
 	return events, f.done, f.notify
@@ -207,8 +232,8 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	s.ctr.liveSubscribers.Add(1)
-	defer s.ctr.liveSubscribers.Add(-1)
+	s.tel.liveSubscribers.Add(1)
+	defer s.tel.liveSubscribers.Add(-1)
 
 	var cursors []int
 	if exp.feed != nil {
@@ -233,7 +258,8 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 				fmt.Fprintf(w, "event: window\ndata: %s\n\n", raw)
-				s.ctr.windowsStreamed.Add(1)
+				s.tel.windowsStreamed.Add(1)
+				s.tel.fanoutLag.Observe(time.Since(ev.published).Seconds())
 			}
 			if len(events) > 0 {
 				flusher.Flush()

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"jetty/internal/obs"
 )
 
 // sseEvent is one parsed server-sent event.
@@ -318,16 +320,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 
-	// Every exposed line is well-formed text exposition: comment or
-	// "name value".
-	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
-		if strings.HasPrefix(line, "#") {
-			continue
-		}
-		parts := strings.Fields(line)
-		if len(parts) != 2 {
-			t.Errorf("malformed metric line %q", line)
-		}
+	// The whole exposition passes the in-repo promlint: HELP/TYPE on
+	// every family, counters suffixed _total, histogram buckets
+	// cumulative with +Inf == count.
+	for _, p := range obs.Lint(body) {
+		t.Errorf("promlint: %s", p)
 	}
 
 	// And over HTTP through the mux.
@@ -354,11 +351,11 @@ func TestMetricsCountersTrackLiveStreams(t *testing.T) {
 	if len(events) < 2 {
 		t.Fatalf("expected windows + done, got %d events", len(events))
 	}
-	if got := s.ctr.windowsStreamed.Load(); got == 0 {
+	if got := s.tel.windowsStreamed.Value(); got == 0 {
 		t.Error("windowsStreamed did not advance")
 	}
-	if got := s.ctr.liveSubscribers.Load(); got != 0 {
-		t.Errorf("liveSubscribers = %d after stream closed", got)
+	if got := s.tel.liveSubscribers.Value(); got != 0 {
+		t.Errorf("liveSubscribers = %v after stream closed", got)
 	}
 }
 

@@ -1,33 +1,31 @@
 package service
 
 import (
-	"fmt"
 	"net/http"
-	"strings"
-	"sync/atomic"
 )
 
-// Service-level observability: GET /metrics exposes the daemon's own
-// counters in the Prometheus text exposition format (version 0.0.4),
+// Service-level observability: GET /metrics exposes the daemon's
+// instruments in the Prometheus text exposition format (version 0.0.4),
 // so a stock Prometheus scrape — or `curl localhost:8077/metrics` —
 // sees admission, registry, trace-store, live-stream and engine state
-// without touching the JSON API. These are operational counters about
-// the service; the simulation-level timelines live under
-// /v1/experiments/{id}/timeline.
-
-// counters are the monotone event counts and live gauges the handlers
-// bump. Atomics: they are touched from request handlers and engine
-// workers (OnWindow hooks) concurrently.
-type counters struct {
-	expSubmitted    atomic.Uint64
-	sweepSubmitted  atomic.Uint64
-	traceUploads    atomic.Uint64
-	evicted         atomic.Uint64
-	liveSubscribers atomic.Int64
-	windowsStreamed atomic.Uint64
-}
+// plus the request/job latency histograms without touching the JSON
+// API. Event counters and histograms are recorded as events happen (see
+// telemetry.go and middleware.go); point-in-time gauges are set here,
+// from one consistent snapshot per scrape.
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.snapshotGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.tel.reg.WriteText(w)
+}
+
+// snapshotGauges captures all scrape-time state first — the registry
+// under one s.mu acquisition, the engine counters in one Stats call —
+// and only then writes the instruments, so a scrape can never observe
+// torn registry-vs-engine state (the old handler interleaved unlocked
+// engine reads with locked registry reads).
+func (s *Server) snapshotGauges() {
 	s.mu.Lock()
 	registered := len(s.exps)
 	sweepsRegistered := len(s.sweeps)
@@ -37,53 +35,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, in := range s.traces {
 		traceBytes += len(in.Data)
 	}
+	var buffered int
+	for _, exp := range s.exps {
+		if exp.feed != nil {
+			buffered += exp.feed.buffered()
+		}
+	}
 	s.mu.Unlock()
 
 	eng := s.runner.Engine()
 	st := eng.Stats()
 
-	var b strings.Builder
-	metric := func(name, typ, help string, v any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	t := s.tel
+	t.expsRegistered.Set(float64(registered))
+	t.sweepsRegistered.Set(float64(sweepsRegistered))
+	t.jobsUnfinished.Set(float64(unfinished))
+	t.admissionOcc.Set(float64(unfinished) / float64(s.maxUnfinished))
+	t.tracesStored.Set(float64(tracesStored))
+	t.traceBytes.Set(float64(traceBytes))
+	t.feedBuffered.Set(float64(buffered))
+	t.engineWorkers.Set(float64(eng.Workers()))
+	t.engineQueueDepth.Set(float64(st.QueueDepth))
+	t.engineInflight.Set(float64(st.Inflight))
+	if s.draining.Load() {
+		t.draining.Set(1)
+	} else {
+		t.draining.Set(0)
 	}
-	metric("jettyd_experiments_submitted_total", "counter",
-		"Experiments accepted via POST /v1/experiments.", s.ctr.expSubmitted.Load())
-	metric("jettyd_sweeps_submitted_total", "counter",
-		"Sweeps accepted via POST /v1/sweeps.", s.ctr.sweepSubmitted.Load())
-	metric("jettyd_trace_uploads_total", "counter",
-		"Trace files stored via POST /v1/traces.", s.ctr.traceUploads.Load())
-	metric("jettyd_registry_evictions_total", "counter",
-		"Finished experiments and sweeps evicted from the registry.", s.ctr.evicted.Load())
-	metric("jettyd_experiments_registered", "gauge",
-		"Experiments currently in the registry.", registered)
-	metric("jettyd_sweeps_registered", "gauge",
-		"Sweeps currently in the registry.", sweepsRegistered)
-	metric("jettyd_jobs_unfinished", "gauge",
-		"Experiments and sweeps still queued or running (admission cap accounting).", unfinished)
-	metric("jettyd_traces_stored", "gauge",
-		"Uploaded traces currently retained.", tracesStored)
-	metric("jettyd_trace_bytes_stored", "gauge",
-		"Total bytes of retained uploaded traces.", traceBytes)
-	metric("jettyd_live_subscribers", "gauge",
-		"SSE subscribers currently attached to /v1/experiments/{id}/live.", s.ctr.liveSubscribers.Load())
-	metric("jettyd_live_windows_streamed_total", "counter",
-		"Timeline windows written to SSE subscribers.", s.ctr.windowsStreamed.Load())
-	metric("jettyd_engine_workers", "gauge",
-		"Engine worker pool size.", eng.Workers())
-	metric("jettyd_engine_submitted_total", "counter",
-		"Tasks submitted to the engine.", st.Submitted)
-	metric("jettyd_engine_executed_total", "counter",
-		"Tasks actually run by a worker.", st.Executed)
-	metric("jettyd_engine_cache_hits_total", "counter",
-		"Submissions served from the finished-result cache.", st.CacheHits)
-	metric("jettyd_engine_coalesced_total", "counter",
-		"Submissions attached to an identical in-flight run.", st.Coalesced)
-	metric("jettyd_engine_canceled_total", "counter",
-		"Executions that ended canceled.", st.Canceled)
-	metric("jettyd_engine_failed_total", "counter",
-		"Executions that ended in error.", st.Failed)
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(b.String()))
+	t.engSubmitted.Set(st.Submitted)
+	t.engExecuted.Set(st.Executed)
+	t.engCacheHits.Set(st.CacheHits)
+	t.engCoalesced.Set(st.Coalesced)
+	t.engCanceled.Set(st.Canceled)
+	t.engFailed.Set(st.Failed)
 }

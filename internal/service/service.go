@@ -40,12 +40,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"jetty/internal/engine"
 	"jetty/internal/metrics"
+	"jetty/internal/obs"
 	"jetty/internal/sim"
 	"jetty/internal/smp"
 	"jetty/internal/sweep"
@@ -73,6 +78,16 @@ type Options struct {
 	// MaxTraceBytes bounds one uploaded trace file. 0 means the default
 	// (64 MB).
 	MaxTraceBytes int64
+	// Logger receives the access log, slow-job records and other
+	// structured events. nil discards them (tests, embedded use).
+	Logger *slog.Logger
+	// SlowJob is the run-duration threshold past which a finished engine
+	// job is logged at warn level. 0 means DefaultSlowJob (30s).
+	SlowJob time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the service
+	// handler. Off by default: the profiler is an operator tool, not
+	// part of the public API surface.
+	Pprof bool
 }
 
 // Defaults for the zero Options values.
@@ -91,8 +106,10 @@ type Server struct {
 	maxRetained   int
 	maxTraces     int
 	maxTraceBytes int64
+	pprof         bool
 
-	ctr counters // service-level /metrics counters
+	tel      *telemetry  // instruments, logger, slow-job threshold
+	draining atomic.Bool // set by SetDraining during shutdown
 
 	mu         sync.Mutex
 	exps       map[string]*experiment
@@ -137,27 +154,49 @@ func New(opts Options) *Server {
 	if maxTraceBytes <= 0 {
 		maxTraceBytes = DefaultMaxTraceBytes
 	}
-	eng := engine.New(engine.Options{Workers: opts.Workers, CacheEntries: opts.CacheEntries})
+	tel := newTelemetry(opts.Logger, opts.SlowJob)
+	eng := engine.New(engine.Options{
+		Workers:      opts.Workers,
+		CacheEntries: opts.CacheEntries,
+		OnRetire:     tel.onRetire,
+	})
 	return &Server{
 		runner:        sim.NewRunner(eng),
 		maxUnfinished: maxUnfinished,
 		maxRetained:   maxRetained,
 		maxTraces:     maxTraces,
 		maxTraceBytes: maxTraceBytes,
+		pprof:         opts.Pprof,
+		tel:           tel,
 		exps:          make(map[string]*experiment),
 		sweeps:        make(map[string]*sweepJob),
 		traces:        make(map[string]sim.TraceInput),
 	}
 }
 
+// SetDraining flips the readiness state /healthz reports: a draining
+// daemon answers 503 so load balancers stop routing to it while
+// in-flight requests finish. jettyd sets it at shutdown-signal time,
+// before http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 // Close stops the engine, canceling everything in flight.
 func (s *Server) Close() { s.runner.Engine().Close() }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler: the API mux wrapped in
+// the request-ID / access-log / latency middleware (middleware.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/filters", s.handleFilters)
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
@@ -176,7 +215,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceInfo)
 	mux.HandleFunc("DELETE /v1/traces/{digest}", s.handleTraceDelete)
-	return mux
+	return s.withTelemetry(mux)
 }
 
 // SubmitRequest describes one experiment.
@@ -206,16 +245,24 @@ type SubmitRequest struct {
 	Interval uint64 `json:"interval,omitempty"`
 }
 
-// JobStatus is one app run's progress snapshot.
+// JobStatus is one app run's progress snapshot, including the lifecycle
+// timing breakdown (queue wait, run time, disposition) and the request
+// ID whose submission created the underlying execution — the same ID
+// that request's response carried as X-Request-Id and its access-log
+// record carried as "id".
 type JobStatus struct {
-	App      string  `json:"app"`
-	Key      string  `json:"key"` // content address (cache/dedup key)
-	State    string  `json:"state"`
-	Done     uint64  `json:"done"`
-	Total    uint64  `json:"total"`
-	Fraction float64 `json:"fraction"`
-	CacheHit bool    `json:"cache_hit,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	App         string  `json:"app"`
+	Key         string  `json:"key"` // content address (cache/dedup key)
+	State       string  `json:"state"`
+	Done        uint64  `json:"done"`
+	Total       uint64  `json:"total"`
+	Fraction    float64 `json:"fraction"`
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	Disposition string  `json:"disposition,omitempty"` // executed|cache_hit|coalesced
+	Origin      string  `json:"origin,omitempty"`      // submitting request ID
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	RunMS       float64 `json:"run_ms,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 // ExperimentStatus is the aggregate progress snapshot.
@@ -236,13 +283,29 @@ type ExperimentResult struct {
 	Tables  map[string]string `json:"tables"`
 }
 
+// handleHealthz is readiness-aware: a healthy daemon answers 200, a
+// draining one (shutdown signal received, connections finishing) 503 —
+// so a load balancer or orchestrator stops routing new work while
+// in-flight requests complete.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	eng := s.runner.Engine()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":      true,
+	state, code := "ready", http.StatusOK
+	if s.draining.Load() {
+		state, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ok":      code == http.StatusOK,
+		"state":   state,
 		"workers": eng.Workers(),
 		"stats":   eng.Stats(),
 	})
+}
+
+// handleBuildInfo reports the running binary's build metadata (module
+// version, go version, VCS revision) — the JSON twin of the
+// jettyd_build_info metric.
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.ReadBuildInfo())
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -314,19 +377,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Submit while holding the registry lock so a canceling client can
 	// never observe the experiment without its jobs. Submit never blocks
-	// on the work itself.
+	// on the work itself. Every task carries this request's ID as its
+	// origin, so job telemetry (status JSON, slow-job logs) correlates
+	// back to the X-Request-Id the client saw.
+	origin := obs.RequestID(r.Context())
+	eng := s.runner.Engine()
+	submit := func(t engine.Task) {
+		t.Origin = origin
+		exp.jobs = append(exp.jobs, eng.Submit(t))
+	}
 	switch {
 	case traceIn != nil && exp.interval > 0:
-		exp.jobs = append(exp.jobs, s.runner.SubmitTraceSampled(*traceIn, cfg, sampleOpt(0)))
+		submit(sim.SampledTraceTask(*traceIn, cfg, sampleOpt(0)))
 	case traceIn != nil:
-		exp.jobs = append(exp.jobs, s.runner.SubmitTrace(*traceIn, cfg))
+		submit(sim.TraceTask(*traceIn, cfg))
 	case exp.interval > 0:
 		for i, sp := range specs {
-			exp.jobs = append(exp.jobs, s.runner.SubmitSampled(sp, cfg, sampleOpt(i)))
+			submit(sim.SampledTask(sp, cfg, sampleOpt(i)))
 		}
 	default:
 		for _, sp := range specs {
-			exp.jobs = append(exp.jobs, s.runner.Submit(sp, cfg))
+			submit(sim.Task(sp, cfg))
 		}
 	}
 	s.exps[exp.id] = exp
@@ -334,7 +405,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictLocked()
 	s.mu.Unlock()
 
-	s.ctr.expSubmitted.Add(1)
+	s.tel.expSubmitted.Add(1)
 	writeJSON(w, http.StatusAccepted, exp.status())
 }
 
@@ -583,7 +654,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	s.traceOrder = append(s.traceOrder, in.Digest)
 	s.mu.Unlock()
 
-	s.ctr.traceUploads.Add(1)
+	s.tel.traceUploads.Add(1)
 	writeJSON(w, http.StatusCreated, traceInfo(in))
 }
 
@@ -648,7 +719,7 @@ func (s *Server) evictLocked() {
 			for _, j := range exp.jobs {
 				j.Cancel() // no-op on finished jobs; releases the handle
 			}
-			s.ctr.evicted.Add(1)
+			s.tel.evicted.Add(1)
 			excess--
 			continue
 		}
@@ -696,14 +767,18 @@ func (e *experiment) status() ExperimentStatus {
 		out.Done += js.Done
 		out.Total += js.Total
 		out.Jobs = append(out.Jobs, JobStatus{
-			App:      e.specs[i].Name,
-			Key:      js.Key,
-			State:    js.State.String(),
-			Done:     js.Done,
-			Total:    js.Total,
-			Fraction: js.Fraction(),
-			CacheHit: js.CacheHit,
-			Error:    js.Err,
+			App:         e.specs[i].Name,
+			Key:         js.Key,
+			State:       js.State.String(),
+			Done:        js.Done,
+			Total:       js.Total,
+			Fraction:    js.Fraction(),
+			CacheHit:    js.CacheHit,
+			Disposition: js.Disposition,
+			Origin:      js.Origin,
+			QueueWaitMS: durationMS(js.QueueWait),
+			RunMS:       durationMS(js.Run),
+			Error:       js.Err,
 		})
 	}
 	switch {

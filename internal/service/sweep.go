@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 
+	"jetty/internal/obs"
 	"jetty/internal/sim"
 	"jetty/internal/sweep"
 )
@@ -72,7 +73,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return in, nil
 	}
-	sw, err := sweep.Submit(s.runner, spec, resolver)
+	sw, err := sweep.SubmitOrigin(s.runner, spec, resolver, obs.RequestID(r.Context()))
 	if err != nil {
 		s.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err)
@@ -85,7 +86,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictSweepsLocked()
 	s.mu.Unlock()
 
-	s.ctr.sweepSubmitted.Add(1)
+	s.tel.sweepSubmitted.Add(1)
 	writeJSON(w, http.StatusAccepted, SweepStatus{ID: job.id, Status: sw.Status(true)})
 }
 
@@ -183,7 +184,7 @@ func (s *Server) evictSweepsLocked() {
 		if excess > 0 && !job.sw.Unfinished() {
 			delete(s.sweeps, id)
 			job.sw.Cancel() // no-op on finished cells; releases the handles
-			s.ctr.evicted.Add(1)
+			s.tel.evicted.Add(1)
 			excess--
 			continue
 		}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"log/slog"
+	"time"
+
+	"jetty/internal/engine"
+	"jetty/internal/obs"
+	"jetty/internal/sim"
+)
+
+// telemetry is the server's instrument panel: every histogram, counter
+// and gauge /metrics exposes, plus the structured logger and the
+// slow-job threshold. Handlers record into the instruments as events
+// happen; scrape-time gauges are set from one consistent snapshot in
+// handleMetrics (see snapshotGauges).
+type telemetry struct {
+	log     *slog.Logger
+	slowJob time.Duration
+	reg     *obs.Registry
+
+	// Latency histograms (the ISSUE 6 tentpole set).
+	httpLatency *obs.HistogramFamily // route, status
+	queueWait   *obs.HistogramFamily // kind
+	runDuration *obs.HistogramFamily // kind
+	sweepCell   *obs.Histogram       // sweep cell run duration
+	fanoutLag   *obs.Histogram       // publish → SSE write lag
+
+	// Event counters owned by the handlers.
+	expSubmitted    *obs.Counter
+	sweepSubmitted  *obs.Counter
+	traceUploads    *obs.Counter
+	evicted         *obs.Counter
+	windowsStreamed *obs.Counter
+
+	// Live gauges the handlers adjust directly.
+	liveSubscribers *obs.Gauge
+
+	// Scrape-time gauges, set from one snapshot per scrape.
+	expsRegistered   *obs.Gauge
+	sweepsRegistered *obs.Gauge
+	jobsUnfinished   *obs.Gauge
+	admissionOcc     *obs.Gauge
+	tracesStored     *obs.Gauge
+	traceBytes       *obs.Gauge
+	feedBuffered     *obs.Gauge
+	engineWorkers    *obs.Gauge
+	engineQueueDepth *obs.Gauge
+	engineInflight   *obs.Gauge
+	draining         *obs.Gauge
+
+	// Engine lifetime counters, mirrored from engine.Stats per scrape.
+	engSubmitted *obs.Counter
+	engExecuted  *obs.Counter
+	engCacheHits *obs.Counter
+	engCoalesced *obs.Counter
+	engCanceled  *obs.Counter
+	engFailed    *obs.Counter
+}
+
+// DefaultSlowJob is the run-duration threshold past which a finished
+// engine job is logged at warn level when Options leaves SlowJob zero.
+const DefaultSlowJob = 30 * time.Second
+
+func newTelemetry(log *slog.Logger, slowJob time.Duration) *telemetry {
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	if slowJob == 0 {
+		slowJob = DefaultSlowJob
+	}
+	reg := obs.NewRegistry()
+	t := &telemetry{log: log, slowJob: slowJob, reg: reg}
+
+	t.httpLatency = reg.NewHistogramFamily("jettyd_http_request_duration_seconds",
+		"HTTP request latency by route pattern and status code.",
+		[]string{"route", "status"}, nil)
+	t.queueWait = reg.NewHistogramFamily("jettyd_engine_queue_wait_seconds",
+		"Time an executed engine task sat queued before a worker picked it up, by task kind.",
+		[]string{"kind"}, nil)
+	t.runDuration = reg.NewHistogramFamily("jettyd_engine_run_duration_seconds",
+		"Running time of executed engine tasks, by task kind.",
+		[]string{"kind"}, nil)
+	t.sweepCell = reg.NewHistogramFamily("jettyd_sweep_cell_duration_seconds",
+		"Running time of executed sweep cells.", nil, nil).With()
+	t.fanoutLag = reg.NewHistogramFamily("jettyd_live_fanout_lag_seconds",
+		"Lag between a timeline window's publication and its write to an SSE subscriber.",
+		nil, nil).With()
+
+	t.expSubmitted = reg.NewCounter("jettyd_experiments_submitted_total",
+		"Experiments accepted via POST /v1/experiments.")
+	t.sweepSubmitted = reg.NewCounter("jettyd_sweeps_submitted_total",
+		"Sweeps accepted via POST /v1/sweeps.")
+	t.traceUploads = reg.NewCounter("jettyd_trace_uploads_total",
+		"Trace files stored via POST /v1/traces.")
+	t.evicted = reg.NewCounter("jettyd_registry_evictions_total",
+		"Finished experiments and sweeps evicted from the registry.")
+	t.windowsStreamed = reg.NewCounter("jettyd_live_windows_streamed_total",
+		"Timeline windows written to SSE subscribers.")
+
+	t.liveSubscribers = reg.NewGauge("jettyd_live_subscribers",
+		"SSE subscribers currently attached to /v1/experiments/{id}/live.")
+	t.expsRegistered = reg.NewGauge("jettyd_experiments_registered",
+		"Experiments currently in the registry.")
+	t.sweepsRegistered = reg.NewGauge("jettyd_sweeps_registered",
+		"Sweeps currently in the registry.")
+	t.jobsUnfinished = reg.NewGauge("jettyd_jobs_unfinished",
+		"Experiments and sweeps still queued or running (admission cap accounting).")
+	t.admissionOcc = reg.NewGauge("jettyd_admission_occupancy",
+		"Fraction of the admission cap in use (jobs unfinished / max unfinished).")
+	t.tracesStored = reg.NewGauge("jettyd_traces_stored",
+		"Uploaded traces currently retained.")
+	t.traceBytes = reg.NewGauge("jettyd_trace_bytes_stored",
+		"Total bytes of retained uploaded traces.")
+	t.feedBuffered = reg.NewGauge("jettyd_live_feed_windows_buffered",
+		"Timeline windows buffered across all live feeds awaiting (or replayable by) subscribers.")
+	t.engineWorkers = reg.NewGauge("jettyd_engine_workers",
+		"Engine worker pool size.")
+	t.engineQueueDepth = reg.NewGauge("jettyd_engine_queue_depth",
+		"Engine executions queued and not yet picked up by a worker.")
+	t.engineInflight = reg.NewGauge("jettyd_engine_inflight",
+		"Engine executions currently running on a worker.")
+	t.draining = reg.NewGauge("jettyd_draining",
+		"1 while the daemon is draining for shutdown, else 0.")
+
+	t.engSubmitted = reg.NewCounter("jettyd_engine_submitted_total",
+		"Tasks submitted to the engine.")
+	t.engExecuted = reg.NewCounter("jettyd_engine_executed_total",
+		"Tasks actually run by a worker.")
+	t.engCacheHits = reg.NewCounter("jettyd_engine_cache_hits_total",
+		"Submissions served from the finished-result cache.")
+	t.engCoalesced = reg.NewCounter("jettyd_engine_coalesced_total",
+		"Submissions attached to an identical in-flight run.")
+	t.engCanceled = reg.NewCounter("jettyd_engine_canceled_total",
+		"Executions that ended canceled.")
+	t.engFailed = reg.NewCounter("jettyd_engine_failed_total",
+		"Executions that ended in error.")
+
+	bi := obs.ReadBuildInfo()
+	reg.NewGaugeFamily("jettyd_build_info",
+		"Build metadata of the running jettyd binary (value is always 1).",
+		[]string{"version", "go_version", "revision"}).
+		With(bi.Version, bi.GoVersion, bi.Revision).Set(1)
+
+	return t
+}
+
+// onRetire is the engine's telemetry hook: it observes the lifecycle
+// histograms for executed tasks and logs slow jobs. Runs on engine
+// workers — the histogram path is lock-free and allocation-free, the
+// log fires only past the slow-job threshold.
+func (t *telemetry) onRetire(tr engine.TaskTrace) {
+	if tr.Disposition != engine.DispositionExecuted {
+		return // cache hits and coalesced submissions did no work of their own
+	}
+	kind := tr.Kind
+	if kind == "" {
+		kind = "other"
+	}
+	t.queueWait.With(kind).Observe(tr.QueueWait.Seconds())
+	t.runDuration.With(kind).Observe(tr.Run.Seconds())
+	if kind == sim.KindSweep {
+		t.sweepCell.Observe(tr.Run.Seconds())
+	}
+	if tr.Run >= t.slowJob {
+		t.log.Warn("slow job",
+			"kind", kind,
+			"key", tr.Key,
+			"origin", tr.Origin,
+			"state", tr.State.String(),
+			"queue_wait_ms", durationMS(tr.QueueWait),
+			"run_ms", durationMS(tr.Run))
+	}
+}
+
+// durationMS renders a duration as fractional milliseconds for logs and
+// JSON payloads.
+func durationMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}

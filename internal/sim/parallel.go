@@ -185,6 +185,7 @@ func runApp(ctx context.Context, sp workload.Spec, cfg smp.Config, tw *trace.Wri
 func Task(sp workload.Spec, cfg smp.Config) engine.Task {
 	return engine.Task{
 		Key:   Fingerprint(sp, cfg),
+		Kind:  KindWorkload,
 		Total: sp.Accesses,
 		Run: func(ctx context.Context, report func(uint64)) (any, error) {
 			res, err := RunAppCtx(ctx, sp, cfg, report)
@@ -211,6 +212,7 @@ func SampledKey(base string, interval uint64) string {
 func SampledTask(sp workload.Spec, cfg smp.Config, opt SampleOptions) engine.Task {
 	return engine.Task{
 		Key:   SampledKey(Fingerprint(sp, cfg), opt.Interval),
+		Kind:  KindWorkload,
 		Total: sp.Accesses,
 		Run: func(ctx context.Context, report func(uint64)) (any, error) {
 			res, err := RunAppSampledCtx(ctx, sp, cfg, opt, report)
@@ -398,3 +400,12 @@ func DefaultRunner() *Runner {
 	}
 	return defaultRunner
 }
+
+// Task kinds: the telemetry label (engine.Task.Kind) each submission
+// path carries, so jettyd's per-kind latency histograms and slow-job
+// logs distinguish generated runs from trace replays and sweep cells.
+const (
+	KindWorkload = "workload" // generator-driven app run
+	KindTrace    = "trace"    // stored-trace replay
+	KindSweep    = "sweep"    // sweep cell (set by internal/sweep)
+)

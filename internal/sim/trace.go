@@ -193,6 +193,7 @@ func runTrace(ctx context.Context, in TraceInput, cfg smp.Config, opt SampleOpti
 func TraceTask(in TraceInput, cfg smp.Config) engine.Task {
 	return engine.Task{
 		Key:   TraceFingerprint(in.Digest, cfg),
+		Kind:  KindTrace,
 		Total: in.Records,
 		Run: func(ctx context.Context, report func(uint64)) (any, error) {
 			res, err := RunTraceCtx(ctx, in, cfg, report)
@@ -209,6 +210,7 @@ func TraceTask(in TraceInput, cfg smp.Config) engine.Task {
 func SampledTraceTask(in TraceInput, cfg smp.Config, opt SampleOptions) engine.Task {
 	return engine.Task{
 		Key:   SampledKey(TraceFingerprint(in.Digest, cfg), opt.Interval),
+		Kind:  KindTrace,
 		Total: in.Records,
 		Run: func(ctx context.Context, report func(uint64)) (any, error) {
 			res, err := RunTraceSampledCtx(ctx, in, cfg, opt, report)

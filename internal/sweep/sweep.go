@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"jetty/internal/engine"
 	"jetty/internal/sim"
@@ -11,9 +12,10 @@ import (
 // Sweep is one submitted sweep: every cell scheduled on the engine, with
 // per-cell status observable while it runs. Build one with Submit.
 type Sweep struct {
-	spec  Spec
-	cells []Cell
-	jobs  []*engine.Job
+	spec   Spec
+	cells  []Cell
+	origin string
+	jobs   []*engine.Job
 }
 
 // Submit expands the spec and schedules every cell on the runner's
@@ -21,24 +23,37 @@ type Sweep struct {
 // (within this sweep, across sweeps, or against past experiments) are
 // deduplicated by the engine's in-flight coalescing and result cache.
 func Submit(r *sim.Runner, spec Spec, traces TraceResolver) (*Sweep, error) {
+	return SubmitOrigin(r, spec, traces, "")
+}
+
+// SubmitOrigin is Submit with a correlation token (jettyd passes the
+// submitting HTTP request's ID) stamped onto every cell's engine task,
+// so cell telemetry ties back to the request that started the sweep.
+func SubmitOrigin(r *sim.Runner, spec Spec, traces TraceResolver, origin string) (*Sweep, error) {
 	cells, err := spec.Expand(traces)
 	if err != nil {
 		return nil, err
 	}
-	s := &Sweep{spec: spec.normalize(), cells: cells}
+	s := &Sweep{spec: spec.normalize(), cells: cells, origin: origin}
 	s.jobs = make([]*engine.Job, len(cells))
 	opt := sim.SampleOptions{Interval: s.spec.Interval}
 	for i, c := range cells {
+		// Cells carry the "sweep" task kind so jettyd's per-kind latency
+		// histograms separate cell durations from one-off experiment runs.
+		var t engine.Task
 		switch {
 		case c.trace != nil && opt.Interval > 0:
-			s.jobs[i] = r.SubmitTraceSampled(*c.trace, c.cfg, opt)
+			t = sim.SampledTraceTask(*c.trace, c.cfg, opt)
 		case c.trace != nil:
-			s.jobs[i] = r.SubmitTrace(*c.trace, c.cfg)
+			t = sim.TraceTask(*c.trace, c.cfg)
 		case opt.Interval > 0:
-			s.jobs[i] = r.SubmitSampled(c.spec, c.cfg, opt)
+			t = sim.SampledTask(c.spec, c.cfg, opt)
 		default:
-			s.jobs[i] = r.Submit(c.spec, c.cfg)
+			t = sim.Task(c.spec, c.cfg)
 		}
+		t.Kind = sim.KindSweep
+		t.Origin = s.origin
+		s.jobs[i] = r.Engine().Submit(t)
 	}
 	return s, nil
 }
@@ -49,18 +64,24 @@ func (s *Sweep) Spec() Spec { return s.spec }
 // Cells returns the expanded cells in submission order.
 func (s *Sweep) Cells() []Cell { return s.cells }
 
-// CellStatus is one cell's progress snapshot.
+// CellStatus is one cell's progress snapshot, including the lifecycle
+// timing breakdown (queue wait, run time, disposition) and the origin
+// request ID that created the cell's execution.
 type CellStatus struct {
-	Index    int    `json:"index"`
-	Workload string `json:"workload"`
-	Machine  string `json:"machine"`
-	Repeat   int    `json:"repeat"`
-	Key      string `json:"key"`
-	State    string `json:"state"`
-	Done     uint64 `json:"done"`
-	Total    uint64 `json:"total"`
-	CacheHit bool   `json:"cache_hit,omitempty"`
-	Error    string `json:"error,omitempty"`
+	Index       int     `json:"index"`
+	Workload    string  `json:"workload"`
+	Machine     string  `json:"machine"`
+	Repeat      int     `json:"repeat"`
+	Key         string  `json:"key"`
+	State       string  `json:"state"`
+	Done        uint64  `json:"done"`
+	Total       uint64  `json:"total"`
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	Disposition string  `json:"disposition,omitempty"`
+	Origin      string  `json:"origin,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	RunMS       float64 `json:"run_ms,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 // Status is the aggregate progress snapshot of a sweep.
@@ -96,16 +117,20 @@ func (s *Sweep) Status(detailed bool) Status {
 		if detailed {
 			c := s.cells[i]
 			out.Cell = append(out.Cell, CellStatus{
-				Index:    c.Index,
-				Workload: c.Workload,
-				Machine:  c.Machine,
-				Repeat:   c.Repeat,
-				Key:      js.Key,
-				State:    js.State.String(),
-				Done:     js.Done,
-				Total:    js.Total,
-				CacheHit: js.CacheHit,
-				Error:    js.Err,
+				Index:       c.Index,
+				Workload:    c.Workload,
+				Machine:     c.Machine,
+				Repeat:      c.Repeat,
+				Key:         js.Key,
+				State:       js.State.String(),
+				Done:        js.Done,
+				Total:       js.Total,
+				CacheHit:    js.CacheHit,
+				Disposition: js.Disposition,
+				Origin:      js.Origin,
+				QueueWaitMS: durationMS(js.QueueWait),
+				RunMS:       durationMS(js.Run),
+				Error:       js.Err,
 			})
 		}
 	}
@@ -128,6 +153,11 @@ func (s *Sweep) Status(detailed bool) Status {
 		out.Fraction = 1
 	}
 	return out
+}
+
+// durationMS renders a duration as fractional milliseconds for JSON.
+func durationMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
 }
 
 // Unfinished reports whether any cell is still queued or running (the
