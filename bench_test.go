@@ -366,6 +366,68 @@ func BenchmarkSweep(b *testing.B) {
 	b.ReportMetric(best*100, "best-coverage%")
 }
 
+// BenchmarkSweepFused measures the fused sweep scheduler on its target
+// shape: one workload on one machine swept across a 16-variant filter
+// axis in "each" mode. The planner fuses all 16 cells onto a single
+// simulation pass with every bank attached as concatenated observers;
+// the per-cell sub forces the legacy scheduling (NoFuse) so the same
+// spec pays 16 full passes, and the single sub is the floor — one
+// simulation of the same workload with one filter attached, i.e. the
+// cost a per-cell sweep pays for every one of its 16 cells.
+// PERFORMANCE.md tracks fused ≤ 2× single. The cache is disabled so
+// every iteration really simulates. Compare with:
+//
+//	go test -bench 'BenchmarkSweepFused' -benchtime 2x .
+func BenchmarkSweepFused(b *testing.B) {
+	axis := sim.AllFigureConfigs()[:16]
+	spec := sweep.Spec{
+		Name:       "bench-fused",
+		Workloads:  []string{"Lu"},
+		Filters:    axis,
+		FilterMode: sweep.ModeEach,
+		Scale:      benchScale * 0.5,
+	}
+	runSweep := func(b *testing.B, spec sweep.Spec) *sweep.Result {
+		b.Helper()
+		eng := engine.New(engine.Options{CacheEntries: -1})
+		defer eng.Close()
+		res, err := sweep.Run(context.Background(), sim.NewRunner(eng), spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("fused", func(b *testing.B) {
+		var cells int
+		for i := 0; i < b.N; i++ {
+			cells = len(runSweep(b, spec).Cells)
+		}
+		b.ReportMetric(float64(cells), "cells")
+	})
+	b.Run("per-cell", func(b *testing.B) {
+		forced := spec
+		forced.NoFuse = true
+		var cells int
+		for i := 0; i < b.N; i++ {
+			cells = len(runSweep(b, forced).Cells)
+		}
+		b.ReportMetric(float64(cells), "cells")
+	})
+	b.Run("single", func(b *testing.B) {
+		sp, err := workload.ByName("Lu")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = sp.Scale(spec.Scale)
+		cfg := smp.PaperConfig(4).WithFilters(jetty.MustParse(axis[0]))
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunApp(sp, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFilterProbe measures raw probe throughput of each variant —
 // the operation on every snoop's critical path.
 func BenchmarkFilterProbe(b *testing.B) {

@@ -106,7 +106,11 @@ func run(specPath, format, by, outPath string, workers int, quiet bool) error {
 		return err
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "sweep %s: %d cells submitted\n", label(spec), len(s.Cells()))
+		msg := fmt.Sprintf("sweep %s: %d cells submitted", label(spec), len(s.Cells()))
+		if n := s.FusedGroups(); n > 0 {
+			msg += fmt.Sprintf(" (%d fused groups)", n)
+		}
+		fmt.Fprintln(os.Stderr, msg)
 	}
 
 	done := make(chan struct{})

@@ -56,6 +56,8 @@ type Stats struct {
 	Canceled  uint64 // executions that ended canceled
 	Failed    uint64 // executions that ended in error
 
+	FusedGroups uint64 // group tasks queued as a single fused run (SubmitGroup)
+
 	QueueDepth int // executions queued, not yet picked up by a worker
 	Inflight   int // executions currently running on a worker
 }
@@ -229,6 +231,10 @@ func (e *Engine) worker() {
 		ex, ok := e.queue.pop()
 		if !ok {
 			return
+		}
+		if ex.group != nil {
+			e.runGroup(ex.group, scratch)
+			continue
 		}
 		e.runOne(ex, scratch)
 	}

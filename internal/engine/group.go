@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Group tasks: one fused execution covering several content-addressed
+// member results at once. The sweep layer uses them to evaluate an
+// entire filter axis on a single simulation pass — the filters are
+// independent observers of the coherence stream, so one run can produce
+// every member cell's result bit-identically (internal/sim owns that
+// argument; the engine only provides the scheduling shape).
+//
+// A group run is one queue slot and one worker occupation, but N
+// submissions, N cache fills and N retire traces: every member keeps
+// the exact lifecycle an individually submitted task would have had —
+// per-member cache hits and in-flight coalescing at submit time,
+// per-member progress, disposition, timing breakdown and telemetry at
+// retire time. Later per-member submissions of the same keys are served
+// from the cache (or coalesce onto the in-flight group) exactly as if
+// the members had run alone.
+
+// GroupMember identifies one member of a group task: its content
+// address and progress denominator. Members with equal keys must
+// compute equal results (the same contract as Task.Key).
+type GroupMember struct {
+	// Key is the member's content address: the cache/dedup key its
+	// result is stored and coalesced under.
+	Key string
+	// Total is the member's progress denominator (0 = unreported).
+	Total uint64
+}
+
+// GroupTask is one fused computation producing several member results
+// in a single run.
+type GroupTask struct {
+	// Kind and Origin label every member's telemetry, exactly like
+	// Task.Kind and Task.Origin.
+	Kind   string
+	Origin string
+
+	// Members are the results the run can produce. The engine may
+	// satisfy any subset from its cache or from identical in-flight
+	// executions; Run only computes the rest.
+	Members []GroupMember
+
+	// Run computes the live members' results: live holds ascending
+	// indices into Members, and the returned slice must hold one result
+	// per live index, in the same order. report carries fused progress —
+	// the engine mirrors it onto every live member, so per-member
+	// progress is monotone. Run must honor ctx like Task.Run.
+	Run func(ctx context.Context, live []int, report func(done uint64)) ([]any, error)
+}
+
+// groupRun coordinates one queued fused execution and the member
+// executions it owns.
+type groupRun struct {
+	task   GroupTask
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// members maps a Members index to its owned execution. Only owned
+	// members appear: submissions satisfied by the cache or coalesced
+	// onto foreign executions are not part of the run.
+	members map[int]*execution
+
+	mu   sync.Mutex
+	gone int // owned members whose last handle was canceled (or retired)
+}
+
+// noteGone records one owned member leaving (its last handle canceled,
+// or the run retiring it); when none remain the group context is
+// released, which also cancels a still-running fused pass nobody is
+// waiting for anymore.
+func (g *groupRun) noteGone() {
+	g.mu.Lock()
+	g.gone++
+	last := g.gone == len(g.members)
+	g.mu.Unlock()
+	if last {
+		g.cancel()
+	}
+}
+
+// SubmitGroup schedules a group task and returns one job handle per
+// member, in Members order. Each member is admitted exactly like an
+// individual Submit — served from the result cache, coalesced onto an
+// identical in-flight execution (including an earlier member of this
+// same group), or owned by the group's single fused run. SubmitGroup
+// never blocks on the work itself.
+//
+// Cancellation is per member: a member whose handles are all canceled
+// is marked canceled when the run retires (the fused pass cannot drop
+// an attached member mid-run), and the run itself is canceled once
+// every owned member has been canceled.
+func (e *Engine) SubmitGroup(g GroupTask) []*Job {
+	jobs := make([]*Job, len(g.Members))
+	var retires []TaskTrace
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		for i, m := range g.Members {
+			ex := newExecution(Task{Key: m.Key, Kind: g.Kind, Origin: g.Origin, Total: m.Total}, context.Background(), func() {})
+			ex.finish(nil, ErrClosed)
+			jobs[i] = ex.attach()
+		}
+		return jobs
+	}
+
+	groupCtx, groupCancel := context.WithCancel(e.baseCtx)
+	gr := &groupRun{task: g, ctx: groupCtx, cancel: groupCancel, members: make(map[int]*execution)}
+
+	for i, m := range g.Members {
+		e.stats.Submitted++
+		t := Task{Key: m.Key, Kind: g.Kind, Origin: g.Origin, Total: m.Total}
+
+		if e.cache != nil {
+			if res, ok := e.cache.get(m.Key); ok {
+				e.stats.CacheHits++
+				ex := newExecution(t, context.Background(), func() {})
+				ex.cacheHit = true
+				ex.done.Store(ex.total.Load())
+				ex.finish(res, nil)
+				jobs[i] = ex.attach()
+				retires = append(retires, TaskTrace{
+					Kind: t.Kind, Key: t.Key, Origin: t.Origin,
+					Disposition: DispositionCacheHit, State: Done,
+				})
+				continue
+			}
+		}
+		// Coalesce onto an identical in-flight execution — a foreign run,
+		// or an earlier member of this very group with the same key (each
+		// owned member registers in the in-flight map as it is created,
+		// so duplicates fold onto their sibling instead of colliding).
+		if ex, ok := e.inflight[m.Key]; ok {
+			if j := ex.attach(); j != nil {
+				e.stats.Coalesced++
+				j.coalesced = true
+				jobs[i] = j
+				retires = append(retires, TaskTrace{
+					Kind: t.Kind, Key: t.Key, Origin: ex.task.Origin,
+					Disposition: DispositionCoalesced, State: State(ex.state.Load()),
+				})
+				continue
+			}
+		}
+
+		memberCtx, memberCancel := context.WithCancel(groupCtx)
+		ex := newExecution(t, memberCtx, nil)
+		var gone sync.Once
+		ex.cancel = func() {
+			memberCancel()
+			gone.Do(gr.noteGone)
+		}
+		gr.members[i] = ex
+		e.inflight[m.Key] = ex
+		jobs[i] = ex.attach()
+	}
+
+	if len(gr.members) == 0 {
+		// Every member was satisfied without running: nothing to queue.
+		e.mu.Unlock()
+		groupCancel()
+		for _, tr := range retires {
+			e.retire(tr)
+		}
+		return jobs
+	}
+	e.stats.FusedGroups++
+	// One queue slot for the whole group: a placeholder execution whose
+	// only job is to carry the groupRun to a worker.
+	leader := &execution{group: gr}
+	e.queue.push(leader)
+	e.mu.Unlock()
+
+	for _, tr := range retires {
+		e.retire(tr)
+	}
+	return jobs
+}
+
+// memberOrder returns the group's owned member indices, ascending.
+func (g *groupRun) memberOrder() []int {
+	idxs := make([]int, 0, len(g.members))
+	for i := range g.members {
+		idxs = append(idxs, i)
+	}
+	for i := 1; i < len(idxs); i++ { // insertion sort: member counts are small
+		for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	return idxs
+}
+
+// runGroup executes (or cancels) one fused group run and retires every
+// owned member. It is the group counterpart of runOne: one worker, one
+// Task-style Run call, but per-member finish, cache fill, stats and
+// retire traces.
+func (e *Engine) runGroup(gr *groupRun, scratch *Scratch) {
+	idxs := gr.memberOrder()
+
+	var (
+		res []any
+		err error
+	)
+	live := make([]int, 0, len(idxs))
+	if err = gr.ctx.Err(); err == nil {
+		// Members individually canceled while queued drop out of the run;
+		// the rest go Running together.
+		for _, i := range idxs {
+			ex := gr.members[i]
+			if ex.ctx.Err() == nil {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			// Every member canceled individually, possibly before the last
+			// cancellation's noteGone released the group context: nothing
+			// left to compute.
+			err = context.Canceled
+		}
+	}
+	if err == nil {
+		for _, i := range live {
+			ex := gr.members[i]
+			ex.markStart()
+			ex.state.Store(int32(Running))
+		}
+		e.running.Add(1)
+		ctx := withScratch(gr.ctx, scratch)
+		if gr.task.Origin != "" {
+			ctx = context.WithValue(ctx, originKey{}, gr.task.Origin)
+		}
+		report := func(done uint64) {
+			for _, i := range live {
+				gr.members[i].report(done)
+			}
+		}
+		res, err = gr.task.Run(ctx, live, report)
+		e.running.Add(-1)
+		if err == nil && len(res) != len(live) {
+			err = fmt.Errorf("engine: group run returned %d results for %d live members", len(res), len(live))
+		}
+	}
+
+	// Distribute: each member gets its own result, terminal state, stats
+	// line, cache fill and retire trace — exactly what an individual
+	// execution of the same task would have produced.
+	type outcome struct {
+		ex  *execution
+		res any
+		err error
+	}
+	outs := make([]outcome, 0, len(idxs))
+	pos := 0 // cursor into live/res
+	e.mu.Lock()
+	for _, i := range idxs {
+		ex := gr.members[i]
+		o := outcome{ex: ex}
+		inLive := pos < len(live) && live[pos] == i
+		var memberRes any
+		if inLive {
+			if err == nil {
+				memberRes = res[pos]
+			}
+			pos++
+		}
+		switch {
+		case ex.ctx.Err() != nil && (err != nil || gr.ctx.Err() != nil || !inLive):
+			// Individually canceled (or the whole group was): no result.
+			o.err = context.Canceled
+			e.stats.Canceled++
+		case err != nil:
+			o.err = err
+			e.stats.Executed++
+			e.stats.Failed++
+		case ex.ctx.Err() != nil:
+			// Canceled mid-run: the fused pass still computed the result,
+			// but the submitter withdrew — mirror per-task semantics (no
+			// cache fill, terminal state Canceled).
+			o.err = context.Canceled
+			e.stats.Canceled++
+		default:
+			o.res = memberRes
+			e.stats.Executed++
+			if e.cache != nil {
+				e.cache.add(ex.task.Key, memberRes)
+			}
+		}
+		if e.inflight[ex.task.Key] == ex {
+			delete(e.inflight, ex.task.Key)
+		}
+		outs = append(outs, o)
+	}
+	e.mu.Unlock()
+
+	for _, o := range outs {
+		o.ex.finish(o.res, o.err)
+		// Release the member context (and, via noteGone, eventually the
+		// group context). Must come after finish so a plain failure is
+		// not misclassified as canceled.
+		o.ex.cancel()
+		e.retire(TaskTrace{
+			Kind:        o.ex.task.Kind,
+			Key:         o.ex.task.Key,
+			Origin:      o.ex.task.Origin,
+			Disposition: DispositionExecuted,
+			State:       State(o.ex.state.Load()),
+			QueueWait:   o.ex.queueWait(),
+			Run:         o.ex.runTime(),
+			Err:         o.err,
+		})
+	}
+}

@@ -136,6 +136,12 @@ type execution struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// group, when non-nil, marks this execution as a queued group-run
+	// leader: a placeholder that carries a fused multi-member run to a
+	// worker (see SubmitGroup). Leaders have no handles, task or context
+	// of their own — the worker dispatches them to runGroup.
+	group *groupRun
+
 	state atomic.Int32
 	done  atomic.Uint64
 	total atomic.Uint64

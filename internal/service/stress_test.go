@@ -68,7 +68,7 @@ func TestServiceStress(t *testing.T) {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("client %d: deadline exceeded at iteration %d", c, i)
 			}
-			switch r.Intn(7) {
+			switch r.Intn(8) {
 			case 0: // experiment: submit, poll to done, fetch
 				req := SubmitRequest{Apps: []string{apps[r.Intn(len(apps))]}, Scale: 0.02, Filters: []string{"EJ-16x2"}}
 				id, err := stressSubmit(base, "/v1/experiments", req, deadline)
@@ -188,6 +188,65 @@ func TestServiceStress(t *testing.T) {
 					http.StatusNotFound:   // evicted or canceled between list and fetch
 				default:
 					return fmt.Errorf("client %d: timeline %s: code %d", c, id, code)
+				}
+			case 7: // fused sweep: each-mode filter axis rides one group task
+				spec := sweep.Spec{
+					Workloads:  []string{apps[r.Intn(len(apps))]},
+					Filters:    []string{"EJ-16x2", "EJ-32x4", "IJ-8x4x7"},
+					FilterMode: sweep.ModeEach,
+					Scale:      0.05,
+					Interval:   512,
+				}
+				id, err := stressSubmit(base, "/v1/sweeps", spec, deadline)
+				if err != nil {
+					return fmt.Errorf("client %d: %w", c, err)
+				}
+				if id == "" {
+					continue
+				}
+				// Mid-flight per-cell status must stay internally consistent
+				// while the fused group task runs: the full cell set, valid
+				// states, per-cell progress within bounds (no snapshot tear
+				// between group progress and cell rows), then an SSE attach
+				// hanging up mid-stream must not wedge anything.
+				var st SweepStatus
+				if code, err := clientJSON("GET", base+"/v1/sweeps/"+id, nil, &st); err == nil && code == http.StatusOK {
+					if len(st.Cell) != st.Cells {
+						return fmt.Errorf("client %d: fused sweep %s reports %d cell rows of %d cells",
+							c, id, len(st.Cell), st.Cells)
+					}
+					for _, cs := range st.Cell {
+						if cs.Total > 0 && cs.Done > cs.Total {
+							return fmt.Errorf("client %d: fused sweep %s cell %d progress %d/%d",
+								c, id, cs.Index, cs.Done, cs.Total)
+						}
+						switch cs.State {
+						case "queued", "running", "done", "failed", "canceled":
+						default:
+							return fmt.Errorf("client %d: fused sweep %s cell %d state %q",
+								c, id, cs.Index, cs.State)
+						}
+					}
+				}
+				if eid, err := stressSubmit(base, "/v1/experiments", SubmitRequest{
+					Apps: []string{"Lu"}, Scale: 0.05, Filters: []string{"EJ-16x2"}, Interval: 512,
+				}, deadline); err == nil && eid != "" {
+					if resp, err := http.Get(base + "/v1/experiments/" + eid + "/live"); err == nil {
+						if resp.StatusCode == http.StatusOK {
+							buf := make([]byte, 256)
+							resp.Body.Read(buf)
+						}
+						resp.Body.Close() // detach mid-stream
+					}
+					if err := stressPoll(base, "/v1/experiments/", eid, deadline); err != nil {
+						return fmt.Errorf("client %d: %w", c, err)
+					}
+				}
+				if r.Intn(2) == 0 {
+					clientJSON("DELETE", base+"/v1/sweeps/"+id, nil, nil)
+				}
+				if err := stressPoll(base, "/v1/sweeps/", id, deadline); err != nil {
+					return fmt.Errorf("client %d: %w", c, err)
 				}
 			case 4: // registry bounds under listing load
 				var exps []ExperimentStatus

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"jetty/internal/jetty"
+	"jetty/internal/smp"
+	"jetty/internal/trace"
+)
+
+// fusedTestBanks is a small multi-member bank mix: single filters, a
+// multi-filter bank, and a duplicate of an earlier bank (members may
+// repeat in a sweep's "each" mode across machines).
+func fusedTestBanks() [][]jetty.Config {
+	return [][]jetty.Config{
+		{jetty.MustParse("EJ-32x4")},
+		{jetty.MustParse("VEJ-32x4-8"), jetty.MustParse("IJ-10x4x7")},
+		{jetty.MustParse("HJ(IJ-9x4x7,EJ-32x4)")},
+		{jetty.MustParse("EJ-32x4")},
+	}
+}
+
+// TestFusedMatchesSeparateRuns is the sim-layer half of the fused
+// bit-identity claim: one wide pass projected per member equals N
+// separate runs, field for field, with and without sampling.
+func TestFusedMatchesSeparateRuns(t *testing.T) {
+	sp := quickSpec(t)
+	base := smp.PaperConfig(4)
+	banks := fusedTestBanks()
+
+	for _, interval := range []uint64{0, 4096} {
+		opt := SampleOptions{Interval: interval}
+		fused, err := RunAppFusedCtx(context.Background(), sp, base, banks, opt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fused) != len(banks) {
+			t.Fatalf("interval %d: %d results for %d banks", interval, len(fused), len(banks))
+		}
+		for i, bank := range banks {
+			var sep AppResult
+			if interval > 0 {
+				sep, err = RunAppSampledCtx(context.Background(), sp, base.WithFilters(bank...), opt, nil)
+			} else {
+				sep, err = RunAppCtx(context.Background(), sp, base.WithFilters(bank...), nil)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fused[i], sep) {
+				t.Errorf("interval %d: member %d diverges from its separate run", interval, i)
+			}
+		}
+	}
+}
+
+// TestFusedTraceMatchesSeparateReplays pins the same identity for the
+// stored-trace replay path.
+func TestFusedTraceMatchesSeparateReplays(t *testing.T) {
+	sp := quickSpec(t)
+	base := smp.PaperConfig(4)
+
+	// Record a trace from a filterless run, then replay it fused.
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, base.CPUs, trace.WriterOptions{Meta: trace.Meta{App: sp.Name}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAppCapturedCtx(context.Background(), sp, base, tw, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in, err := LoadTrace(sp.Name, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	banks := fusedTestBanks()
+	opt := SampleOptions{Interval: 4096}
+	fused, err := RunTraceFusedCtx(context.Background(), in, base, banks, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bank := range banks {
+		sep, err := RunTraceSampledCtx(context.Background(), in, base.WithFilters(bank...), opt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fused[i], sep) {
+			t.Errorf("member %d diverges from its separate replay", i)
+		}
+	}
+}
+
+// TestFusedResultsAreIsolated guards the projection's allocation
+// discipline: mutating one member's slices must not bleed into another
+// member or a second projection of the same run.
+func TestFusedResultsAreIsolated(t *testing.T) {
+	sp := quickSpec(t)
+	base := smp.PaperConfig(4)
+	banks := [][]jetty.Config{
+		{jetty.MustParse("EJ-32x4")},
+		{jetty.MustParse("EJ-32x4")},
+	}
+	opt := SampleOptions{Interval: 4096}
+	fused, err := RunAppFusedCtx(context.Background(), sp, base, banks, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fused[0], fused[1]) {
+		t.Fatal("identical banks must project identically")
+	}
+	fused[0].FilterCounts[0].Filtered++
+	fused[0].Coverage[0] = -1
+	fused[0].Timeline.Windows[0].Filters[0].Probes++
+	fused[0].Bus.RemoteHits[0]++
+	if reflect.DeepEqual(fused[0], fused[1]) {
+		t.Fatal("members share backing arrays")
+	}
+}

@@ -408,4 +408,5 @@ const (
 	KindWorkload = "workload" // generator-driven app run
 	KindTrace    = "trace"    // stored-trace replay
 	KindSweep    = "sweep"    // sweep cell (set by internal/sweep)
+	KindFused    = "fused"    // fused multi-bank group run (one pass, N cells)
 )

@@ -47,6 +47,14 @@ func (c Config) WithFilters(filters ...jetty.Config) Config {
 	return c
 }
 
+// WithoutFilters returns a copy of the config with no filter bank. The
+// fused sweep planner groups cells by this: machines that differ only
+// in their observer bank share one reference-stream replay.
+func (c Config) WithoutFilters() Config {
+	c.Filters = nil
+	return c
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.CPUs < 1 || c.CPUs > 64 {

@@ -23,6 +23,18 @@
 // produce identical per-filter numbers (TestBankMatchesEach asserts it);
 // bank mode costs |filters|× less simulation.
 //
+// Scheduling fuses "each"-mode cells back onto shared passes: cells
+// that agree on everything but their filter group (same workload,
+// scale, seed, machine geometry) are planned into one group
+// (plan.go) and submitted as a single engine group task that replays
+// the reference stream once with every member's bank attached as
+// concatenated observers (sim.FusedAppGroup / sim.FusedTraceGroup).
+// Each member's result is demuxed out of the wide pass and cached
+// under the member cell's own content address, so fused results are
+// bit-identical to per-cell runs (TestSweepFusedMatchesPerCell) and
+// fused and per-cell sweeps interoperate through the engine cache.
+// Spec.NoFuse forces the legacy per-cell scheduling.
+//
 // Results fold into per-cell Metrics (coverage, the four Figure 6
 // energy-reduction numbers, snoop-miss fractions), grouped along any
 // axis combination with min/max/mean/geo-mean summaries, and render as

@@ -16,6 +16,7 @@ type Sweep struct {
 	cells  []Cell
 	origin string
 	jobs   []*engine.Job
+	fused  int // fused group tasks submitted (multi-cell groups)
 }
 
 // Submit expands the spec and schedules every cell on the runner's
@@ -37,26 +38,59 @@ func SubmitOrigin(r *sim.Runner, spec Spec, traces TraceResolver, origin string)
 	s := &Sweep{spec: spec.normalize(), cells: cells, origin: origin}
 	s.jobs = make([]*engine.Job, len(cells))
 	opt := sim.SampleOptions{Interval: s.spec.Interval}
-	for i, c := range cells {
-		// Cells carry the "sweep" task kind so jettyd's per-kind latency
-		// histograms separate cell durations from one-off experiment runs.
-		var t engine.Task
-		switch {
-		case c.trace != nil && opt.Interval > 0:
-			t = sim.SampledTraceTask(*c.trace, c.cfg, opt)
-		case c.trace != nil:
-			t = sim.TraceTask(*c.trace, c.cfg)
-		case opt.Interval > 0:
-			t = sim.SampledTask(c.spec, c.cfg, opt)
-		default:
-			t = sim.Task(c.spec, c.cfg)
+	for _, group := range planGroups(s.spec, cells) {
+		if len(group) == 1 {
+			// Cells carry the "sweep" task kind so jettyd's per-kind latency
+			// histograms separate cell durations from one-off experiment runs.
+			i := group[0]
+			c := cells[i]
+			var t engine.Task
+			switch {
+			case c.trace != nil && opt.Interval > 0:
+				t = sim.SampledTraceTask(*c.trace, c.cfg, opt)
+			case c.trace != nil:
+				t = sim.TraceTask(*c.trace, c.cfg)
+			case opt.Interval > 0:
+				t = sim.SampledTask(c.spec, c.cfg, opt)
+			default:
+				t = sim.Task(c.spec, c.cfg)
+			}
+			t.Kind = sim.KindSweep
+			t.Origin = s.origin
+			s.jobs[i] = r.Engine().Submit(t)
+			continue
 		}
-		t.Kind = sim.KindSweep
-		t.Origin = s.origin
-		s.jobs[i] = r.Engine().Submit(t)
+		// Every cell in this group measures the same reference stream on
+		// the same machine — only the observer bank differs — so the whole
+		// group fuses onto one simulation pass (see plan.go). Member keys
+		// are the cells' own per-cell content addresses: the engine caches
+		// each member under the key a per-cell run would use, so fused and
+		// per-cell sweeps interoperate through the cache transparently.
+		members := make([]sim.FusedMember, len(group))
+		for k, i := range group {
+			members[k] = sim.FusedMember{Key: cells[i].Key, Bank: cells[i].cfg.Filters}
+		}
+		lead := cells[group[0]]
+		base := lead.cfg.WithoutFilters()
+		var g engine.GroupTask
+		if lead.trace != nil {
+			g = sim.FusedTraceGroup(*lead.trace, base, members, opt)
+		} else {
+			g = sim.FusedAppGroup(lead.spec, base, members, opt)
+		}
+		g.Origin = s.origin
+		jobs := r.Engine().SubmitGroup(g)
+		for k, i := range group {
+			s.jobs[i] = jobs[k]
+		}
+		s.fused++
 	}
 	return s, nil
 }
+
+// FusedGroups returns how many multi-cell fused group tasks the sweep
+// scheduled (0 when every cell ran individually).
+func (s *Sweep) FusedGroups() int { return s.fused }
 
 // Spec returns the (normalized) spec the sweep runs.
 func (s *Sweep) Spec() Spec { return s.spec }
