@@ -27,6 +27,13 @@
 // Every response carries an X-Request-Id header; the same ID appears in
 // the access log and in the status JSON of any job the request
 // submitted, so a slow experiment is greppable end to end.
+//
+// Multi-tenant use: send an X-Jetty-Tenant header to submit under a
+// named tenant. The engine schedules tenants fair-share (weights via
+// -tenant-weights), per-tenant quotas answer 429 + Retry-After when one
+// tenant is over its share (-max-unfinished-per-tenant,
+// -max-cells-per-tenant, -max-traces-per-tenant), and the global
+// admission cap answers 503 when the daemon as a whole is saturated.
 package main
 
 import (
@@ -37,6 +44,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,9 +57,15 @@ func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "result-cache entries (0 = default, negative disables)")
-	maxUnfinished := flag.Int("max-unfinished", 0, "max queued+running experiments (0 = default)")
+	maxUnfinished := flag.Int("max-unfinished", 0, "max queued+running jobs across all tenants (0 = default)")
+	maxTenantJobs := flag.Int("max-unfinished-per-tenant", 0, "max queued+running jobs per tenant (0 = default)")
+	maxTenantCells := flag.Int("max-cells-per-tenant", 0, "max queued engine jobs (runs + sweep cells) per tenant (0 = default)")
 	maxTraces := flag.Int("max-traces", 0, "max uploaded traces retained (0 = default)")
+	maxTenantTraces := flag.Int("max-traces-per-tenant", 0, "max uploaded traces per tenant (0 = default)")
 	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "max bytes per uploaded trace (0 = default)")
+	tenantWeights := flag.String("tenant-weights", "", "fair-share weights, e.g. 'ci=4,batch=1' (unlisted tenants get 1)")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "full-request read deadline (headers + body)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline")
 	logFormat := flag.String("log-format", "json", "log output format: json|text")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	slowJob := flag.Duration("slow-job", 0, "log engine jobs running longer than this (0 = default 30s)")
@@ -62,23 +77,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jettyd:", err)
 		os.Exit(2)
 	}
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jettyd:", err)
+		os.Exit(2)
+	}
 
 	if err := run(service.Options{
-		Workers:       *workers,
-		CacheEntries:  *cache,
-		MaxUnfinished: *maxUnfinished,
-		MaxTraces:     *maxTraces,
-		MaxTraceBytes: *maxTraceBytes,
-		Logger:        log,
-		SlowJob:       *slowJob,
-		Pprof:         *pprofFlag,
-	}, *addr); err != nil {
+		Workers:                 *workers,
+		CacheEntries:            *cache,
+		MaxUnfinished:           *maxUnfinished,
+		MaxUnfinishedPerTenant:  *maxTenantJobs,
+		MaxQueuedCellsPerTenant: *maxTenantCells,
+		MaxTraces:               *maxTraces,
+		MaxTracesPerTenant:      *maxTenantTraces,
+		MaxTraceBytes:           *maxTraceBytes,
+		TenantWeights:           weights,
+		Logger:                  log,
+		SlowJob:                 *slowJob,
+		Pprof:                   *pprofFlag,
+	}, *addr, httpTimeouts{read: *readTimeout, idle: *idleTimeout}); err != nil {
 		log.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts service.Options, addr string) error {
+// parseWeights parses the -tenant-weights flag: comma-separated
+// name=weight pairs, weights positive integers.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenant-weights: %q is not name=weight", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-tenant-weights: weight %q for %q must be a positive integer", val, name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
+
+// httpTimeouts are the server's connection-reaping knobs. A WriteTimeout
+// is deliberately absent: SSE live streams write for the lifetime of an
+// experiment, and a write deadline would sever them mid-run. The read
+// and idle deadlines reap abandoned uploads and idle keep-alives, which
+// an open SSE response never trips (the server is writing, not reading).
+type httpTimeouts struct {
+	read time.Duration // full-request read deadline (headers + body)
+	idle time.Duration // keep-alive idle reaping
+}
+
+func run(opts service.Options, addr string, timeouts httpTimeouts) error {
 	log := opts.Logger
 	svc := service.New(opts)
 	defer svc.Close()
@@ -87,6 +142,8 @@ func run(opts service.Options, addr string) error {
 		Addr:              addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       timeouts.read,
+		IdleTimeout:       timeouts.idle,
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain: /healthz flips to 503 so

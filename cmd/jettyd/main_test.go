@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -36,7 +37,8 @@ func TestJettydEndToEnd(t *testing.T) {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(service.Options{Workers: 2, Logger: log, Pprof: true}, addr)
+		errc <- run(service.Options{Workers: 2, Logger: log, Pprof: true}, addr,
+			httpTimeouts{read: 2 * time.Minute, idle: 2 * time.Minute})
 	}()
 
 	base := "http://" + addr
@@ -141,7 +143,8 @@ func TestJettydEndToEnd(t *testing.T) {
 	}
 	for _, want := range []string{
 		"jettyd_http_request_duration_seconds_bucket",
-		`jettyd_engine_run_duration_seconds_count{kind="workload"}`,
+		`jettyd_engine_run_duration_seconds_count{kind="workload",tenant="anonymous"}`,
+		`jettyd_tenant_jobs_unfinished{tenant="anonymous"}`,
 		"jettyd_engine_queue_depth",
 		"jettyd_build_info",
 	} {
@@ -163,6 +166,135 @@ func TestJettydEndToEnd(t *testing.T) {
 
 	// Shut down exactly as an orchestrator would: SIGTERM, then the
 	// daemon drains and run() returns nil.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run() returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("jettyd did not shut down after SIGTERM")
+	}
+}
+
+// TestSSESurvivesIdleTimeout is the regression test for the server's
+// connection-reaping knobs: IdleTimeout must reap an idle keep-alive
+// connection, but must NOT sever an SSE live stream whose consumer reads
+// slower than the idle deadline — the stream is an active response, and
+// WriteTimeout is deliberately zero.
+func TestSSESurvivesIdleTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	log, err := obs.NewLogger(io.Discard, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const idle = 250 * time.Millisecond
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(service.Options{Workers: 1, Logger: log}, addr,
+			httpTimeouts{read: time.Second, idle: idle})
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jettyd not ready at %s", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The idle deadline is live: a keep-alive connection left idle after
+	// one response is closed by the server.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET /healthz HTTP/1.1\r\nHost: %s\r\n\r\n", addr)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("reading keep-alive response: %v", err)
+	}
+	// Drain until the server closes it (EOF) — must happen well past the
+	// idle deadline but well before our read deadline.
+	start := time.Now()
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+	conn.Close()
+	if waited := time.Since(start); waited > 4*time.Second {
+		t.Errorf("idle connection not reaped (waited %v, idle timeout %v)", waited, idle)
+	}
+
+	// A sampled experiment whose run outlives the idle deadline many
+	// times over, consumed slower than the deadline: the stream must keep
+	// delivering windows and end with a clean EOF, not a severed
+	// connection.
+	resp, err := client.Post(base+"/v1/experiments", "application/json",
+		// ~1.8s run emitting ~10 windows (30M accesses / 3M interval):
+		// slow enough to span many idle deadlines, small enough that a
+		// slow consumer still drains it promptly.
+		strings.NewReader(`{"apps":["Fmm"],"scale":10,"filters":["EJ-16x2"],"interval":3000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.ExperimentStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	live, err := client.Get(base + "/v1/experiments/" + st.ID + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("live attach status %d", live.StatusCode)
+	}
+	var events []byte
+	started := time.Now()
+	for {
+		n, err := live.Body.Read(buf)
+		events = append(events, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("SSE stream severed after %v (idle timeout %v): %v",
+				time.Since(started), idle, err)
+		}
+		time.Sleep(2 * idle) // consume slower than the idle deadline
+	}
+	if lived := time.Since(started); lived < 2*idle {
+		t.Errorf("stream lived only %v — too short to exercise the %v idle deadline", lived, idle)
+	}
+	if !strings.Contains(string(events), "data:") {
+		t.Errorf("stream delivered no SSE events:\n%s", events)
+	}
+
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@ type TaskTrace struct {
 	Kind        string // Task.Kind ("" when the submitter set none)
 	Key         string // content address
 	Origin      string // Task.Origin of the execution's first submitter
+	Tenant      string // Task.Tenant of the execution's first submitter
 	Disposition string // DispositionExecuted | DispositionCacheHit | DispositionCoalesced
 	State       State  // terminal state (Done/Failed/Canceled); Queued for coalesced notifications
 	QueueWait   time.Duration
@@ -40,6 +41,11 @@ type Options struct {
 	// the engine. jettyd wires this to its latency histograms and
 	// slow-job log.
 	OnRetire func(TaskTrace)
+	// TenantWeights sets per-tenant fair-share weights: how many queued
+	// tasks a tenant may drain per deficit-round-robin ring visit.
+	// Missing (or <2) entries weigh 1. nil means every tenant weighs 1 —
+	// pure per-task round-robin across tenants.
+	TenantWeights map[string]int
 }
 
 // DefaultCacheEntries is the result-cache capacity when Options leaves
@@ -60,6 +66,11 @@ type Stats struct {
 
 	QueueDepth int // executions queued, not yet picked up by a worker
 	Inflight   int // executions currently running on a worker
+
+	// TenantQueues is the per-tenant queued-execution depth (fair-share
+	// FIFO lengths); nil when the queue is empty. A fused group counts as
+	// one queued execution under its submitting tenant.
+	TenantQueues map[string]int
 }
 
 // Engine runs tasks on a fixed worker pool.
@@ -101,7 +112,7 @@ func New(opts Options) *Engine {
 		onRetire:   opts.OnRetire,
 		inflight:   make(map[string]*execution),
 		cache:      cache,
-		queue:      newQueue(),
+		queue:      newQueue(opts.TenantWeights),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
@@ -142,7 +153,7 @@ func (e *Engine) Submit(t Task) *Job {
 			ex.done.Store(ex.total.Load())
 			ex.finish(res, nil)
 			e.retire(TaskTrace{
-				Kind: t.Kind, Key: t.Key, Origin: t.Origin,
+				Kind: t.Kind, Key: t.Key, Origin: t.Origin, Tenant: t.Tenant,
 				Disposition: DispositionCacheHit, State: Done,
 			})
 			return ex.attach()
@@ -160,7 +171,7 @@ func (e *Engine) Submit(t Task) *Job {
 			e.mu.Unlock()
 			j.coalesced = true
 			e.retire(TaskTrace{
-				Kind: t.Kind, Key: t.Key, Origin: ex.task.Origin,
+				Kind: t.Kind, Key: t.Key, Origin: ex.task.Origin, Tenant: ex.task.Tenant,
 				Disposition: DispositionCoalesced, State: State(ex.state.Load()),
 			})
 			return j
@@ -192,6 +203,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.Unlock()
 	st.QueueDepth = e.queue.len()
 	st.Inflight = int(e.running.Load())
+	st.TenantQueues = e.queue.depths()
 	return st
 }
 
@@ -254,6 +266,9 @@ func (e *Engine) runOne(ex *execution, scratch *Scratch) {
 		if ex.task.Origin != "" {
 			ctx = context.WithValue(ctx, originKey{}, ex.task.Origin)
 		}
+		if ex.task.Tenant != "" {
+			ctx = context.WithValue(ctx, tenantKey{}, ex.task.Tenant)
+		}
 		res, err = ex.task.Run(ctx, ex.report)
 		e.running.Add(-1)
 	}
@@ -289,6 +304,7 @@ func (e *Engine) runOne(ex *execution, scratch *Scratch) {
 		Kind:        ex.task.Kind,
 		Key:         ex.task.Key,
 		Origin:      ex.task.Origin,
+		Tenant:      ex.task.Tenant,
 		Disposition: DispositionExecuted,
 		State:       State(ex.state.Load()),
 		QueueWait:   ex.queueWait(),

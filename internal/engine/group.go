@@ -36,10 +36,12 @@ type GroupMember struct {
 // GroupTask is one fused computation producing several member results
 // in a single run.
 type GroupTask struct {
-	// Kind and Origin label every member's telemetry, exactly like
-	// Task.Kind and Task.Origin.
+	// Kind, Origin and Tenant label every member's telemetry and the
+	// group's fair-share queue slot, exactly like Task.Kind, Task.Origin
+	// and Task.Tenant.
 	Kind   string
 	Origin string
+	Tenant string
 
 	// Members are the results the run can produce. The engine may
 	// satisfy any subset from its cache or from identical in-flight
@@ -103,7 +105,7 @@ func (e *Engine) SubmitGroup(g GroupTask) []*Job {
 	if e.closed {
 		e.mu.Unlock()
 		for i, m := range g.Members {
-			ex := newExecution(Task{Key: m.Key, Kind: g.Kind, Origin: g.Origin, Total: m.Total}, context.Background(), func() {})
+			ex := newExecution(Task{Key: m.Key, Kind: g.Kind, Origin: g.Origin, Tenant: g.Tenant, Total: m.Total}, context.Background(), func() {})
 			ex.finish(nil, ErrClosed)
 			jobs[i] = ex.attach()
 		}
@@ -115,7 +117,7 @@ func (e *Engine) SubmitGroup(g GroupTask) []*Job {
 
 	for i, m := range g.Members {
 		e.stats.Submitted++
-		t := Task{Key: m.Key, Kind: g.Kind, Origin: g.Origin, Total: m.Total}
+		t := Task{Key: m.Key, Kind: g.Kind, Origin: g.Origin, Tenant: g.Tenant, Total: m.Total}
 
 		if e.cache != nil {
 			if res, ok := e.cache.get(m.Key); ok {
@@ -126,7 +128,7 @@ func (e *Engine) SubmitGroup(g GroupTask) []*Job {
 				ex.finish(res, nil)
 				jobs[i] = ex.attach()
 				retires = append(retires, TaskTrace{
-					Kind: t.Kind, Key: t.Key, Origin: t.Origin,
+					Kind: t.Kind, Key: t.Key, Origin: t.Origin, Tenant: t.Tenant,
 					Disposition: DispositionCacheHit, State: Done,
 				})
 				continue
@@ -142,7 +144,7 @@ func (e *Engine) SubmitGroup(g GroupTask) []*Job {
 				j.coalesced = true
 				jobs[i] = j
 				retires = append(retires, TaskTrace{
-					Kind: t.Kind, Key: t.Key, Origin: ex.task.Origin,
+					Kind: t.Kind, Key: t.Key, Origin: ex.task.Origin, Tenant: ex.task.Tenant,
 					Disposition: DispositionCoalesced, State: State(ex.state.Load()),
 				})
 				continue
@@ -236,6 +238,9 @@ func (e *Engine) runGroup(gr *groupRun, scratch *Scratch) {
 		if gr.task.Origin != "" {
 			ctx = context.WithValue(ctx, originKey{}, gr.task.Origin)
 		}
+		if gr.task.Tenant != "" {
+			ctx = context.WithValue(ctx, tenantKey{}, gr.task.Tenant)
+		}
 		report := func(done uint64) {
 			for _, i := range live {
 				gr.members[i].report(done)
@@ -309,6 +314,7 @@ func (e *Engine) runGroup(gr *groupRun, scratch *Scratch) {
 			Kind:        o.ex.task.Kind,
 			Key:         o.ex.task.Key,
 			Origin:      o.ex.task.Origin,
+			Tenant:      o.ex.task.Tenant,
 			Disposition: DispositionExecuted,
 			State:       State(o.ex.state.Load()),
 			QueueWait:   o.ex.queueWait(),

@@ -30,6 +30,16 @@ type Task struct {
 	// its first submitter's origin.
 	Origin string
 
+	// Tenant names the submitter for fair-share scheduling: the queue
+	// keeps one FIFO per tenant and drains them by weighted deficit
+	// round-robin, so no tenant's backlog can starve another's work.
+	// Like Origin it is not part of the content address — identical
+	// tasks from different tenants still share one execution and one
+	// cache slot (the result is tenant-independent by the Key contract),
+	// and a coalesced execution keeps its first submitter's tenant. The
+	// empty string is the default tenant.
+	Tenant string
+
 	// Total is the task's progress denominator (e.g. references to
 	// simulate). 0 means progress is not reported.
 	Total uint64
@@ -54,6 +64,16 @@ type originKey struct{}
 // a task context, or "" when the task was submitted without one.
 func OriginFrom(ctx context.Context) string {
 	id, _ := ctx.Value(originKey{}).(string)
+	return id
+}
+
+// tenantKey carries Task.Tenant in the task context.
+type tenantKey struct{}
+
+// TenantFrom returns the submitting tenant (Task.Tenant) from a task
+// context, or "" when the task was submitted without one.
+func TenantFrom(ctx context.Context) string {
+	id, _ := ctx.Value(tenantKey{}).(string)
 	return id
 }
 
@@ -104,6 +124,9 @@ type Status struct {
 	// Origin is the correlation token of the submission that created the
 	// underlying execution (Task.Origin of the first submitter).
 	Origin string
+	// Tenant is the fair-share identity of the submission that created
+	// the underlying execution (Task.Tenant of the first submitter).
+	Tenant string
 	// QueueWait is how long the execution sat queued before a worker
 	// picked it up (live while queued, frozen once running). Zero for
 	// cache hits.
@@ -169,6 +192,15 @@ func newExecution(t Task, ctx context.Context, cancel context.CancelFunc) *execu
 	ex := &execution{task: t, ctx: ctx, cancel: cancel, finished: make(chan struct{}), submitted: time.Now()}
 	ex.total.Store(t.Total)
 	return ex
+}
+
+// tenantName returns the execution's fair-share queue key: the task's
+// tenant, or the group task's for a queued group-run leader.
+func (ex *execution) tenantName() string {
+	if ex.group != nil {
+		return ex.group.task.Tenant
+	}
+	return ex.task.Tenant
 }
 
 // markStart records the queued→running transition (worker pickup).
@@ -265,6 +297,7 @@ func (j *Job) Status() Status {
 		CacheHit:    ex.cacheHit,
 		Disposition: j.Disposition(),
 		Origin:      ex.task.Origin,
+		Tenant:      ex.task.Tenant,
 		QueueWait:   ex.queueWait(),
 		Run:         ex.runTime(),
 	}

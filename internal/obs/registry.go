@@ -46,6 +46,42 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 
+// CounterFamily is a set of Counters sharing a name, distinguished by
+// label values (e.g. per-tenant admission-rejection counts).
+type CounterFamily struct {
+	name   string
+	labels []string
+
+	mu       sync.RWMutex
+	children map[labelKey]*Counter
+	order    []labelKey
+}
+
+// With returns the child counter for the given label values, creating it
+// on first use. Panics on a label-count mismatch (programming error).
+func (f *CounterFamily) With(values ...string) *Counter {
+	if len(values) != len(f.labels) {
+		panic("obs: label value count mismatch for " + f.name)
+	}
+	var key labelKey
+	copy(key[:], values)
+	f.mu.RLock()
+	c := f.children[key]
+	f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c := f.children[key]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
 // GaugeFamily is a set of Gauges sharing a name, distinguished by label
 // values (e.g. jettyd_build_info's version labels).
 type GaugeFamily struct {
@@ -90,10 +126,11 @@ type family struct {
 	typ    string // "counter" | "gauge" | "histogram"
 	labels []string
 
-	counter *Counter
-	gauge   *Gauge
-	gauges  *GaugeFamily
-	hist    *HistogramFamily
+	counter  *Counter
+	counters *CounterFamily
+	gauge    *Gauge
+	gauges   *GaugeFamily
+	hist     *HistogramFamily
 }
 
 // Registry holds metric families and renders them in the Prometheus text
@@ -148,6 +185,14 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 	return c
 }
 
+// NewCounterFamily registers a labeled counter family. The name must end
+// in _total, like NewCounter's.
+func (r *Registry) NewCounterFamily(name, help string, labels []string) *CounterFamily {
+	f := &CounterFamily{name: name, labels: labels, children: make(map[labelKey]*Counter)}
+	r.register(&family{name: name, help: help, typ: "counter", labels: labels, counters: f})
+	return f
+}
+
 // NewGauge registers an unlabeled gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}
@@ -200,6 +245,17 @@ func (r *Registry) WriteText(w io.Writer) error {
 		switch {
 		case f.counter != nil:
 			fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
+		case f.counters != nil:
+			f.counters.mu.RLock()
+			keys := append([]labelKey(nil), f.counters.order...)
+			f.counters.mu.RUnlock()
+			sortLabelKeys(keys)
+			for _, key := range keys {
+				f.counters.mu.RLock()
+				c := f.counters.children[key]
+				f.counters.mu.RUnlock()
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(f.labels, key, "", 0), c.Value())
+			}
 		case f.gauge != nil:
 			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gauge.Value()))
 		case f.gauges != nil:
@@ -244,6 +300,19 @@ func renderHistogramFamily(b *strings.Builder, f *family) {
 		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, renderLabels(f.labels, key, "", 0), formatFloat(sum))
 		fmt.Fprintf(b, "%s_count%s %d\n", f.name, renderLabels(f.labels, key, "", 0), cum)
 	}
+}
+
+// sortLabelKeys orders label-value tuples lexicographically so counter
+// families render diffably across scrapes.
+func sortLabelKeys(keys []labelKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		for n := range keys[i] {
+			if keys[i][n] != keys[j][n] {
+				return keys[i][n] < keys[j][n]
+			}
+		}
+		return false
+	})
 }
 
 // byKey sorts histogram children and their keys together.

@@ -139,3 +139,48 @@ func TestRegistryHistogramCumulativeUnderLoad(t *testing.T) {
 	}
 	close(stop)
 }
+
+func TestRegistryCounterFamily(t *testing.T) {
+	r := NewRegistry()
+	cf := r.NewCounterFamily("test_rejections_total", "Rejections by tenant and reason.",
+		[]string{"tenant", "reason"})
+	cf.With("bob", "quota").Add(2)
+	cf.With("alice", "quota").Add(1)
+	cf.With("bob", "quota").Add(3)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_rejections_total counter",
+		`test_rejections_total{tenant="alice",reason="quota"} 1`,
+		`test_rejections_total{tenant="bob",reason="quota"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Children render sorted by label values: alice before bob.
+	if strings.Index(out, `tenant="alice"`) > strings.Index(out, `tenant="bob"`) {
+		t.Errorf("counter children not sorted:\n%s", out)
+	}
+	if problems := Lint(out); len(problems) != 0 {
+		t.Errorf("counter family does not lint clean: %v", problems)
+	}
+	// Same With twice returns the same child.
+	if cf.With("bob", "quota") != cf.With("bob", "quota") {
+		t.Error("With returned distinct children for equal labels")
+	}
+}
+
+func TestRegistryCounterFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("counter family without _total suffix should panic")
+		}
+	}()
+	r.NewCounterFamily("test_bad_name", "Bad.", []string{"a"})
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Request-body plumbing shared by the JSON submit endpoints and the
+// trace upload: one size cap, one Content-Encoding story, one
+// status-code mapping. Bodies may arrive gzip-compressed
+// (Content-Encoding: gzip); the byte cap is enforced on the
+// *decompressed* stream, so a gzip bomb cannot smuggle an oversize
+// payload past the limit, and on the raw stream too (a legitimate
+// compressed body is never larger than its payload). Oversize bodies
+// answer 413, unknown encodings 415, malformed content 400.
+
+// errUnsupportedEncoding marks a Content-Encoding jettyd does not
+// accept; handlers map it to 415 Unsupported Media Type.
+var errUnsupportedEncoding = errors.New("unsupported Content-Encoding (use identity or gzip)")
+
+// requestBody wraps a request's body with the size cap, transparently
+// decoding Content-Encoding: gzip. The returned reader yields
+// *http.MaxBytesError once the (decompressed) body exceeds limit.
+func requestBody(w http.ResponseWriter, r *http.Request, limit int64) (io.Reader, error) {
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "", "identity":
+		return http.MaxBytesReader(w, r.Body, limit), nil
+	case "gzip", "x-gzip":
+		// Cap the raw stream as well: produced output is what matters,
+		// but bounding the input keeps a malformed stream from being
+		// slurped unboundedly before the decoder notices.
+		zr, err := gzip.NewReader(http.MaxBytesReader(w, r.Body, limit))
+		if err != nil {
+			return nil, fmt.Errorf("decoding gzip body: %w", err)
+		}
+		return &cappedReader{r: zr, limit: limit, remaining: limit}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", errUnsupportedEncoding, enc)
+	}
+}
+
+// cappedReader enforces the byte cap on a decompressed stream, failing
+// with the same *http.MaxBytesError the plain-body path produces so
+// callers handle both identically.
+type cappedReader struct {
+	r         io.Reader
+	limit     int64
+	remaining int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.remaining < 0 {
+		return 0, &http.MaxBytesError{Limit: c.limit}
+	}
+	if int64(len(p)) > c.remaining+1 {
+		p = p[:c.remaining+1] // read one past the cap to detect overflow
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	if c.remaining < 0 {
+		return n, &http.MaxBytesError{Limit: c.limit}
+	}
+	return n, err
+}
+
+// bodyErrorStatus maps a request-body read/decode failure to its HTTP
+// status: 413 for the size cap, 415 for an unknown encoding, 400 for
+// everything else (malformed JSON, truncated gzip, ...).
+func bodyErrorStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, errUnsupportedEncoding):
+		return http.StatusUnsupportedMediaType
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeJSON decodes a JSON request body into v under the shared
+// maxRequestBytes cap (decompressed, when the body is gzipped). strict
+// rejects unknown fields (the sweep spec endpoint's contract). On
+// failure it writes the error response — 413 over the cap, 415 unknown
+// encoding, 400 otherwise — and returns false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, strict bool, v any) bool {
+	body, err := requestBody(w, r, maxRequestBytes)
+	if err == nil {
+		dec := json.NewDecoder(body)
+		if strict {
+			dec.DisallowUnknownFields()
+		}
+		err = dec.Decode(v)
+	}
+	if err != nil {
+		code := bodyErrorStatus(err)
+		if code == http.StatusRequestEntityTooLarge {
+			err = fmt.Errorf("request body exceeds the %d-byte cap", maxRequestBytes)
+		} else {
+			err = fmt.Errorf("decoding request: %w", err)
+		}
+		writeError(w, code, err)
+		return false
+	}
+	return true
+}

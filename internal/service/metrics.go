@@ -41,10 +41,16 @@ func (s *Server) snapshotGauges() {
 			buffered += exp.feed.buffered()
 		}
 	}
+	loads := s.tenantLoadsLocked()
 	s.mu.Unlock()
 
 	eng := s.runner.Engine()
 	st := eng.Stats()
+	for tenant, depth := range st.TenantQueues {
+		l := loads[tenant]
+		l.queued = depth
+		loads[tenant] = l
+	}
 
 	t := s.tel
 	t.expsRegistered.Set(float64(registered))
@@ -62,6 +68,7 @@ func (s *Server) snapshotGauges() {
 	} else {
 		t.draining.Set(0)
 	}
+	t.setTenantGauges(loads)
 	t.engSubmitted.Set(st.Submitted)
 	t.engExecuted.Set(st.Executed)
 	t.engCacheHits.Set(st.CacheHits)

@@ -20,7 +20,8 @@ import (
 // replaced, not truncated (an attacker-controlled log field stays small).
 const maxRequestIDLen = 64
 
-// withTelemetry wraps the API mux with request-ID assignment, the HTTP
+// withTelemetry wraps the API mux with request-ID assignment, tenant
+// resolution (X-Jetty-Tenant validated, defaulted and echoed), the HTTP
 // latency histogram and the access log.
 func (s *Server) withTelemetry(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -30,10 +31,17 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 			id = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-Id", id)
-		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		ctx := obs.WithRequestID(r.Context(), id)
 
 		rec := &responseRecorder{ResponseWriter: w}
-		next.ServeHTTP(rec, r)
+		tenant, ok := resolveTenant(rec, r)
+		if ok {
+			w.Header().Set(TenantHeader, tenant)
+			r = r.WithContext(withTenant(ctx, tenant))
+			next.ServeHTTP(rec, r)
+		} else {
+			tenant = "invalid" // bounded label for the rejected request
+		}
 
 		// The mux sets r.Pattern on match; an unmatched request (404/405)
 		// keeps the label space bounded under one value rather than
@@ -44,9 +52,10 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 		}
 		status := rec.statusCode()
 		dur := time.Since(start)
-		s.tel.httpLatency.With(route, strconv.Itoa(status)).Observe(dur.Seconds())
+		s.tel.httpLatency.With(route, strconv.Itoa(status), tenant).Observe(dur.Seconds())
 		s.tel.log.Info("request",
 			"id", id,
+			"tenant", tenant,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"route", route,

@@ -37,13 +37,13 @@ package service
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,9 +63,28 @@ type Options struct {
 	Workers int
 	// CacheEntries is the engine result-cache capacity (0 = default).
 	CacheEntries int
-	// MaxUnfinished bounds experiments that are queued or running; extra
-	// submissions get 429. 0 means the default (64).
+	// MaxUnfinished bounds experiments that are queued or running across
+	// all tenants; extra submissions get 503 + Retry-After (the daemon as
+	// a whole is saturated). 0 means the default (64).
 	MaxUnfinished int
+	// MaxUnfinishedPerTenant bounds one tenant's unfinished experiments
+	// and sweeps; extra submissions get 429 + Retry-After (the tenant is
+	// over quota, the daemon is not). 0 means the default (16).
+	MaxUnfinishedPerTenant int
+	// MaxQueuedCellsPerTenant bounds one tenant's non-terminal engine
+	// jobs (experiment runs plus sweep cells) so a single giant sweep
+	// cannot consume a tenant-jobs quota slot while monopolizing the
+	// engine; extra submissions get 429 + Retry-After. 0 means the
+	// default (2048).
+	MaxQueuedCellsPerTenant int
+	// MaxTracesPerTenant bounds one tenant's stored uploads within the
+	// global MaxTraces store; extra uploads get 429 + Retry-After. 0
+	// means the default (8).
+	MaxTracesPerTenant int
+	// TenantWeights sets per-tenant fair-share weights for the engine's
+	// deficit-round-robin queue: a tenant with weight w drains w tasks
+	// per scheduling round. Unlisted tenants (and weights < 1) get 1.
+	TenantWeights map[string]int
 	// MaxRetained bounds the registry as a whole: when a submission
 	// would exceed it, the oldest finished experiments (and the results
 	// their jobs pin) are evicted. 0 means the default (512). Clients
@@ -92,42 +111,50 @@ type Options struct {
 
 // Defaults for the zero Options values.
 const (
-	DefaultMaxUnfinished = 64
-	DefaultMaxRetained   = 512
-	DefaultMaxTraces     = 32
-	DefaultMaxTraceBytes = 64 << 20
+	DefaultMaxUnfinished           = 64
+	DefaultMaxUnfinishedPerTenant  = 16
+	DefaultMaxQueuedCellsPerTenant = 2048
+	DefaultMaxTracesPerTenant      = 8
+	DefaultMaxRetained             = 512
+	DefaultMaxTraces               = 32
+	DefaultMaxTraceBytes           = 64 << 20
 )
 
 // Server owns the engine, the experiment registry and the uploaded-
 // trace store.
 type Server struct {
-	runner        *sim.Runner
-	maxUnfinished int
-	maxRetained   int
-	maxTraces     int
-	maxTraceBytes int64
-	pprof         bool
+	runner          *sim.Runner
+	maxUnfinished   int
+	maxTenantJobs   int
+	maxTenantCells  int
+	maxTenantTraces int
+	maxRetained     int
+	maxTraces       int
+	maxTraceBytes   int64
+	pprof           bool
 
 	tel      *telemetry  // instruments, logger, slow-job threshold
 	draining atomic.Bool // set by SetDraining during shutdown
 
-	mu         sync.Mutex
-	exps       map[string]*experiment
-	order      []string // insertion order, for stable listings
-	seq        int
-	sweeps     map[string]*sweepJob
-	sweepOrder []string
-	traces     map[string]sim.TraceInput // by digest
-	traceOrder []string
+	mu          sync.Mutex
+	exps        map[string]*experiment
+	order       []string // insertion order, for stable listings
+	seq         int
+	sweeps      map[string]*sweepJob
+	sweepOrder  []string
+	traces      map[string]sim.TraceInput // by digest
+	traceOrder  []string
+	traceOwners map[string]string // digest -> uploading tenant (quota accounting)
 }
 
 // experiment is one submitted batch of app runs.
 type experiment struct {
-	id    string
-	req   SubmitRequest
-	cfg   smp.Config
-	specs []workload.Spec
-	jobs  []*engine.Job
+	id     string
+	tenant string
+	req    SubmitRequest
+	cfg    smp.Config
+	specs  []workload.Spec
+	jobs   []*engine.Job
 
 	// interval and feed are set on sampled experiments: interval is the
 	// timeline window width, feed the live-stream buffer the samplers'
@@ -141,6 +168,18 @@ func New(opts Options) *Server {
 	maxUnfinished := opts.MaxUnfinished
 	if maxUnfinished <= 0 {
 		maxUnfinished = DefaultMaxUnfinished
+	}
+	maxTenantJobs := opts.MaxUnfinishedPerTenant
+	if maxTenantJobs <= 0 {
+		maxTenantJobs = DefaultMaxUnfinishedPerTenant
+	}
+	maxTenantCells := opts.MaxQueuedCellsPerTenant
+	if maxTenantCells <= 0 {
+		maxTenantCells = DefaultMaxQueuedCellsPerTenant
+	}
+	maxTenantTraces := opts.MaxTracesPerTenant
+	if maxTenantTraces <= 0 {
+		maxTenantTraces = DefaultMaxTracesPerTenant
 	}
 	maxRetained := opts.MaxRetained
 	if maxRetained <= 0 {
@@ -156,21 +195,26 @@ func New(opts Options) *Server {
 	}
 	tel := newTelemetry(opts.Logger, opts.SlowJob)
 	eng := engine.New(engine.Options{
-		Workers:      opts.Workers,
-		CacheEntries: opts.CacheEntries,
-		OnRetire:     tel.onRetire,
+		Workers:       opts.Workers,
+		CacheEntries:  opts.CacheEntries,
+		OnRetire:      tel.onRetire,
+		TenantWeights: opts.TenantWeights,
 	})
 	return &Server{
-		runner:        sim.NewRunner(eng),
-		maxUnfinished: maxUnfinished,
-		maxRetained:   maxRetained,
-		maxTraces:     maxTraces,
-		maxTraceBytes: maxTraceBytes,
-		pprof:         opts.Pprof,
-		tel:           tel,
-		exps:          make(map[string]*experiment),
-		sweeps:        make(map[string]*sweepJob),
-		traces:        make(map[string]sim.TraceInput),
+		runner:          sim.NewRunner(eng),
+		maxUnfinished:   maxUnfinished,
+		maxTenantJobs:   maxTenantJobs,
+		maxTenantCells:  maxTenantCells,
+		maxTenantTraces: maxTenantTraces,
+		maxRetained:     maxRetained,
+		maxTraces:       maxTraces,
+		maxTraceBytes:   maxTraceBytes,
+		pprof:           opts.Pprof,
+		tel:             tel,
+		exps:            make(map[string]*experiment),
+		sweeps:          make(map[string]*sweepJob),
+		traces:          make(map[string]sim.TraceInput),
+		traceOwners:     make(map[string]string),
 	}
 }
 
@@ -260,6 +304,7 @@ type JobStatus struct {
 	CacheHit    bool    `json:"cache_hit,omitempty"`
 	Disposition string  `json:"disposition,omitempty"` // executed|cache_hit|coalesced
 	Origin      string  `json:"origin,omitempty"`      // submitting request ID
+	Tenant      string  `json:"tenant,omitempty"`      // submitting tenant
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	RunMS       float64 `json:"run_ms,omitempty"`
 	Error       string  `json:"error,omitempty"`
@@ -268,6 +313,7 @@ type JobStatus struct {
 // ExperimentStatus is the aggregate progress snapshot.
 type ExperimentStatus struct {
 	ID       string      `json:"id"`
+	Tenant   string      `json:"tenant,omitempty"`
 	State    string      `json:"state"` // queued|running|done|failed|canceled
 	Done     uint64      `json:"done"`
 	Total    uint64      `json:"total"`
@@ -327,8 +373,7 @@ func (s *Server) handleFilters(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, false, &req) {
 		return
 	}
 	specs, traceIn, cfg, err := s.buildExperiment(req)
@@ -337,16 +382,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tenant := tenantFrom(r.Context())
 	s.mu.Lock()
-	if s.unfinishedLocked() >= s.maxUnfinished {
+	if code, reason, err := s.admitLocked(tenant, len(specs)); err != nil {
 		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("%d experiments already in flight", s.maxUnfinished))
+		s.tel.admissionRejected.With(tenant, reason).Add(1)
+		writeRetryError(w, code, err)
 		return
 	}
 	s.seq++
 	exp := &experiment{
 		id:       fmt.Sprintf("exp-%06d", s.seq),
+		tenant:   tenant,
 		req:      req,
 		cfg:      cfg,
 		specs:    specs,
@@ -379,11 +426,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// never observe the experiment without its jobs. Submit never blocks
 	// on the work itself. Every task carries this request's ID as its
 	// origin, so job telemetry (status JSON, slow-job logs) correlates
-	// back to the X-Request-Id the client saw.
+	// back to the X-Request-Id the client saw — and the request's tenant,
+	// so the engine's fair-share queue schedules it under that identity.
 	origin := obs.RequestID(r.Context())
 	eng := s.runner.Engine()
 	submit := func(t engine.Task) {
 		t.Origin = origin
+		t.Tenant = tenant
 		exp.jobs = append(exp.jobs, eng.Submit(t))
 	}
 	switch {
@@ -599,16 +648,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 type TraceInfo struct {
 	Digest     string `json:"digest"`
 	Name       string `json:"name"`
+	Tenant     string `json:"tenant,omitempty"` // uploading tenant (quota owner)
 	CPUs       int    `json:"cpus"`
 	Records    uint64 `json:"records"`
 	Bytes      int    `json:"bytes"`
 	Compressed bool   `json:"compressed"`
 }
 
-func traceInfo(in sim.TraceInput) TraceInfo {
+func traceInfo(in sim.TraceInput, owner string) TraceInfo {
 	return TraceInfo{
 		Digest:     in.Digest,
 		Name:       in.Name,
+		Tenant:     owner,
 		CPUs:       in.CPUs,
 		Records:    in.Records,
 		Bytes:      len(in.Data),
@@ -616,19 +667,25 @@ func traceInfo(in sim.TraceInput) TraceInfo {
 	}
 }
 
-// handleTraceUpload stores a raw JTRC file (the request body), validated
-// and content-addressed. Re-uploading an identical file is a 200 no-op;
-// a full store answers 507 until a trace is deleted.
+// handleTraceUpload stores a raw JTRC file (the request body, optionally
+// gzipped via Content-Encoding; the byte cap applies to the decompressed
+// stream), validated and content-addressed. Re-uploading an identical
+// file is a 200 no-op; a full store answers 507 until a trace is
+// deleted; a tenant over its upload quota gets 429.
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxTraceBytes))
+	body, err := requestBody(w, r, s.maxTraceBytes)
+	var data []byte
+	if err == nil {
+		data, err = io.ReadAll(body)
+	}
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("trace exceeds the %d-byte upload cap", s.maxTraceBytes))
-		} else {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("reading trace: %w", err))
+		code := bodyErrorStatus(err)
+		if code == http.StatusRequestEntityTooLarge {
+			err = fmt.Errorf("trace exceeds the %d-byte upload cap", s.maxTraceBytes)
+		} else if code == http.StatusBadRequest {
+			err = fmt.Errorf("reading trace: %w", err)
 		}
+		writeError(w, code, err)
 		return
 	}
 	in, err := sim.LoadTrace(r.URL.Query().Get("name"), data)
@@ -637,11 +694,15 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tenant := tenantFrom(r.Context())
 	s.mu.Lock()
 	if _, ok := s.traces[in.Digest]; ok {
+		// Identical re-upload: a no-op that keeps the original owner (the
+		// slot stays on the first uploader's quota).
 		in = s.traces[in.Digest]
+		owner := s.traceOwners[in.Digest]
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, traceInfo(in))
+		writeJSON(w, http.StatusOK, traceInfo(in, owner))
 		return
 	}
 	if len(s.traces) >= s.maxTraces {
@@ -650,19 +711,28 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("trace store holds its cap of %d traces; DELETE one first", s.maxTraces))
 		return
 	}
+	if s.tenantTracesLocked(tenant) >= s.maxTenantTraces {
+		s.mu.Unlock()
+		s.tel.admissionRejected.With(tenant, "tenant_traces").Add(1)
+		writeRetryError(w, http.StatusTooManyRequests,
+			fmt.Errorf("tenant %q holds %d stored traces (per-tenant cap %d); DELETE one first",
+				tenant, s.maxTenantTraces, s.maxTenantTraces))
+		return
+	}
 	s.traces[in.Digest] = in
 	s.traceOrder = append(s.traceOrder, in.Digest)
+	s.traceOwners[in.Digest] = tenant
 	s.mu.Unlock()
 
 	s.tel.traceUploads.Add(1)
-	writeJSON(w, http.StatusCreated, traceInfo(in))
+	writeJSON(w, http.StatusCreated, traceInfo(in, tenant))
 }
 
 func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	out := make([]TraceInfo, 0, len(s.traceOrder))
 	for _, digest := range s.traceOrder {
-		out = append(out, traceInfo(s.traces[digest]))
+		out = append(out, traceInfo(s.traces[digest], s.traceOwners[digest]))
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
@@ -672,12 +742,13 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
 	s.mu.Lock()
 	in, ok := s.traces[digest]
+	owner := s.traceOwners[digest]
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", digest))
 		return
 	}
-	writeJSON(w, http.StatusOK, traceInfo(in))
+	writeJSON(w, http.StatusOK, traceInfo(in, owner))
 }
 
 func (s *Server) handleTraceDelete(w http.ResponseWriter, r *http.Request) {
@@ -686,6 +757,7 @@ func (s *Server) handleTraceDelete(w http.ResponseWriter, r *http.Request) {
 	_, ok := s.traces[digest]
 	if ok {
 		delete(s.traces, digest)
+		delete(s.traceOwners, digest)
 		for i, d := range s.traceOrder {
 			if d == digest {
 				s.traceOrder = append(s.traceOrder[:i], s.traceOrder[i+1:]...)
@@ -745,6 +817,93 @@ func (s *Server) unfinishedLocked() int {
 	return n
 }
 
+// admitLocked runs the two-layer admission check for a submission by
+// tenant that adds newCells engine jobs. The global cap answers 503 —
+// the daemon as a whole is saturated and a load balancer should back
+// off; a per-tenant quota answers 429 — this tenant is over its share
+// while the daemon still has headroom. Both carry Retry-After. reason
+// labels the rejection counter.
+func (s *Server) admitLocked(tenant string, newCells int) (code int, reason string, err error) {
+	if s.unfinishedLocked() >= s.maxUnfinished {
+		return http.StatusServiceUnavailable, "global_cap",
+			fmt.Errorf("%d jobs already in flight (global cap)", s.maxUnfinished)
+	}
+	jobs, cells := s.tenantLoadLocked(tenant)
+	if jobs >= s.maxTenantJobs {
+		return http.StatusTooManyRequests, "tenant_jobs",
+			fmt.Errorf("tenant %q has %d unfinished jobs (per-tenant cap %d)", tenant, jobs, s.maxTenantJobs)
+	}
+	if cells+newCells > s.maxTenantCells {
+		return http.StatusTooManyRequests, "tenant_cells",
+			fmt.Errorf("tenant %q would hold %d queued cells (per-tenant cap %d)",
+				tenant, cells+newCells, s.maxTenantCells)
+	}
+	return 0, "", nil
+}
+
+// tenantLoadLocked counts one tenant's unfinished jobs (experiments +
+// sweeps) and their non-terminal engine jobs (runs + cells).
+func (s *Server) tenantLoadLocked(tenant string) (jobs, cells int) {
+	for _, exp := range s.exps {
+		if exp.tenant != tenant {
+			continue
+		}
+		if c := exp.unfinishedJobs(); c > 0 {
+			jobs++
+			cells += c
+		}
+	}
+	for _, job := range s.sweeps {
+		if job.sw.Tenant() != tenant {
+			continue
+		}
+		if c := job.sw.UnfinishedCells(); c > 0 {
+			jobs++
+			cells += c
+		}
+	}
+	return jobs, cells
+}
+
+// tenantTracesLocked counts the stored uploads owned by tenant.
+func (s *Server) tenantTracesLocked(tenant string) int {
+	n := 0
+	for _, owner := range s.traceOwners {
+		if owner == tenant {
+			n++
+		}
+	}
+	return n
+}
+
+// tenantLoadsLocked snapshots every tenant's occupancy for /metrics.
+func (s *Server) tenantLoadsLocked() map[string]tenantLoad {
+	loads := make(map[string]tenantLoad)
+	for _, exp := range s.exps {
+		l := loads[exp.tenant]
+		if c := exp.unfinishedJobs(); c > 0 {
+			l.jobs++
+			l.cells += c
+		}
+		loads[exp.tenant] = l
+	}
+	for _, job := range s.sweeps {
+		t := job.sw.Tenant()
+		l := loads[t]
+		if c := job.sw.UnfinishedCells(); c > 0 {
+			l.jobs++
+			l.cells += c
+		}
+		loads[t] = l
+	}
+	for _, owner := range s.traceOwners {
+		l := loads[owner]
+		l.traces++
+		loads[owner] = l
+	}
+	return loads
+}
+
 // unfinished reports whether any of the experiment's jobs is still
 // queued or running. Unlike status() it allocates nothing: it runs under
 // the registry mutex on every submission.
@@ -757,9 +916,21 @@ func (e *experiment) unfinished() bool {
 	return false
 }
 
+// unfinishedJobs counts the experiment's non-terminal engine jobs (the
+// per-tenant cell-quota accounting).
+func (e *experiment) unfinishedJobs() int {
+	n := 0
+	for _, j := range e.jobs {
+		if !j.State().Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
 // status aggregates the per-job snapshots.
 func (e *experiment) status() ExperimentStatus {
-	out := ExperimentStatus{ID: e.id}
+	out := ExperimentStatus{ID: e.id, Tenant: e.tenant}
 	counts := map[engine.State]int{}
 	for i, j := range e.jobs {
 		js := j.Status()
@@ -776,6 +947,7 @@ func (e *experiment) status() ExperimentStatus {
 			CacheHit:    js.CacheHit,
 			Disposition: js.Disposition,
 			Origin:      js.Origin,
+			Tenant:      js.Tenant,
 			QueueWaitMS: durationMS(js.QueueWait),
 			RunMS:       durationMS(js.Run),
 			Error:       js.Err,
@@ -830,4 +1002,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// retryAfterSeconds is the Retry-After hint on admission rejections:
+// capacity frees as jobs retire, typically within seconds, so clients
+// should back off briefly rather than hammer.
+const retryAfterSeconds = 1
+
+// writeRetryError is writeError plus a Retry-After header — every
+// admission rejection (global 503, per-tenant 429) tells well-behaved
+// clients when to try again.
+func writeRetryError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeError(w, code, err)
 }

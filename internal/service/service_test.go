@@ -242,9 +242,11 @@ func TestAdmissionCap(t *testing.T) {
 	var first ExperimentStatus
 	doJSON(t, "POST", base+"/v1/experiments", long, &first)
 
+	// The *global* cap means the daemon is saturated: 503, not the
+	// per-tenant quota's 429.
 	var rejected map[string]string
-	if code := doJSON(t, "POST", base+"/v1/experiments", long, &rejected); code != http.StatusTooManyRequests {
-		t.Fatalf("over-cap submit code %d, want 429", code)
+	if code := doJSON(t, "POST", base+"/v1/experiments", long, &rejected); code != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap submit code %d, want 503", code)
 	}
 	doJSON(t, "DELETE", base+"/v1/experiments/"+first.ID, nil, nil)
 }

@@ -318,14 +318,21 @@ func TestServiceStress(t *testing.T) {
 	}
 }
 
-// stressSubmit posts a job, retrying 429 (admission cap) until the
-// deadline; it returns the id, or "" if the cap never cleared.
+// stressSubmit posts a job, retrying 503 (global admission cap) and 429
+// (per-tenant quota) until the deadline; it returns the id, or "" if the
+// cap never cleared.
 func stressSubmit(base, path string, body any, deadline time.Time) (string, error) {
+	return stressSubmitAs(base, path, "", body, deadline)
+}
+
+// stressSubmitAs is stressSubmit under an explicit tenant ("" omits the
+// header, i.e. the anonymous tenant).
+func stressSubmitAs(base, path, tenant string, body any, deadline time.Time) (string, error) {
 	for {
 		var st struct {
 			ID string `json:"id"`
 		}
-		code, err := clientJSON("POST", base+path, body, &st)
+		code, err := tenantJSON("POST", base+path, tenant, body, &st)
 		switch {
 		case err != nil:
 			return "", fmt.Errorf("POST %s: %w", path, err)
@@ -334,7 +341,7 @@ func stressSubmit(base, path string, body any, deadline time.Time) (string, erro
 				return "", fmt.Errorf("POST %s: accepted without an id", path)
 			}
 			return st.ID, nil
-		case code == http.StatusTooManyRequests:
+		case code == http.StatusTooManyRequests, code == http.StatusServiceUnavailable:
 			if time.Now().After(deadline) {
 				return "", nil
 			}

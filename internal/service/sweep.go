@@ -1,7 +1,6 @@
 package service
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
@@ -44,11 +43,8 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	// Unknown fields are rejected, exactly as cmd/jettysweep rejects
 	// them: a typo'd key would otherwise silently sweep the default —
 	// e.g. a dropped "scale" runs the full paper budgets.
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
-	dec.DisallowUnknownFields()
 	var spec sweep.Spec
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
+	if !decodeJSON(w, r, true, &spec) {
 		return
 	}
 	if err := spec.Validate(); err != nil {
@@ -59,13 +55,8 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	// Submit while holding the registry lock, exactly like experiments:
 	// admission and registration are atomic, and the trace resolver reads
 	// the upload store under the same lock.
+	tenant := tenantFrom(r.Context())
 	s.mu.Lock()
-	if s.unfinishedLocked() >= s.maxUnfinished {
-		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("%d experiments already in flight", s.maxUnfinished))
-		return
-	}
 	resolver := func(digest string) (sim.TraceInput, error) {
 		in, ok := s.traces[digest]
 		if !ok {
@@ -73,7 +64,21 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return in, nil
 	}
-	sw, err := sweep.SubmitOrigin(s.runner, spec, resolver, obs.RequestID(r.Context()))
+	// Expand first (cheap, deterministic) so the per-tenant cell quota
+	// judges the sweep by its true cell count before anything schedules.
+	cells, err := spec.Expand(resolver)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if code, reason, err := s.admitLocked(tenant, len(cells)); err != nil {
+		s.mu.Unlock()
+		s.tel.admissionRejected.With(tenant, reason).Add(1)
+		writeRetryError(w, code, err)
+		return
+	}
+	sw, err := sweep.SubmitAs(s.runner, spec, resolver, obs.RequestID(r.Context()), tenant)
 	if err != nil {
 		s.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err)

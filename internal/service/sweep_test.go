@@ -222,14 +222,15 @@ func TestSweepAdmissionAndCancel(t *testing.T) {
 	}
 
 	// ...blocking both further sweeps and ordinary experiments: one cap
-	// covers both job kinds.
+	// covers both job kinds, and a saturated daemon answers 503 (the
+	// per-tenant quota's 429 is distinct; see TestTenantQuotas).
 	var rejected map[string]string
-	if code := doJSON(t, "POST", base+"/v1/sweeps", long, &rejected); code != http.StatusTooManyRequests {
-		t.Errorf("over-cap sweep code %d, want 429", code)
+	if code := doJSON(t, "POST", base+"/v1/sweeps", long, &rejected); code != http.StatusServiceUnavailable {
+		t.Errorf("over-cap sweep code %d, want 503", code)
 	}
 	if code := doJSON(t, "POST", base+"/v1/experiments",
-		SubmitRequest{Apps: []string{"Lu"}, Scale: 0.02}, &rejected); code != http.StatusTooManyRequests {
-		t.Errorf("over-cap experiment code %d, want 429", code)
+		SubmitRequest{Apps: []string{"Lu"}, Scale: 0.02}, &rejected); code != http.StatusServiceUnavailable {
+		t.Errorf("over-cap experiment code %d, want 503", code)
 	}
 
 	// Result before done conflicts; cancel frees the slot and forgets.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"log/slog"
+	"sync"
 	"time"
 
 	"jetty/internal/engine"
@@ -19,10 +20,11 @@ type telemetry struct {
 	slowJob time.Duration
 	reg     *obs.Registry
 
-	// Latency histograms (the ISSUE 6 tentpole set).
-	httpLatency *obs.HistogramFamily // route, status
-	queueWait   *obs.HistogramFamily // kind
-	runDuration *obs.HistogramFamily // kind
+	// Latency histograms (the ISSUE 6 tentpole set, tenant-labeled since
+	// ISSUE 8).
+	httpLatency *obs.HistogramFamily // route, status, tenant
+	queueWait   *obs.HistogramFamily // kind, tenant
+	runDuration *obs.HistogramFamily // kind, tenant
 	sweepCell   *obs.Histogram       // sweep cell run duration
 	fanoutLag   *obs.Histogram       // publish → SSE write lag
 
@@ -32,6 +34,21 @@ type telemetry struct {
 	traceUploads    *obs.Counter
 	evicted         *obs.Counter
 	windowsStreamed *obs.Counter
+
+	// Per-tenant admission accounting: rejection events as they happen,
+	// occupancy gauges from the per-scrape snapshot.
+	admissionRejected *obs.CounterFamily // tenant, reason
+	tenantJobs        *obs.GaugeFamily   // tenant
+	tenantCells       *obs.GaugeFamily   // tenant
+	tenantQueueDepth  *obs.GaugeFamily   // tenant
+	tenantTraces      *obs.GaugeFamily   // tenant
+
+	// seenTenants remembers every tenant that ever had a per-tenant gauge
+	// set, so a tenant whose load drains to zero scrapes as 0 rather than
+	// freezing at its last value. Guarded by tenantMu; bounded because
+	// tenant names are operator-facing identities, not request-scoped.
+	tenantMu    sync.Mutex
+	seenTenants map[string]struct{}
 
 	// Live gauges the handlers adjust directly.
 	liveSubscribers *obs.Gauge
@@ -70,17 +87,17 @@ func newTelemetry(log *slog.Logger, slowJob time.Duration) *telemetry {
 		slowJob = DefaultSlowJob
 	}
 	reg := obs.NewRegistry()
-	t := &telemetry{log: log, slowJob: slowJob, reg: reg}
+	t := &telemetry{log: log, slowJob: slowJob, reg: reg, seenTenants: make(map[string]struct{})}
 
 	t.httpLatency = reg.NewHistogramFamily("jettyd_http_request_duration_seconds",
-		"HTTP request latency by route pattern and status code.",
-		[]string{"route", "status"}, nil)
+		"HTTP request latency by route pattern, status code and tenant.",
+		[]string{"route", "status", "tenant"}, nil)
 	t.queueWait = reg.NewHistogramFamily("jettyd_engine_queue_wait_seconds",
-		"Time an executed engine task sat queued before a worker picked it up, by task kind.",
-		[]string{"kind"}, nil)
+		"Time an executed engine task sat queued before a worker picked it up, by task kind and tenant.",
+		[]string{"kind", "tenant"}, nil)
 	t.runDuration = reg.NewHistogramFamily("jettyd_engine_run_duration_seconds",
-		"Running time of executed engine tasks, by task kind.",
-		[]string{"kind"}, nil)
+		"Running time of executed engine tasks, by task kind and tenant.",
+		[]string{"kind", "tenant"}, nil)
 	t.sweepCell = reg.NewHistogramFamily("jettyd_sweep_cell_duration_seconds",
 		"Running time of executed sweep cells.", nil, nil).With()
 	t.fanoutLag = reg.NewHistogramFamily("jettyd_live_fanout_lag_seconds",
@@ -97,6 +114,22 @@ func newTelemetry(log *slog.Logger, slowJob time.Duration) *telemetry {
 		"Finished experiments and sweeps evicted from the registry.")
 	t.windowsStreamed = reg.NewCounter("jettyd_live_windows_streamed_total",
 		"Timeline windows written to SSE subscribers.")
+
+	t.admissionRejected = reg.NewCounterFamily("jettyd_admission_rejections_total",
+		"Submissions rejected at admission, by tenant and reason (global_cap, tenant_jobs, tenant_cells, tenant_traces).",
+		[]string{"tenant", "reason"})
+	t.tenantJobs = reg.NewGaugeFamily("jettyd_tenant_jobs_unfinished",
+		"Experiments and sweeps still queued or running, per tenant.",
+		[]string{"tenant"})
+	t.tenantCells = reg.NewGaugeFamily("jettyd_tenant_cells_unfinished",
+		"Engine jobs (experiment runs and sweep cells) not yet terminal, per tenant.",
+		[]string{"tenant"})
+	t.tenantQueueDepth = reg.NewGaugeFamily("jettyd_tenant_queue_depth",
+		"Engine executions waiting in the fair-share queue, per tenant.",
+		[]string{"tenant"})
+	t.tenantTraces = reg.NewGaugeFamily("jettyd_tenant_traces_stored",
+		"Uploaded traces currently retained, per owning tenant.",
+		[]string{"tenant"})
 
 	t.liveSubscribers = reg.NewGauge("jettyd_live_subscribers",
 		"SSE subscribers currently attached to /v1/experiments/{id}/live.")
@@ -157,19 +190,53 @@ func (t *telemetry) onRetire(tr engine.TaskTrace) {
 	if kind == "" {
 		kind = "other"
 	}
-	t.queueWait.With(kind).Observe(tr.QueueWait.Seconds())
-	t.runDuration.With(kind).Observe(tr.Run.Seconds())
+	tenant := tr.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	t.queueWait.With(kind, tenant).Observe(tr.QueueWait.Seconds())
+	t.runDuration.With(kind, tenant).Observe(tr.Run.Seconds())
 	if kind == sim.KindSweep {
 		t.sweepCell.Observe(tr.Run.Seconds())
 	}
 	if tr.Run >= t.slowJob {
 		t.log.Warn("slow job",
 			"kind", kind,
+			"tenant", tenant,
 			"key", tr.Key,
 			"origin", tr.Origin,
 			"state", tr.State.String(),
 			"queue_wait_ms", durationMS(tr.QueueWait),
 			"run_ms", durationMS(tr.Run))
+	}
+}
+
+// tenantLoad is one tenant's point-in-time occupancy, computed under the
+// registry lock per scrape (see snapshotGauges).
+type tenantLoad struct {
+	jobs   int // unfinished experiments + sweeps
+	cells  int // non-terminal engine jobs across them
+	queued int // executions waiting in the engine's fair-share queue
+	traces int // retained uploaded traces owned by the tenant
+}
+
+// setTenantGauges publishes one consistent per-tenant snapshot. Tenants
+// seen on earlier scrapes but absent from this one are explicitly zeroed
+// so their series do not freeze at stale values.
+func (t *telemetry) setTenantGauges(loads map[string]tenantLoad) {
+	t.tenantMu.Lock()
+	defer t.tenantMu.Unlock()
+	for name := range t.seenTenants {
+		if _, ok := loads[name]; !ok {
+			loads[name] = tenantLoad{}
+		}
+	}
+	for name, l := range loads {
+		t.seenTenants[name] = struct{}{}
+		t.tenantJobs.With(name).Set(float64(l.jobs))
+		t.tenantCells.With(name).Set(float64(l.cells))
+		t.tenantQueueDepth.With(name).Set(float64(l.queued))
+		t.tenantTraces.With(name).Set(float64(l.traces))
 	}
 }
 

@@ -365,7 +365,7 @@ func TestSweepCellTracing(t *testing.T) {
 		b, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		body := string(b)
-		if strings.Contains(body, `jettyd_engine_run_duration_seconds_count{kind="sweep"} 1`) &&
+		if strings.Contains(body, `jettyd_engine_run_duration_seconds_count{kind="sweep",tenant="anonymous"} 1`) &&
 			!strings.Contains(body, "jettyd_sweep_cell_duration_seconds_count 0") {
 			return
 		}

@@ -15,6 +15,7 @@ type Sweep struct {
 	spec   Spec
 	cells  []Cell
 	origin string
+	tenant string
 	jobs   []*engine.Job
 	fused  int // fused group tasks submitted (multi-cell groups)
 }
@@ -31,11 +32,19 @@ func Submit(r *sim.Runner, spec Spec, traces TraceResolver) (*Sweep, error) {
 // submitting HTTP request's ID) stamped onto every cell's engine task,
 // so cell telemetry ties back to the request that started the sweep.
 func SubmitOrigin(r *sim.Runner, spec Spec, traces TraceResolver, origin string) (*Sweep, error) {
+	return SubmitAs(r, spec, traces, origin, "")
+}
+
+// SubmitAs is SubmitOrigin with a tenant identity stamped onto every
+// cell's engine task, so the engine's fair-share queue schedules the
+// sweep's cells under the submitting tenant and cell telemetry carries
+// the tenant label. Empty means the default tenant.
+func SubmitAs(r *sim.Runner, spec Spec, traces TraceResolver, origin, tenant string) (*Sweep, error) {
 	cells, err := spec.Expand(traces)
 	if err != nil {
 		return nil, err
 	}
-	s := &Sweep{spec: spec.normalize(), cells: cells, origin: origin}
+	s := &Sweep{spec: spec.normalize(), cells: cells, origin: origin, tenant: tenant}
 	s.jobs = make([]*engine.Job, len(cells))
 	opt := sim.SampleOptions{Interval: s.spec.Interval}
 	for _, group := range planGroups(s.spec, cells) {
@@ -57,6 +66,7 @@ func SubmitOrigin(r *sim.Runner, spec Spec, traces TraceResolver, origin string)
 			}
 			t.Kind = sim.KindSweep
 			t.Origin = s.origin
+			t.Tenant = s.tenant
 			s.jobs[i] = r.Engine().Submit(t)
 			continue
 		}
@@ -79,6 +89,7 @@ func SubmitOrigin(r *sim.Runner, spec Spec, traces TraceResolver, origin string)
 			g = sim.FusedAppGroup(lead.spec, base, members, opt)
 		}
 		g.Origin = s.origin
+		g.Tenant = s.tenant
 		jobs := r.Engine().SubmitGroup(g)
 		for k, i := range group {
 			s.jobs[i] = jobs[k]
@@ -94,6 +105,10 @@ func (s *Sweep) FusedGroups() int { return s.fused }
 
 // Spec returns the (normalized) spec the sweep runs.
 func (s *Sweep) Spec() Spec { return s.spec }
+
+// Tenant returns the tenant identity the sweep was submitted under (""
+// for the default tenant).
+func (s *Sweep) Tenant() string { return s.tenant }
 
 // Cells returns the expanded cells in submission order.
 func (s *Sweep) Cells() []Cell { return s.cells }
@@ -113,6 +128,7 @@ type CellStatus struct {
 	CacheHit    bool    `json:"cache_hit,omitempty"`
 	Disposition string  `json:"disposition,omitempty"`
 	Origin      string  `json:"origin,omitempty"`
+	Tenant      string  `json:"tenant,omitempty"`
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	RunMS       float64 `json:"run_ms,omitempty"`
 	Error       string  `json:"error,omitempty"`
@@ -121,6 +137,7 @@ type CellStatus struct {
 // Status is the aggregate progress snapshot of a sweep.
 type Status struct {
 	Name      string       `json:"name,omitempty"`
+	Tenant    string       `json:"tenant,omitempty"`
 	State     string       `json:"state"` // queued|running|done|failed|canceled
 	Cells     int          `json:"cells"`
 	Finished  int          `json:"finished"`
@@ -135,7 +152,7 @@ type Status struct {
 // per-cell slice; false keeps the snapshot allocation-light for hot
 // polling loops.
 func (s *Sweep) Status(detailed bool) Status {
-	out := Status{Name: s.spec.Name, Cells: len(s.cells)}
+	out := Status{Name: s.spec.Name, Tenant: s.tenant, Cells: len(s.cells)}
 	counts := map[engine.State]int{}
 	for i, j := range s.jobs {
 		js := j.Status()
@@ -162,6 +179,7 @@ func (s *Sweep) Status(detailed bool) Status {
 				CacheHit:    js.CacheHit,
 				Disposition: js.Disposition,
 				Origin:      js.Origin,
+				Tenant:      js.Tenant,
 				QueueWaitMS: durationMS(js.QueueWait),
 				RunMS:       durationMS(js.Run),
 				Error:       js.Err,
@@ -203,6 +221,18 @@ func (s *Sweep) Unfinished() bool {
 		}
 	}
 	return false
+}
+
+// UnfinishedCells counts cells still queued or running (the service's
+// per-tenant cell-quota accounting; allocates nothing).
+func (s *Sweep) UnfinishedCells() int {
+	n := 0
+	for _, j := range s.jobs {
+		if !j.State().Terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 // Cancel withdraws every cell's handle. Cells shared with other
