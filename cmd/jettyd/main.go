@@ -34,6 +34,19 @@
 // tenant is over its share (-max-unfinished-per-tenant,
 // -max-cells-per-tenant, -max-traces-per-tenant), and the global
 // admission cap answers 503 when the daemon as a whole is saturated.
+//
+// Cluster mode shards sweeps across several daemons (see DESIGN.md,
+// "Cluster mode"):
+//
+//	jettyd -role worker -addr :8081
+//	jettyd -role worker -addr :8082
+//	jettyd -role coordinator -addr :8077 \
+//	       -cluster-workers http://localhost:8081,http://localhost:8082
+//
+// The coordinator serves the same API as a single daemon — clients POST
+// sweeps to /v1/sweeps exactly as before — but cells run on the
+// workers, lost workers are detected and their cells rescheduled, and
+// GET /v1/cluster/status reports the worker table and cluster counters.
 package main
 
 import (
@@ -41,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"jetty/internal/cluster"
 	"jetty/internal/obs"
 	"jetty/internal/service"
 )
@@ -70,6 +85,10 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	slowJob := flag.Duration("slow-job", 0, "log engine jobs running longer than this (0 = default 30s)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	role := flag.String("role", "single", "daemon role: single|worker|coordinator")
+	clusterWorkers := flag.String("cluster-workers", "", "comma-separated worker base URLs (coordinator role only)")
+	probeInterval := flag.Duration("cluster-probe-interval", 0, "worker health-probe period (0 = default 2s)")
+	requestTimeout := flag.Duration("cluster-request-timeout", 0, "per-dispatch deadline before a unit is rescheduled (0 = default 5m)")
 	flag.Parse()
 
 	log, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -78,6 +97,11 @@ func main() {
 		os.Exit(2)
 	}
 	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jettyd:", err)
+		os.Exit(2)
+	}
+	coord, err := buildCluster(*role, *clusterWorkers, *probeInterval, *requestTimeout, log)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jettyd:", err)
 		os.Exit(2)
@@ -96,10 +120,46 @@ func main() {
 		Logger:                  log,
 		SlowJob:                 *slowJob,
 		Pprof:                   *pprofFlag,
+		Role:                    *role,
+		Cluster:                 coord,
 	}, *addr, httpTimeouts{read: *readTimeout, idle: *idleTimeout}); err != nil {
 		log.Error("exiting", "err", err)
 		os.Exit(1)
 	}
+}
+
+// buildCluster validates the role/worker flag combination and, for the
+// coordinator role, dials the worker set. Workers and single-role
+// daemons must not name workers — a worker fanning out to other workers
+// would silently double-schedule cells.
+func buildCluster(role, workersCSV string, probe, reqTimeout time.Duration, log *slog.Logger) (*cluster.Coordinator, error) {
+	switch role {
+	case "single", "worker":
+		if workersCSV != "" {
+			return nil, fmt.Errorf("-cluster-workers requires -role coordinator (got -role %s)", role)
+		}
+		return nil, nil
+	case "coordinator":
+	default:
+		return nil, fmt.Errorf("-role must be single, worker or coordinator (got %q)", role)
+	}
+	if workersCSV == "" {
+		return nil, fmt.Errorf("-role coordinator requires -cluster-workers")
+	}
+	var clients []*cluster.Client
+	for _, raw := range strings.Split(workersCSV, ",") {
+		c, err := cluster.NewClient(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, fmt.Errorf("-cluster-workers: %w", err)
+		}
+		clients = append(clients, c)
+	}
+	return cluster.New(cluster.Options{
+		Workers:        clients,
+		ProbeInterval:  probe,
+		RequestTimeout: reqTimeout,
+		Logger:         log,
+	})
 }
 
 // parseWeights parses the -tenant-weights flag: comma-separated

@@ -1,0 +1,219 @@
+package cluster_test
+
+// The fault-injection harness: every worker in these tests is a real
+// jettyd service wrapped in a proxy handler that can misbehave on
+// demand — drop the connection after computing (the reply lost in
+// flight), answer 503 bursts (overload), stall past the coordinator's
+// dispatch deadline (slow-loris), or crash outright and later restart
+// as a fresh process that lost every byte of in-memory state (engine
+// cache, trace store). The coordinator under test talks to it over a
+// real HTTP listener, exactly as it would to a remote daemon.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"jetty/internal/cluster"
+	"jetty/internal/engine"
+	"jetty/internal/service"
+	"jetty/internal/sim"
+	"jetty/internal/sweep"
+)
+
+// faultyWorker is one worker daemon plus its fault switchboard.
+type faultyWorker struct {
+	opts service.Options
+	url  string
+
+	mu        sync.Mutex
+	svc       *service.Server
+	crashed   bool          // every request aborts the connection
+	failNext  int           // next N /v1/cells requests answer 503
+	dropNext  int           // next N /v1/cells requests compute, then abort
+	stallNext int           // next N /v1/cells requests stall by stall
+	stall     time.Duration // slow-loris delay for stalled requests
+	cellReqs  int           // /v1/cells requests seen (lifetime)
+	traceUps  int           // /v1/traces uploads seen (lifetime)
+	tenants   map[string]bool
+	onCells   func(n int) // called with the 1-based count before serving
+}
+
+func newFaultyWorker(t *testing.T, opts service.Options) *faultyWorker {
+	t.Helper()
+	w := &faultyWorker{opts: opts, tenants: make(map[string]bool)}
+	w.svc = service.New(opts)
+	srv := httptest.NewServer(http.HandlerFunc(w.serve))
+	w.url = srv.URL
+	t.Cleanup(func() {
+		srv.Close()
+		w.mu.Lock()
+		svc := w.svc
+		w.mu.Unlock()
+		svc.Close()
+	})
+	return w
+}
+
+func (w *faultyWorker) serve(rw http.ResponseWriter, r *http.Request) {
+	isCells := r.Method == http.MethodPost && r.URL.Path == "/v1/cells"
+
+	w.mu.Lock()
+	if isCells {
+		w.cellReqs++
+		if tn := r.Header.Get("X-Jetty-Tenant"); tn != "" {
+			w.tenants[tn] = true
+		}
+		if w.onCells != nil {
+			// Release the lock for the callback: it may flip fault
+			// switches through the methods below.
+			f, n := w.onCells, w.cellReqs
+			w.mu.Unlock()
+			f(n)
+			w.mu.Lock()
+		}
+	}
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/traces" {
+		w.traceUps++
+	}
+	if w.crashed {
+		w.mu.Unlock()
+		panic(http.ErrAbortHandler) // connection drops, no reply
+	}
+	svc := w.svc
+	var drop bool
+	var stall time.Duration
+	if isCells {
+		if w.failNext > 0 {
+			w.failNext--
+			w.mu.Unlock()
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			rw.Write([]byte(`{"error":"injected overload"}`))
+			return
+		}
+		if w.dropNext > 0 {
+			w.dropNext--
+			drop = true
+		}
+		if w.stallNext > 0 {
+			w.stallNext--
+			stall = w.stall
+		}
+	}
+	w.mu.Unlock()
+
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if drop {
+		// Compute the unit for real — the engine cache warms, the work
+		// is done — then lose the reply mid-flight.
+		rec := httptest.NewRecorder()
+		svc.Handler().ServeHTTP(rec, r)
+		panic(http.ErrAbortHandler)
+	}
+	svc.Handler().ServeHTTP(rw, r)
+}
+
+// crash makes every subsequent request abort its connection, as if the
+// process died. In-flight requests on the old service keep computing
+// (their replies may or may not make it out, like a real crash).
+func (w *faultyWorker) crash() {
+	w.mu.Lock()
+	w.crashed = true
+	w.mu.Unlock()
+}
+
+// restart replaces the crashed daemon with a brand-new one: fresh
+// engine (empty cache), fresh trace store — everything in-memory is
+// gone, exactly like a process restart.
+func (w *faultyWorker) restart() {
+	w.mu.Lock()
+	old := w.svc
+	w.svc = service.New(w.opts)
+	w.crashed = false
+	w.mu.Unlock()
+	old.Close()
+}
+
+func (w *faultyWorker) cellRequests() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cellReqs
+}
+
+func (w *faultyWorker) traceUploads() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.traceUps
+}
+
+func (w *faultyWorker) sawTenant(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tenants[name]
+}
+
+// startWorkers boots n healthy workers and returns them with their
+// dial-ready clients.
+func startWorkers(t *testing.T, n int, opts service.Options) ([]*faultyWorker, []*cluster.Client) {
+	t.Helper()
+	workers := make([]*faultyWorker, n)
+	clients := make([]*cluster.Client, n)
+	for i := range workers {
+		workers[i] = newFaultyWorker(t, opts)
+		c, err := cluster.NewClient(workers[i].url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	return workers, clients
+}
+
+// newCoordinator builds a test-paced coordinator (fast probes, tiny
+// backoff) over the clients, closed with the test.
+func newCoordinator(t *testing.T, clients []*cluster.Client, mod func(*cluster.Options)) *cluster.Coordinator {
+	t.Helper()
+	opts := cluster.Options{
+		Workers:        clients,
+		ProbeInterval:  25 * time.Millisecond,
+		RequestTimeout: 30 * time.Second,
+		RetryBackoff:   time.Millisecond,
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	co, err := cluster.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+// runLocal runs the spec on a private single-process engine — the
+// reference the distributed result must match bit for bit.
+func runLocal(t *testing.T, spec sweep.Spec, traces sweep.TraceResolver) *sweep.Result {
+	t.Helper()
+	eng := engine.New(engine.Options{})
+	t.Cleanup(eng.Close)
+	res, err := sweep.Run(t.Context(), sim.NewRunner(eng), spec, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// distinctKeys counts the sweep's distinct cell digests (duplicate-key
+// cells retire from one delivery).
+func distinctKeys(cells []sweep.Cell) int {
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		seen[c.Key] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"container/list"
+
+	"jetty/internal/sim"
+)
+
+// memo is the coordinator-side digest→result store: the L2 of the
+// cluster's two-tier result cache (each worker's engine cache is an
+// L1). A rerun of an identical spec resolves every cell here without a
+// single dispatch; a partially overlapping spec dispatches only the
+// novel cells. LRU-bounded, externally synchronized (the coordinator's
+// mutex), values defensively cloned on both sides.
+type memo struct {
+	cap   int
+	items map[string]*list.Element
+	order *list.List // front = most recent
+}
+
+type memoEntry struct {
+	key string
+	res sim.AppResult
+}
+
+func newMemo(capacity int) *memo {
+	return &memo{cap: capacity, items: make(map[string]*list.Element), order: list.New()}
+}
+
+func (m *memo) get(key string) (sim.AppResult, bool) {
+	el, ok := m.items[key]
+	if !ok {
+		return sim.AppResult{}, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memoEntry).res.Clone(), true
+}
+
+func (m *memo) put(key string, res sim.AppResult) {
+	if el, ok := m.items[key]; ok {
+		m.order.MoveToFront(el)
+		el.Value.(*memoEntry).res = res.Clone()
+		return
+	}
+	m.items[key] = m.order.PushFront(&memoEntry{key: key, res: res.Clone()})
+	for m.order.Len() > m.cap {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.items, oldest.Value.(*memoEntry).key)
+	}
+}
+
+func (m *memo) len() int { return m.order.Len() }

@@ -1,0 +1,63 @@
+// Package cluster implements jettyd's coordinator/worker mode: a
+// coordinator expands a sweep spec, shards its content-addressed cells
+// across remote jettyd workers over the ordinary HTTP/JSON API, streams
+// partial aggregates back, and tolerates worker loss by health-checking
+// and rescheduling unfinished cells.
+//
+// The cell digest makes all of this safe: a cell's key is a content
+// address of everything that determines its result, so results are
+// location-independent (any worker computes the same bytes), dedupable
+// (a rescheduled cell that raced its lost twin coalesces in the result
+// set by key), and cacheable in two tiers — every worker's engine cache
+// is an L1, and the coordinator keeps a digest→result memo as the L2,
+// so a cluster-wide rerun of an identical spec recomputes zero cells.
+package cluster
+
+import (
+	"jetty/internal/sim"
+	"jetty/internal/sweep"
+)
+
+// CellsPath is the worker endpoint a coordinator dispatches cell units
+// to: POST a CellsRequest, receive a CellsResponse when every requested
+// cell has finished.
+const CellsPath = "/v1/cells"
+
+// CellsRequest asks a worker to run a subset of a sweep's cells. The
+// whole spec ships with the request: expansion is deterministic, so the
+// worker reconstructs exactly the coordinator's cells (seeds, machine
+// configs, sampling) from spec + indices — no per-cell parameter
+// marshalling, and the indices stay meaningful in both processes.
+type CellsRequest struct {
+	// Spec is the full sweep specification.
+	Spec sweep.Spec `json:"spec"`
+	// Indices selects the cells to run, by expansion index, strictly
+	// ascending. A coordinator dispatches whole planned units
+	// (sweep.PlanUnits), so cells that fuse onto one simulation pass
+	// still fuse on the worker.
+	Indices []int `json:"indices"`
+}
+
+// CellOutcome is one finished cell.
+type CellOutcome struct {
+	// Index is the cell's expansion index (mirrors the request).
+	Index int `json:"index"`
+	// Key is the cell's content address, echoed so the coordinator can
+	// resolve by digest without trusting index bookkeeping.
+	Key string `json:"key"`
+	// Disposition is the worker engine's verdict: "executed" for a fresh
+	// computation, "cache_hit" for an L1 hit, "coalesced" for a ride on
+	// an identical in-flight run.
+	Disposition string `json:"disposition,omitempty"`
+	// Result is the cell's measurement.
+	Result sim.AppResult `json:"result"`
+}
+
+// CellsResponse is the worker's reply once every requested cell
+// finished.
+type CellsResponse struct {
+	// Worker optionally names the responding worker (diagnostics only).
+	Worker string `json:"worker,omitempty"`
+	// Cells holds one outcome per requested index, in request order.
+	Cells []CellOutcome `json:"cells"`
+}

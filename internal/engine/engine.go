@@ -67,6 +67,12 @@ type Stats struct {
 	QueueDepth int // executions queued, not yet picked up by a worker
 	Inflight   int // executions currently running on a worker
 
+	// CacheEntries is the number of results currently resident in the
+	// finished-result cache (0 when caching is disabled). A cluster
+	// coordinator reads it off a worker's /healthz to tell a warm L1
+	// from a cold restart.
+	CacheEntries int
+
 	// TenantQueues is the per-tenant queued-execution depth (fair-share
 	// FIFO lengths); nil when the queue is empty. A fused group counts as
 	// one queued execution under its submitting tenant.
@@ -200,6 +206,9 @@ func (e *Engine) retire(t TaskTrace) {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	st := e.stats
+	if e.cache != nil {
+		st.CacheEntries = e.cache.len()
+	}
 	e.mu.Unlock()
 	st.QueueDepth = e.queue.len()
 	st.Inflight = int(e.running.Load())

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"jetty/internal/cluster"
+	"jetty/internal/obs"
+	"jetty/internal/sim"
+	"jetty/internal/sweep"
+)
+
+// POST /v1/cells is the cluster's worker endpoint: a coordinator ships
+// a whole sweep spec plus the expansion indices of one planned unit,
+// and the worker runs exactly those cells on its local engine,
+// answering synchronously with per-cell results and dispositions. The
+// spec travels whole because expansion is deterministic — the worker
+// reconstructs the coordinator's cells (seeds, machine configs,
+// sampling) bit-identically, and the shared content addresses make the
+// engine's cache and in-flight dedup work across processes.
+//
+// The endpoint is plain HTTP/JSON on the ordinary service surface: it
+// runs under the same tenant admission quotas, fair-share scheduling
+// and telemetry as every other submission, so a worker daemon is just a
+// jettyd.
+
+// cellRun is one in-flight cell unit in the registry: registered for
+// the duration of the request so admission accounting sees its load,
+// removed when the response is written (nothing to retain — results
+// stream back to the coordinator, and the engine cache keeps the L1).
+type cellRun struct {
+	tenant string
+	cs     *sweep.CellSet
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	var req cluster.CellsRequest
+	if !decodeJSON(w, r, true, &req) {
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Indices) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no cell indices"))
+		return
+	}
+
+	tenant := tenantFrom(r.Context())
+	s.mu.Lock()
+	resolver := func(digest string) (sim.TraceInput, error) {
+		in, ok := s.traces[digest]
+		if !ok {
+			return sim.TraceInput{}, fmt.Errorf("not uploaded (POST it to /v1/traces first)")
+		}
+		return in, nil
+	}
+	if code, reason, err := s.admitLocked(tenant, len(req.Indices)); err != nil {
+		s.mu.Unlock()
+		s.tel.admissionRejected.With(tenant, reason).Add(1)
+		writeRetryError(w, code, err)
+		return
+	}
+	cs, err := sweep.SubmitCells(s.runner, req.Spec, resolver, obs.RequestID(r.Context()), tenant, req.Indices)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("cells-%06d", s.seq)
+	s.cellRuns[id] = &cellRun{tenant: tenant, cs: cs}
+	s.mu.Unlock()
+	defer func() {
+		// Always release the handles: a finished unit's cancel is a
+		// no-op, a disconnected coordinator's unit stops computing.
+		cs.Cancel()
+		s.mu.Lock()
+		delete(s.cellRuns, id)
+		s.mu.Unlock()
+	}()
+
+	// Synchronous by design: the coordinator's dispatch is the waiter,
+	// and a dropped connection (coordinator gone, or it hedged the unit
+	// elsewhere and timed this one out) cancels via the request context.
+	results, err := cs.Wait(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	dispos := cs.Dispositions()
+	cells := cs.Cells()
+	out := cluster.CellsResponse{Cells: make([]cluster.CellOutcome, len(cells))}
+	for k, c := range cells {
+		out.Cells[k] = cluster.CellOutcome{
+			Index:       c.Index,
+			Key:         c.Key,
+			Disposition: dispos[k],
+			Result:      results[k],
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

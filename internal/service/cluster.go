@@ -1,0 +1,23 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// GET /v1/cluster/status reports the coordinator's view of the cluster:
+// the worker table (liveness, probed queue depth, per-cell latency
+// EWMA, dispatch counters) and the cluster-wide counters (cells
+// dispatched/rescheduled, redundant completions, two-tier cache hits).
+//
+// The whole payload is one cluster.Stats() snapshot — every field is
+// copied under a single coordinator-mutex hold — so a response can
+// never mix worker states from different instants while reschedules
+// run concurrently (the same torn-read discipline as handleMetrics).
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("not a coordinator (start jettyd with -role coordinator)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Stats())
+}

@@ -75,4 +75,31 @@ func (s *Server) snapshotGauges() {
 	t.engCoalesced.Set(st.Coalesced)
 	t.engCanceled.Set(st.Canceled)
 	t.engFailed.Set(st.Failed)
+
+	// Coordinator role: one cluster.Stats() snapshot (a single
+	// coordinator-mutex hold) feeds every cluster instrument, so the
+	// scrape can't tear against concurrent reschedules.
+	if s.cluster != nil {
+		cst := s.cluster.Stats()
+		t.clusterWorkersConfigured.Set(float64(cst.WorkersConfigured))
+		t.clusterWorkersAlive.Set(float64(cst.WorkersAlive))
+		t.clusterActiveSweeps.Set(float64(cst.ActiveSweeps))
+		t.clusterMemoEntries.Set(float64(cst.MemoEntries))
+		t.clusterCellsDispatched.Set(cst.CellsDispatched)
+		t.clusterCellsRescheduled.Set(cst.CellsRescheduled)
+		t.clusterRedundant.Set(cst.RedundantCompletions)
+		t.clusterMemoHits.Set(cst.MemoHits)
+		t.clusterWorkerCacheHits.Set(cst.WorkerCacheHits)
+		t.clusterCellsComputed.Set(cst.CellsComputed)
+		for _, ws := range cst.Workers {
+			alive := 0.0
+			if ws.Alive {
+				alive = 1
+			}
+			t.clusterWorkerAlive.With(ws.Name).Set(alive)
+			t.clusterWorkerQueueDepth.With(ws.Name).Set(float64(ws.QueueDepth))
+			t.clusterWorkerInflight.With(ws.Name).Set(float64(ws.Inflight))
+			t.clusterWorkerEWMA.With(ws.Name).Set(ws.EWMACellSeconds)
+		}
+	}
 }

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jetty/internal/cluster"
 	"jetty/internal/engine"
 	"jetty/internal/metrics"
 	"jetty/internal/obs"
@@ -107,6 +108,15 @@ type Options struct {
 	// handler. Off by default: the profiler is an operator tool, not
 	// part of the public API surface.
 	Pprof bool
+	// Cluster, when set, makes this daemon a coordinator: POST
+	// /v1/sweeps shards cells across the coordinator's workers instead
+	// of the local engine, and GET /v1/cluster/status reports the
+	// cluster. Experiments, traces and direct cell units still run
+	// locally. The server takes ownership: Close closes the coordinator.
+	Cluster *cluster.Coordinator
+	// Role names the daemon's cluster role in /healthz ("single",
+	// "worker", "coordinator"; empty = "single"). Informational.
+	Role string
 }
 
 // Defaults for the zero Options values.
@@ -132,6 +142,8 @@ type Server struct {
 	maxTraces       int
 	maxTraceBytes   int64
 	pprof           bool
+	cluster         *cluster.Coordinator // nil outside coordinator role
+	role            string
 
 	tel      *telemetry  // instruments, logger, slow-job threshold
 	draining atomic.Bool // set by SetDraining during shutdown
@@ -142,6 +154,7 @@ type Server struct {
 	seq         int
 	sweeps      map[string]*sweepJob
 	sweepOrder  []string
+	cellRuns    map[string]*cellRun       // in-flight POST /v1/cells units
 	traces      map[string]sim.TraceInput // by digest
 	traceOrder  []string
 	traceOwners map[string]string // digest -> uploading tenant (quota accounting)
@@ -193,7 +206,11 @@ func New(opts Options) *Server {
 	if maxTraceBytes <= 0 {
 		maxTraceBytes = DefaultMaxTraceBytes
 	}
-	tel := newTelemetry(opts.Logger, opts.SlowJob)
+	role := opts.Role
+	if role == "" {
+		role = "single"
+	}
+	tel := newTelemetry(opts.Logger, opts.SlowJob, opts.Cluster != nil)
 	eng := engine.New(engine.Options{
 		Workers:       opts.Workers,
 		CacheEntries:  opts.CacheEntries,
@@ -210,9 +227,12 @@ func New(opts Options) *Server {
 		maxTraces:       maxTraces,
 		maxTraceBytes:   maxTraceBytes,
 		pprof:           opts.Pprof,
+		cluster:         opts.Cluster,
+		role:            role,
 		tel:             tel,
 		exps:            make(map[string]*experiment),
 		sweeps:          make(map[string]*sweepJob),
+		cellRuns:        make(map[string]*cellRun),
 		traces:          make(map[string]sim.TraceInput),
 		traceOwners:     make(map[string]string),
 	}
@@ -224,8 +244,14 @@ func New(opts Options) *Server {
 // before http.Server.Shutdown.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
-// Close stops the engine, canceling everything in flight.
-func (s *Server) Close() { s.runner.Engine().Close() }
+// Close stops the engine (canceling everything in flight) and, in
+// coordinator role, the cluster coordinator.
+func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+	s.runner.Engine().Close()
+}
 
 // Handler returns the service's HTTP handler: the API mux wrapped in
 // the request-ID / access-log / latency middleware (middleware.go).
@@ -255,6 +281,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("POST /v1/cells", s.handleCells)
+	mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/traces/{digest}", s.handleTraceInfo)
@@ -342,6 +370,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, map[string]any{
 		"ok":      code == http.StatusOK,
 		"state":   state,
+		"role":    s.role,
 		"workers": eng.Workers(),
 		"stats":   eng.Stats(),
 	})
@@ -814,6 +843,11 @@ func (s *Server) unfinishedLocked() int {
 			n++
 		}
 	}
+	for _, run := range s.cellRuns {
+		if run.cs.Unfinished() {
+			n++
+		}
+	}
 	return n
 }
 
@@ -862,6 +896,15 @@ func (s *Server) tenantLoadLocked(tenant string) (jobs, cells int) {
 			cells += c
 		}
 	}
+	for _, run := range s.cellRuns {
+		if run.tenant != tenant {
+			continue
+		}
+		if c := run.cs.UnfinishedCells(); c > 0 {
+			jobs++
+			cells += c
+		}
+	}
 	return jobs, cells
 }
 
@@ -895,6 +938,14 @@ func (s *Server) tenantLoadsLocked() map[string]tenantLoad {
 			l.cells += c
 		}
 		loads[t] = l
+	}
+	for _, run := range s.cellRuns {
+		l := loads[run.tenant]
+		if c := run.cs.UnfinishedCells(); c > 0 {
+			l.jobs++
+			l.cells += c
+		}
+		loads[run.tenant] = l
 	}
 	for _, owner := range s.traceOwners {
 		l := loads[owner]

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -16,10 +17,23 @@ import (
 // experiments, and "trace:<digest>" workload entries replay traces
 // previously uploaded via POST /v1/traces.
 
+// sweepHandle is what the registry needs from a submitted sweep. Both
+// execution paths satisfy it: *sweep.Sweep (cells on the local engine)
+// and *cluster.Sweep (cells sharded across remote workers), so every
+// /v1/sweeps endpoint serves either transparently.
+type sweepHandle interface {
+	Tenant() string
+	Status(detailed bool) sweep.Status
+	Unfinished() bool
+	UnfinishedCells() int
+	Cancel()
+	Wait(ctx context.Context) (*sweep.Result, error)
+}
+
 // sweepJob is one submitted sweep in the registry.
 type sweepJob struct {
 	id string
-	sw *sweep.Sweep
+	sw sweepHandle
 }
 
 // SweepStatus is a sweep's progress snapshot.
@@ -78,7 +92,15 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeRetryError(w, code, err)
 		return
 	}
-	sw, err := sweep.SubmitAs(s.runner, spec, resolver, obs.RequestID(r.Context()), tenant)
+	// Coordinator role shards the sweep's cells across the cluster's
+	// workers; otherwise the local engine runs them. Either path yields
+	// a sweepHandle with identical observable behavior.
+	var sw sweepHandle
+	if s.cluster != nil {
+		sw, err = s.cluster.Submit(spec, resolver, obs.RequestID(r.Context()), tenant)
+	} else {
+		sw, err = sweep.SubmitAs(s.runner, spec, resolver, obs.RequestID(r.Context()), tenant)
+	}
 	if err != nil {
 		s.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err)

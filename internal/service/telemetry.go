@@ -73,13 +73,30 @@ type telemetry struct {
 	engCoalesced *obs.Counter
 	engCanceled  *obs.Counter
 	engFailed    *obs.Counter
+
+	// Cluster instruments, registered only in coordinator role (nil
+	// otherwise); set from one cluster.Stats() snapshot per scrape.
+	clusterWorkersConfigured *obs.Gauge
+	clusterWorkersAlive      *obs.Gauge
+	clusterActiveSweeps      *obs.Gauge
+	clusterMemoEntries       *obs.Gauge
+	clusterCellsDispatched   *obs.Counter
+	clusterCellsRescheduled  *obs.Counter
+	clusterRedundant         *obs.Counter
+	clusterMemoHits          *obs.Counter
+	clusterWorkerCacheHits   *obs.Counter
+	clusterCellsComputed     *obs.Counter
+	clusterWorkerAlive       *obs.GaugeFamily // worker
+	clusterWorkerQueueDepth  *obs.GaugeFamily // worker
+	clusterWorkerInflight    *obs.GaugeFamily // worker
+	clusterWorkerEWMA        *obs.GaugeFamily // worker
 }
 
 // DefaultSlowJob is the run-duration threshold past which a finished
 // engine job is logged at warn level when Options leaves SlowJob zero.
 const DefaultSlowJob = 30 * time.Second
 
-func newTelemetry(log *slog.Logger, slowJob time.Duration) *telemetry {
+func newTelemetry(log *slog.Logger, slowJob time.Duration, clustered bool) *telemetry {
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
@@ -168,6 +185,37 @@ func newTelemetry(log *slog.Logger, slowJob time.Duration) *telemetry {
 		"Executions that ended canceled.")
 	t.engFailed = reg.NewCounter("jettyd_engine_failed_total",
 		"Executions that ended in error.")
+
+	if clustered {
+		t.clusterWorkersConfigured = reg.NewGauge("jettyd_cluster_workers_configured",
+			"Remote workers this coordinator is configured with.")
+		t.clusterWorkersAlive = reg.NewGauge("jettyd_cluster_workers_alive",
+			"Remote workers currently considered alive.")
+		t.clusterActiveSweeps = reg.NewGauge("jettyd_cluster_active_sweeps",
+			"Distributed sweeps currently scheduling or awaiting deliveries.")
+		t.clusterMemoEntries = reg.NewGauge("jettyd_cluster_memo_entries",
+			"Results resident in the coordinator's L2 digest-to-result memo.")
+		t.clusterCellsDispatched = reg.NewCounter("jettyd_cluster_cells_dispatched_total",
+			"Cells sent to workers (every dispatch of every attempt).")
+		t.clusterCellsRescheduled = reg.NewCounter("jettyd_cluster_cells_rescheduled_total",
+			"Cells requeued because their worker was declared dead mid-unit.")
+		t.clusterRedundant = reg.NewCounter("jettyd_cluster_redundant_completions_total",
+			"Cell results delivered for an already-resolved digest (a rescheduled cell's lost twin finishing anyway).")
+		t.clusterMemoHits = reg.NewCounter("jettyd_cluster_memo_hits_total",
+			"Cells resolved from the coordinator's L2 memo without a dispatch.")
+		t.clusterWorkerCacheHits = reg.NewCounter("jettyd_cluster_worker_cache_hits_total",
+			"Dispatched cells a worker served from its L1 engine cache (or coalesced onto in-flight work).")
+		t.clusterCellsComputed = reg.NewCounter("jettyd_cluster_cells_computed_total",
+			"Dispatched cells a worker actually executed.")
+		t.clusterWorkerAlive = reg.NewGaugeFamily("jettyd_cluster_worker_alive",
+			"1 while the worker is considered alive, else 0.", []string{"worker"})
+		t.clusterWorkerQueueDepth = reg.NewGaugeFamily("jettyd_cluster_worker_queue_depth",
+			"Last probed engine queue depth, per worker.", []string{"worker"})
+		t.clusterWorkerInflight = reg.NewGaugeFamily("jettyd_cluster_worker_inflight",
+			"Units this coordinator currently has dispatched, per worker.", []string{"worker"})
+		t.clusterWorkerEWMA = reg.NewGaugeFamily("jettyd_cluster_worker_cell_latency_ewma_seconds",
+			"Exponentially weighted moving average of observed per-cell latency, per worker.", []string{"worker"})
+	}
 
 	bi := obs.ReadBuildInfo()
 	reg.NewGaugeFamily("jettyd_build_info",

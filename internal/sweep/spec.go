@@ -287,6 +287,16 @@ type Cell struct {
 // Config returns the cell's machine configuration (filters attached).
 func (c Cell) Config() smp.Config { return c.cfg }
 
+// Total is the cell's access budget: how many references the cell
+// simulates (a progress denominator for schedulers that track cells
+// without holding engine jobs).
+func (c Cell) Total() uint64 {
+	if c.trace != nil {
+		return c.trace.Records
+	}
+	return c.spec.Accesses
+}
+
 // Expand resolves and expands the spec into its cells, in deterministic
 // workload-major order. traces may be nil when the spec has no trace
 // entries.

@@ -46,8 +46,23 @@ func SubmitAs(r *sim.Runner, spec Spec, traces TraceResolver, origin, tenant str
 	}
 	s := &Sweep{spec: spec.normalize(), cells: cells, origin: origin, tenant: tenant}
 	s.jobs = make([]*engine.Job, len(cells))
-	opt := sim.SampleOptions{Interval: s.spec.Interval}
-	for _, group := range planGroups(s.spec, cells) {
+	jobs, fused := scheduleCells(r, s.spec, cells, planGroups(s.spec, cells), origin, tenant)
+	for i, j := range jobs {
+		s.jobs[i] = j
+	}
+	s.fused = fused
+	return s, nil
+}
+
+// scheduleCells submits the given groups of cells on the engine,
+// returning the jobs keyed by cell index and the count of multi-cell
+// fused groups. Each group must share one reference stream (the
+// planGroups contract); singleton groups schedule per cell.
+func scheduleCells(r *sim.Runner, spec Spec, cells []Cell, groups [][]int, origin, tenant string) (map[int]*engine.Job, int) {
+	jobs := make(map[int]*engine.Job, len(cells))
+	fused := 0
+	opt := sim.SampleOptions{Interval: spec.Interval}
+	for _, group := range groups {
 		if len(group) == 1 {
 			// Cells carry the "sweep" task kind so jettyd's per-kind latency
 			// histograms separate cell durations from one-off experiment runs.
@@ -65,9 +80,9 @@ func SubmitAs(r *sim.Runner, spec Spec, traces TraceResolver, origin, tenant str
 				t = sim.Task(c.spec, c.cfg)
 			}
 			t.Kind = sim.KindSweep
-			t.Origin = s.origin
-			t.Tenant = s.tenant
-			s.jobs[i] = r.Engine().Submit(t)
+			t.Origin = origin
+			t.Tenant = tenant
+			jobs[i] = r.Engine().Submit(t)
 			continue
 		}
 		// Every cell in this group measures the same reference stream on
@@ -88,15 +103,131 @@ func SubmitAs(r *sim.Runner, spec Spec, traces TraceResolver, origin, tenant str
 		} else {
 			g = sim.FusedAppGroup(lead.spec, base, members, opt)
 		}
-		g.Origin = s.origin
-		g.Tenant = s.tenant
-		jobs := r.Engine().SubmitGroup(g)
+		g.Origin = origin
+		g.Tenant = tenant
+		groupJobs := r.Engine().SubmitGroup(g)
 		for k, i := range group {
-			s.jobs[i] = jobs[k]
+			jobs[i] = groupJobs[k]
 		}
-		s.fused++
+		fused++
 	}
-	return s, nil
+	return jobs, fused
+}
+
+// CellSet is a scheduled subset of a sweep's cells: a cluster worker's
+// share of a distributed sweep. The subset replans fusion among its own
+// members (cells sharing a reference stream still fuse even when the
+// coordinator split their siblings across other workers).
+type CellSet struct {
+	cells []Cell // requested subset, in request order
+	jobs  []*engine.Job
+	fused int
+}
+
+// SubmitCells expands spec and schedules only the cells at the given
+// expansion indices. Indices must be in range and strictly ascending
+// (the coordinator dispatches planned units, which are ascending by
+// construction). Identical cells dedup against the engine's cache and
+// in-flight work exactly like whole-sweep submission.
+func SubmitCells(r *sim.Runner, spec Spec, traces TraceResolver, origin, tenant string, indices []int) (*CellSet, error) {
+	all, err := spec.Expand(traces)
+	if err != nil {
+		return nil, err
+	}
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("sweep: no cell indices")
+	}
+	subset := make([]Cell, len(indices))
+	for k, i := range indices {
+		if i < 0 || i >= len(all) {
+			return nil, fmt.Errorf("sweep: cell index %d out of range [0, %d)", i, len(all))
+		}
+		if k > 0 && i <= indices[k-1] {
+			return nil, fmt.Errorf("sweep: cell indices must be strictly ascending")
+		}
+		subset[k] = all[i]
+	}
+	norm := spec.normalize()
+	cs := &CellSet{cells: subset}
+	cs.jobs = make([]*engine.Job, len(subset))
+	jobs, fused := scheduleCells(r, norm, subset, planGroups(norm, subset), origin, tenant)
+	for k, j := range jobs {
+		cs.jobs[k] = j
+	}
+	cs.fused = fused
+	return cs, nil
+}
+
+// Cells returns the scheduled subset in request order.
+func (cs *CellSet) Cells() []Cell { return cs.cells }
+
+// FusedGroups returns how many multi-cell fused group tasks the subset
+// scheduled.
+func (cs *CellSet) FusedGroups() int { return cs.fused }
+
+// Unfinished reports whether any cell is still queued or running.
+func (cs *CellSet) Unfinished() bool {
+	for _, j := range cs.jobs {
+		if !j.State().Terminal() {
+			return true
+		}
+	}
+	return false
+}
+
+// UnfinishedCells counts cells still queued or running.
+func (cs *CellSet) UnfinishedCells() int {
+	n := 0
+	for _, j := range cs.jobs {
+		if !j.State().Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Cancel withdraws every cell's handle.
+func (cs *CellSet) Cancel() {
+	for _, j := range cs.jobs {
+		j.Cancel()
+	}
+}
+
+// Wait blocks until every cell finishes and returns results aligned
+// with Cells(). On error the remaining handles are released.
+func (cs *CellSet) Wait(ctx context.Context) ([]sim.AppResult, error) {
+	results := make([]sim.AppResult, len(cs.jobs))
+	var firstErr error
+	for k, j := range cs.jobs {
+		if firstErr != nil {
+			j.Cancel()
+			continue
+		}
+		v, err := j.Wait(ctx)
+		if err != nil {
+			j.Cancel()
+			c := cs.cells[k]
+			firstErr = fmt.Errorf("sweep: cell %d (%s on %s): %w", c.Index, c.Workload, c.Machine, err)
+			continue
+		}
+		results[k] = v.(sim.AppResult).Clone()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Dispositions returns each cell's engine disposition ("executed",
+// "cache_hit", "coalesced"; empty while still running), aligned with
+// Cells(). A cluster worker reports these so the coordinator can tell
+// L1 cache hits from fresh computation.
+func (cs *CellSet) Dispositions() []string {
+	out := make([]string, len(cs.jobs))
+	for k, j := range cs.jobs {
+		out[k] = j.Status().Disposition
+	}
+	return out
 }
 
 // FusedGroups returns how many multi-cell fused group tasks the sweep
@@ -146,6 +277,11 @@ type Status struct {
 	Total     uint64       `json:"total"`
 	Fraction  float64      `json:"fraction"`
 	Cell      []CellStatus `json:"cell_status,omitempty"`
+	// PartialMetrics are per-filter metrics folded over only the cells
+	// finished so far — the streaming partial aggregate a cluster
+	// coordinator exposes while a distributed sweep runs. Empty on
+	// single-process sweeps (the full Result lands atomically there).
+	PartialMetrics []Metric `json:"partial_metrics,omitempty"`
 }
 
 // Status snapshots every cell and aggregates. detailed includes the
