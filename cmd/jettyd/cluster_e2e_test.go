@@ -235,7 +235,7 @@ func TestBuildClusterFlagValidation(t *testing.T) {
 		{"conductor", "", true},                // unknown role
 		{"coordinator", "::not-a-url::", true}, // undialable worker
 	} {
-		co, err := buildCluster(tc.role, tc.workers, 0, 0, nil)
+		co, err := buildCluster(tc.role, tc.workers, 0, 0, nil, nil)
 		if co != nil {
 			co.Close()
 		}

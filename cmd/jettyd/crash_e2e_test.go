@@ -1,0 +1,254 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"jetty/internal/obs"
+	"jetty/internal/service"
+)
+
+// TestCrashRecoveryEndToEnd is the durability smoke CI runs: it builds
+// the real jettyd binary, boots a durable daemon (-data-dir), SIGKILLs
+// it mid-sweep — no drain, no goodbye — then boots a fresh daemon over
+// the same data directory and requires the sweep to resume under its
+// original ID, skip the cells already on disk, and finish with metrics
+// identical to an uninterrupted control run. Real processes, a real
+// kill, a real fsync'd store.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots daemon processes")
+	}
+	bin := filepath.Join(t.TempDir(), "jettyd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building jettyd: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	freeAddr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		return ln.Addr().String()
+	}
+	start := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = io.Discard
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		return cmd
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	waitReady := func(addr string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := client.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon at %s not ready", addr)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	// Each-mode with repeats: 2 workloads x 2 filters x 4 repeats = 16
+	// distinct-keyed cells, at a scale where a cell runs long enough for
+	// the kill to land mid-sweep.
+	spec := `{"name":"crash","workloads":["Lu","Fmm"],"filters":["EJ-32x4","EJ-16x2"],` +
+		`"filter_mode":"each","repeat":4,"scale":1}`
+	submit := func(base string) service.SweepStatus {
+		t.Helper()
+		resp, err := client.Post(base+"/v1/sweeps", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st service.SweepStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		return st
+	}
+	poll := func(base, id string) service.SweepStatus {
+		t.Helper()
+		resp, err := client.Get(base + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var cur service.SweepStatus
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		return cur
+	}
+	result := func(base, id string) service.SweepResult {
+		t.Helper()
+		deadline := time.Now().Add(180 * time.Second)
+		for {
+			cur := poll(base, id)
+			if cur.State == "done" {
+				break
+			}
+			if cur.State == "failed" || cur.State == "canceled" {
+				t.Fatalf("sweep %s ended %s", id, cur.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("sweep %s stuck in %s", id, cur.State)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		resp, err := client.Get(base + "/v1/sweeps/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var res service.SweepResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result status %d", resp.StatusCode)
+		}
+		return res
+	}
+
+	// Control daemon: in-memory, same spec, uninterrupted. Started first
+	// so its run overlaps the durable daemon's wall-clock.
+	ctrlAddr := freeAddr()
+	start("-addr", ctrlAddr, "-workers", "2")
+	waitReady(ctrlAddr)
+	ctrlSt := submit("http://" + ctrlAddr)
+
+	// Durable daemon #1: submit, wait until it has demonstrably made
+	// durable progress (at least one cell finished), then SIGKILL it.
+	addrA := freeAddr()
+	daemonA := start("-addr", addrA, "-workers", "2", "-data-dir", dataDir)
+	waitReady(addrA)
+	st := submit("http://" + addrA)
+
+	killDeadline := time.Now().Add(120 * time.Second)
+	for {
+		cur := poll("http://"+addrA, st.ID)
+		if cur.Finished >= 1 && cur.State != "done" {
+			break
+		}
+		if cur.State == "done" {
+			t.Log("sweep finished before the kill; resume still verified below")
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("sweep never finished a cell (state %s)", cur.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := daemonA.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	daemonA.Wait()
+
+	// The store already holds at least the finished cell's result — the
+	// write-through lands before a cell reports finished.
+	entries, err := os.ReadDir(filepath.Join(dataDir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), ".") {
+			persisted++
+		}
+	}
+	if persisted < 1 {
+		t.Fatalf("no results on disk after the kill")
+	}
+
+	// Durable daemon #2 on a fresh port, same data directory: the
+	// journaled sweep resumes under its original ID and completes.
+	addrB := freeAddr()
+	start("-addr", addrB, "-workers", "2", "-data-dir", dataDir)
+	waitReady(addrB)
+	baseB := "http://" + addrB
+
+	resResumed := result(baseB, st.ID)
+	resControl := result("http://"+ctrlAddr, ctrlSt.ID)
+	if want := 2 * 2 * 4; len(resResumed.Metrics) != want {
+		t.Fatalf("%d metrics, want %d", len(resResumed.Metrics), want)
+	}
+	if !reflect.DeepEqual(resResumed.Metrics, resControl.Metrics) {
+		t.Fatalf("resumed sweep metrics diverged from the uninterrupted control run")
+	}
+
+	// The persisted cells were served from disk: the restarted engine
+	// reports at least as many store hits as there were results on disk
+	// at kill time.
+	resp, err := client.Get(baseB + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Stats struct {
+			StoreHits uint64 `json:"StoreHits"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Stats.StoreHits < uint64(persisted) {
+		t.Errorf("StoreHits = %d after resume, want >= %d (cells persisted before the kill)",
+			health.Stats.StoreHits, persisted)
+	}
+
+	// The restarted daemon's exposition carries the store instruments
+	// and passes the in-repo promlint.
+	resp, err = client.Get(baseB + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(b)
+	if problems := obs.Lint(scrape); len(problems) != 0 {
+		t.Fatalf("scrape fails lint: %v", problems)
+	}
+	for _, want := range []string{
+		"jettyd_store_results",
+		"jettyd_store_hits_total",
+		"jettyd_store_writes_total",
+		"jettyd_engine_store_hits_total",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+}

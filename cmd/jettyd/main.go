@@ -64,8 +64,11 @@ import (
 	"time"
 
 	"jetty/internal/cluster"
+	"jetty/internal/engine"
 	"jetty/internal/obs"
 	"jetty/internal/service"
+	"jetty/internal/sim"
+	"jetty/internal/store"
 )
 
 func main() {
@@ -89,6 +92,7 @@ func main() {
 	clusterWorkers := flag.String("cluster-workers", "", "comma-separated worker base URLs (coordinator role only)")
 	probeInterval := flag.Duration("cluster-probe-interval", 0, "worker health-probe period (0 = default 2s)")
 	requestTimeout := flag.Duration("cluster-request-timeout", 0, "per-dispatch deadline before a unit is rescheduled (0 = default 5m)")
+	dataDir := flag.String("data-dir", "", "durable data directory: traces, job journal and results survive restarts (empty = in-memory only)")
 	flag.Parse()
 
 	log, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -101,7 +105,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jettyd:", err)
 		os.Exit(2)
 	}
-	coord, err := buildCluster(*role, *clusterWorkers, *probeInterval, *requestTimeout, log)
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jettyd:", err)
+			os.Exit(2)
+		}
+		stats := st.Stats()
+		log.Info("durable store open", "dir", st.Dir(),
+			"results", stats.Results, "traces", stats.Traces, "pending_jobs", stats.PendingJobs)
+	}
+	coord, err := buildCluster(*role, *clusterWorkers, *probeInterval, *requestTimeout, st, log)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jettyd:", err)
 		os.Exit(2)
@@ -122,6 +137,7 @@ func main() {
 		Pprof:                   *pprofFlag,
 		Role:                    *role,
 		Cluster:                 coord,
+		Store:                   st,
 	}, *addr, httpTimeouts{read: *readTimeout, idle: *idleTimeout}); err != nil {
 		log.Error("exiting", "err", err)
 		os.Exit(1)
@@ -131,8 +147,10 @@ func main() {
 // buildCluster validates the role/worker flag combination and, for the
 // coordinator role, dials the worker set. Workers and single-role
 // daemons must not name workers — a worker fanning out to other workers
-// would silently double-schedule cells.
-func buildCluster(role, workersCSV string, probe, reqTimeout time.Duration, log *slog.Logger) (*cluster.Coordinator, error) {
+// would silently double-schedule cells. A durable store (non-nil st)
+// additionally backs the coordinator's digest→result memo, so resolved
+// cells survive coordinator restarts.
+func buildCluster(role, workersCSV string, probe, reqTimeout time.Duration, st *store.Store, log *slog.Logger) (*cluster.Coordinator, error) {
 	switch role {
 	case "single", "worker":
 		if workersCSV != "" {
@@ -154,11 +172,16 @@ func buildCluster(role, workersCSV string, probe, reqTimeout time.Duration, log 
 		}
 		clients = append(clients, c)
 	}
+	var resultStore engine.ResultStore
+	if st != nil {
+		resultStore = sim.NewDiskCache(st)
+	}
 	return cluster.New(cluster.Options{
 		Workers:        clients,
 		ProbeInterval:  probe,
 		RequestTimeout: reqTimeout,
 		Logger:         log,
+		Store:          resultStore,
 	})
 }
 

@@ -47,8 +47,16 @@ type Options struct {
 	// MaxInflightPerWorker bounds concurrently dispatched units per
 	// worker (0 = 4).
 	MaxInflightPerWorker int
-	// MemoEntries is the L2 digest→result memo capacity (0 = 4096).
+	// MemoEntries is the L2 digest→result memo capacity (0 = 4096,
+	// negative disables memoization — the same contract as the -cache
+	// flag).
 	MemoEntries int
+	// Store, when non-nil, persists the memo's results: every delivered
+	// cell result is written through, and cells the in-memory memo
+	// cannot resolve are probed here before any dispatch. Backed by the
+	// same crash-safe result directory as the local engine's L3, it
+	// makes the digest→result memo survive coordinator restarts.
+	Store engine.ResultStore
 	// Logger receives reschedule and worker-transition records (nil
 	// discards).
 	Logger *slog.Logger
@@ -71,7 +79,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxInflightPerWorker <= 0 {
 		o.MaxInflightPerWorker = DefaultMaxInflightPerWorker
 	}
-	if o.MemoEntries <= 0 {
+	if o.MemoEntries == 0 {
 		o.MemoEntries = DefaultMemoEntries
 	}
 	return o

@@ -37,6 +37,13 @@ func (m *memo) get(key string) (sim.AppResult, bool) {
 }
 
 func (m *memo) put(key string, res sim.AppResult) {
+	if m.cap <= 0 {
+		// Memoization disabled (Options.MemoEntries < 0, matching the
+		// -cache flag's "negative disables" contract): put is an explicit
+		// no-op. Without this guard every put cloned the result into the
+		// list only to evict it again in the loop below.
+		return
+	}
 	if el, ok := m.items[key]; ok {
 		m.order.MoveToFront(el)
 		el.Value.(*memoEntry).res = res.Clone()

@@ -1,0 +1,135 @@
+package cluster_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"jetty/internal/cluster"
+	"jetty/internal/service"
+	"jetty/internal/sim"
+	"jetty/internal/store"
+	"jetty/internal/sweep"
+)
+
+// TestCoordinatorMemoSurvivesRestart pins ROADMAP item 2's cross-sweep
+// memo persistence: a coordinator backed by a result store delivers a
+// sweep, a brand-new coordinator (fresh in-memory memo, i.e. a restart)
+// over the same store resolves the identical sweep entirely from disk —
+// zero dispatches, every cell a memo hit, result DeepEqual — even
+// though the workers also restarted and lost their L1 caches.
+func TestCoordinatorMemoSurvivesRestart(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := sim.NewDiskCache(st)
+
+	spec := sweep.Spec{
+		Name:       "persist",
+		Workloads:  []string{"Lu", "Fmm"},
+		Filters:    []string{"EJ-32x4", "EJ-16x2"},
+		FilterMode: sweep.ModeEach,
+		Scale:      0.02,
+	}
+	cells, err := spec.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := distinctKeys(cells)
+
+	workers, clients := startWorkers(t, 2, service.Options{Workers: 2})
+	co1 := newCoordinator(t, clients, func(o *cluster.Options) { o.Store = disk })
+	s1, err := co1.Submit(spec, nil, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := waitSweep(t, s1)
+
+	// Deliveries write through to the store after the sweep resolves;
+	// wait for every distinct cell to land before "restarting".
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Stats().Results < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("store has %d results; want %d", st.Stats().Results, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	co1.Close()
+
+	// Restart everything: fresh coordinator memo, fresh worker engines.
+	// Only the disk knows the results now.
+	for _, w := range workers {
+		w.crash()
+		w.restart()
+	}
+	co2 := newCoordinator(t, clients, func(o *cluster.Options) { o.Store = disk })
+	s2, err := co2.Submit(spec, nil, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := waitSweep(t, s2)
+
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("restarted coordinator result diverged from original")
+	}
+	cst := co2.Stats()
+	if cst.CellsDispatched != 0 {
+		t.Fatalf("CellsDispatched = %d after restart; want 0 (all cells from the persistent memo)", cst.CellsDispatched)
+	}
+	if cst.MemoHits != uint64(len(cells)) {
+		t.Fatalf("MemoHits = %d; want %d", cst.MemoHits, len(cells))
+	}
+}
+
+// TestCoordinatorMemoDisabledStillPersists: a negative MemoEntries
+// disables the in-memory memo but the persistent tier still resolves a
+// rerun without dispatches.
+func TestCoordinatorMemoDisabledStillPersists(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := sim.NewDiskCache(st)
+
+	spec := sweep.Spec{Name: "nomemo", Workloads: []string{"Lu"}, Filters: []string{"EJ-16x2"}, Scale: 0.02}
+	cells, err := spec.Expand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, clients := startWorkers(t, 1, service.Options{Workers: 2})
+	co := newCoordinator(t, clients, func(o *cluster.Options) {
+		o.Store = disk
+		o.MemoEntries = -1
+	})
+	s1, err := co.Submit(spec, nil, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := waitSweep(t, s1)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Stats().Results < distinctKeys(cells) {
+		if time.Now().After(deadline) {
+			t.Fatalf("store has %d results; want %d", st.Stats().Results, distinctKeys(cells))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s2, err := co.Submit(spec, nil, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := waitSweep(t, s2)
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("rerun result diverged")
+	}
+	st2 := co.Stats()
+	if st2.MemoEntries != 0 {
+		t.Fatalf("MemoEntries = %d with memo disabled; want 0", st2.MemoEntries)
+	}
+	if st2.MemoHits != uint64(len(cells)) {
+		t.Fatalf("MemoHits = %d; want %d (rerun resolved from the persistent tier)", st2.MemoHits, len(cells))
+	}
+}

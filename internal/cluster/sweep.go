@@ -153,6 +153,47 @@ func (co *Coordinator) Submit(spec sweep.Spec, traces sweep.TraceResolver, origi
 	co.counters.MemoHits += memoHits
 	co.mu.Unlock()
 
+	// L3 pass: cells the in-memory memo missed are probed in the
+	// persistent store — the tier that makes a coordinator restart
+	// memo-warm. Disk I/O runs outside co.mu (the sweep is not yet
+	// published, so its own fields need no lock); hits warm the memo and
+	// count as memo hits, since they resolve exactly like one.
+	if co.opts.Store != nil {
+		storeHits := uint64(0)
+		probed := map[string]bool{}
+		for i, c := range cells {
+			if s.have[i] || probed[c.Key] {
+				continue
+			}
+			probed[c.Key] = true
+			v, ok := co.opts.Store.Load(c.Key)
+			if !ok {
+				continue
+			}
+			res, ok := v.(sim.AppResult)
+			if !ok {
+				continue
+			}
+			for _, p := range s.keyPos[c.Key] {
+				if !s.have[p] {
+					s.results[p] = res.Clone()
+					s.have[p] = true
+					s.haveCount++
+					s.dispo[p] = DispositionMemoHit
+					storeHits++
+				}
+			}
+			co.mu.Lock()
+			co.memo.put(c.Key, res)
+			co.mu.Unlock()
+		}
+		if storeHits > 0 {
+			co.mu.Lock()
+			co.counters.MemoHits += storeHits
+			co.mu.Unlock()
+		}
+	}
+
 	for u := range s.units {
 		if !s.unitResolvedLocked(u) { // no lock needed pre-publication
 			s.pending = append(s.pending, u)
@@ -438,6 +479,14 @@ func (s *Sweep) deliver(a *attempt, resp CellsResponse) {
 		s.co.memo.put(f.key, f.res)
 	}
 	s.co.mu.Unlock()
+
+	// Write delivered results through to the persistent store (disk I/O
+	// outside co.mu), so the memo they just filled survives a restart.
+	if s.co.opts.Store != nil {
+		for _, f := range fills {
+			s.co.opts.Store.Store(f.key, f.res)
+		}
+	}
 }
 
 // Status snapshots the sweep, sweep.Status-shaped. detailed adds the

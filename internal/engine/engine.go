@@ -46,6 +46,11 @@ type Options struct {
 	// Missing (or <2) entries weigh 1. nil means every tenant weighs 1 —
 	// pure per-task round-robin across tenants.
 	TenantWeights map[string]int
+	// Store, when non-nil, is the persistent result tier (L3) under the
+	// in-memory cache: consulted on submissions that miss both the cache
+	// and the in-flight map, written through on every successful
+	// execution. See ResultStore.
+	Store ResultStore
 }
 
 // DefaultCacheEntries is the result-cache capacity when Options leaves
@@ -59,6 +64,7 @@ type Stats struct {
 	Executed  uint64 // tasks actually run by a worker
 	CacheHits uint64 // submissions served from the finished-result cache
 	Coalesced uint64 // submissions attached to an identical in-flight run
+	StoreHits uint64 // submissions served from the persistent result store
 	Canceled  uint64 // executions that ended canceled
 	Failed    uint64 // executions that ended in error
 
@@ -83,6 +89,7 @@ type Stats struct {
 type Engine struct {
 	workers  int
 	onRetire func(TaskTrace) // nil when unobserved
+	store    ResultStore     // nil when the persistent tier is absent
 
 	mu       sync.Mutex
 	inflight map[string]*execution // queued or running, by key
@@ -116,6 +123,7 @@ func New(opts Options) *Engine {
 	e := &Engine{
 		workers:    w,
 		onRetire:   opts.OnRetire,
+		store:      opts.Store,
 		inflight:   make(map[string]*execution),
 		cache:      cache,
 		queue:      newQueue(opts.TenantWeights),
@@ -146,10 +154,67 @@ func (e *Engine) Submit(t Task) *Job {
 
 	if e.closed {
 		e.mu.Unlock()
-		ex := newExecution(t, context.Background(), func() {})
-		ex.finish(nil, ErrClosed)
-		return ex.attach()
+		return closedJob(t)
 	}
+	if j := e.trySatisfyLocked(t); j != nil {
+		return j
+	}
+	if e.store != nil {
+		// L3: probe the persistent store with e.mu released (disk I/O
+		// must not stall other submitters), then re-run the in-memory
+		// fast paths — a racing submission may have filled the cache or
+		// started the work while we were reading.
+		e.mu.Unlock()
+		res, ok := e.store.Load(t.Key)
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return closedJob(t)
+		}
+		if j := e.trySatisfyLocked(t); j != nil {
+			return j
+		}
+		if ok {
+			e.stats.StoreHits++
+			if e.cache != nil {
+				e.cache.add(t.Key, res)
+			}
+			e.mu.Unlock()
+			ex := newExecution(t, context.Background(), func() {})
+			ex.cacheHit = true
+			ex.storeHit = true
+			ex.done.Store(ex.total.Load())
+			ex.finish(res, nil)
+			e.retire(TaskTrace{
+				Kind: t.Kind, Key: t.Key, Origin: t.Origin, Tenant: t.Tenant,
+				Disposition: DispositionStoreHit, State: Done,
+			})
+			return ex.attach()
+		}
+	}
+
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	ex := newExecution(t, ctx, cancel)
+	e.inflight[t.Key] = ex
+	e.queue.push(ex)
+	j := ex.attach()
+	e.mu.Unlock()
+	return j
+}
+
+// closedJob is the synthetic already-failed handle Submit returns after
+// Close.
+func closedJob(t Task) *Job {
+	ex := newExecution(t, context.Background(), func() {})
+	ex.finish(nil, ErrClosed)
+	return ex.attach()
+}
+
+// trySatisfyLocked attempts the in-memory fast paths under e.mu: the
+// finished-result cache, then coalescing onto an identical in-flight
+// execution. On success it releases e.mu, delivers the retire trace and
+// returns the handle; on miss it returns nil with e.mu still held.
+func (e *Engine) trySatisfyLocked(t Task) *Job {
 	if e.cache != nil {
 		if res, ok := e.cache.get(t.Key); ok {
 			e.stats.CacheHits++
@@ -183,14 +248,7 @@ func (e *Engine) Submit(t Task) *Job {
 			return j
 		}
 	}
-
-	ctx, cancel := context.WithCancel(e.baseCtx)
-	ex := newExecution(t, ctx, cancel)
-	e.inflight[t.Key] = ex
-	e.queue.push(ex)
-	j := ex.attach()
-	e.mu.Unlock()
-	return j
+	return nil
 }
 
 // retire delivers one telemetry record to the OnRetire hook, if any.
@@ -301,6 +359,13 @@ func (e *Engine) runOne(ex *execution, scratch *Scratch) {
 		e.stats.Failed++
 	}
 	e.mu.Unlock()
+
+	// Write through to the persistent tier before any waiter can observe
+	// completion: a job reported finished is durably on disk, which is
+	// the invariant the kill-and-restart recovery path leans on.
+	if err == nil && e.store != nil {
+		e.store.Store(ex.task.Key, res)
+	}
 
 	ex.finish(res, err)
 	// Release the execution's context now that it is resolved: without

@@ -101,6 +101,45 @@ func (e *Engine) SubmitGroup(g GroupTask) []*Job {
 	jobs := make([]*Job, len(g.Members))
 	var retires []TaskTrace
 
+	// L3 probe, before admission: collect the member keys the in-memory
+	// tiers cannot satisfy, load them from the persistent store with
+	// e.mu released (disk I/O must not stall other submitters), and let
+	// the admission loop below treat the hits like cache fills. A key
+	// that races into the cache or in-flight map between probe and
+	// admission is simply served by those tiers instead.
+	var fromStore map[string]any
+	if e.store != nil {
+		var misses []string
+		seen := make(map[string]struct{}, len(g.Members))
+		e.mu.Lock()
+		if !e.closed {
+			for _, m := range g.Members {
+				if _, dup := seen[m.Key]; dup {
+					continue
+				}
+				seen[m.Key] = struct{}{}
+				if e.cache != nil {
+					if _, ok := e.cache.get(m.Key); ok {
+						continue
+					}
+				}
+				if _, ok := e.inflight[m.Key]; ok {
+					continue
+				}
+				misses = append(misses, m.Key)
+			}
+		}
+		e.mu.Unlock()
+		for _, key := range misses {
+			if res, ok := e.store.Load(key); ok {
+				if fromStore == nil {
+					fromStore = make(map[string]any)
+				}
+				fromStore[key] = res
+			}
+		}
+	}
+
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -149,6 +188,26 @@ func (e *Engine) SubmitGroup(g GroupTask) []*Job {
 				})
 				continue
 			}
+		}
+		// Serve members the L3 probe found on disk: fill the cache so
+		// later submissions hit L1, and finish the member without ever
+		// joining the fused run.
+		if res, ok := fromStore[m.Key]; ok {
+			e.stats.StoreHits++
+			if e.cache != nil {
+				e.cache.add(m.Key, res)
+			}
+			ex := newExecution(t, context.Background(), func() {})
+			ex.cacheHit = true
+			ex.storeHit = true
+			ex.done.Store(ex.total.Load())
+			ex.finish(res, nil)
+			jobs[i] = ex.attach()
+			retires = append(retires, TaskTrace{
+				Kind: t.Kind, Key: t.Key, Origin: t.Origin, Tenant: t.Tenant,
+				Disposition: DispositionStoreHit, State: Done,
+			})
+			continue
 		}
 
 		memberCtx, memberCancel := context.WithCancel(groupCtx)
@@ -303,6 +362,16 @@ func (e *Engine) runGroup(gr *groupRun, scratch *Scratch) {
 		outs = append(outs, o)
 	}
 	e.mu.Unlock()
+
+	// Write the computed members through to the persistent tier before
+	// any waiter observes completion (same invariant as runOne).
+	if e.store != nil {
+		for _, o := range outs {
+			if o.err == nil {
+				e.store.Store(o.ex.task.Key, o.res)
+			}
+		}
+	}
 
 	for _, o := range outs {
 		o.ex.finish(o.res, o.err)

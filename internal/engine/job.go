@@ -55,6 +55,7 @@ const (
 	DispositionExecuted  = "executed"  // ran (or will run) on a worker
 	DispositionCacheHit  = "cache_hit" // served from the finished-result cache
 	DispositionCoalesced = "coalesced" // attached to an identical in-flight run
+	DispositionStoreHit  = "store_hit" // served from the persistent result store
 )
 
 // originKey carries Task.Origin in the task context.
@@ -119,7 +120,8 @@ type Status struct {
 	CacheHit bool   // served from the finished-result cache
 
 	// Disposition is how this handle's submission was satisfied:
-	// DispositionExecuted, DispositionCacheHit or DispositionCoalesced.
+	// DispositionExecuted, DispositionCacheHit, DispositionCoalesced or
+	// DispositionStoreHit.
 	Disposition string
 	// Origin is the correlation token of the submission that created the
 	// underlying execution (Task.Origin of the first submitter).
@@ -178,6 +180,11 @@ type execution struct {
 	finishNS  atomic.Int64
 
 	cacheHit bool
+	// storeHit refines cacheHit: the result came from the persistent
+	// store rather than the in-memory cache. Store hits behave like
+	// cache hits everywhere (no queueing, no run, CacheHit=true in
+	// Status) except in their disposition label.
+	storeHit bool
 
 	mu      sync.Mutex
 	handles int  // live (not yet canceled) handles
@@ -352,6 +359,8 @@ func (j *Job) State() State { return State(j.exec.state.Load()) }
 // or executed (i.e. this submission created the execution).
 func (j *Job) Disposition() string {
 	switch {
+	case j.exec.storeHit:
+		return DispositionStoreHit
 	case j.exec.cacheHit:
 		return DispositionCacheHit
 	case j.coalesced:

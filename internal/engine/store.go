@@ -1,0 +1,20 @@
+package engine
+
+// ResultStore is an optional persistent result tier under the engine's
+// in-memory LRU: submissions that miss both the cache (L1) and the
+// in-flight map consult it before queueing work, and every successful
+// execution is written through to it. jettyd backs it with the
+// crash-safe internal/store directory, which makes completed work
+// survive a daemon restart — the whole point of the tier.
+//
+// Both methods are called outside engine locks, possibly from several
+// goroutines at once; implementations synchronize internally. Load
+// returns the decoded result for a key, or ok=false on a miss (a store
+// that cannot decode an entry reports a miss and lets the engine
+// recompute). Store persists a freshly computed result; it is fire and
+// forget — persistence failures must not fail the job, only surface in
+// the store's own error counters.
+type ResultStore interface {
+	Load(key string) (any, bool)
+	Store(key string, val any)
+}

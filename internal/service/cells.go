@@ -59,7 +59,7 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	if code, reason, err := s.admitLocked(tenant, len(req.Indices)); err != nil {
 		s.mu.Unlock()
 		s.tel.admissionRejected.With(tenant, reason).Add(1)
-		writeRetryError(w, code, err)
+		s.writeRetryError(w, code, tenant, err)
 		return
 	}
 	cs, err := sweep.SubmitCells(s.runner, req.Spec, resolver, obs.RequestID(r.Context()), tenant, req.Indices)

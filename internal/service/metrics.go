@@ -76,6 +76,20 @@ func (s *Server) snapshotGauges() {
 	t.engCanceled.Set(st.Canceled)
 	t.engFailed.Set(st.Failed)
 
+	// Durable daemon: one store.Stats() snapshot feeds the store
+	// instruments; the engine's store-hit counter rides the same engine
+	// snapshot as the other mirrored counters above.
+	if s.store != nil {
+		sst := s.store.Stats()
+		t.storeResults.Set(float64(sst.Results))
+		t.storeTraces.Set(float64(sst.Traces))
+		t.storePendingJobs.Set(float64(sst.PendingJobs))
+		t.storeHits.Set(sst.Hits)
+		t.storeWrites.Set(sst.Writes)
+		t.storeErrors.Set(sst.Errors)
+		t.engStoreHits.Set(st.StoreHits)
+	}
+
 	// Coordinator role: one cluster.Stats() snapshot (a single
 	// coordinator-mutex hold) feeds every cluster instrument, so the
 	// scrape can't tear against concurrent reschedules.

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"jetty/internal/sim"
+	"jetty/internal/sweep"
+)
+
+// Durable-restart support: when Options.Store is set, every accepted
+// submission journals enough of its request to be resubmitted verbatim,
+// and New replays the journal at boot. Replayed jobs keep their original
+// IDs (a client polling swp-000003 across a restart keeps polling the
+// same handle) and recompute only the cells whose results are not
+// already in the store — the engine probes the store as an L3 under its
+// LRU, so a sweep killed at 60% resumes at 60%, not from scratch.
+
+// Journal job kinds.
+const (
+	jobKindExperiment = "experiment"
+	jobKindSweep      = "sweep"
+)
+
+// jobJournal is one accepted submission's durable record: the validated
+// request itself plus the identity it was admitted under. Exactly one
+// of Request (experiments) and Spec (sweeps) is set, per Kind.
+type jobJournal struct {
+	ID      string         `json:"id"`
+	Kind    string         `json:"kind"` // jobKindExperiment | jobKindSweep
+	Tenant  string         `json:"tenant,omitempty"`
+	Origin  string         `json:"origin,omitempty"`
+	Request *SubmitRequest `json:"request,omitempty"`
+	Spec    *sweep.Spec    `json:"spec,omitempty"`
+}
+
+// persistJob journals an accepted submission. Persistence failures are
+// logged, not surfaced: the job still runs this boot; it just won't
+// survive a crash.
+func (s *Server) persistJob(j jobJournal) {
+	data, err := json.Marshal(j)
+	if err == nil {
+		err = s.store.PutJob(j.ID, data)
+	}
+	if err != nil {
+		s.tel.log.Warn("job journal persist failed", "id", j.ID, "err", err)
+	}
+}
+
+// watchSweep retires a journaled sweep's record once it completes. It
+// polls rather than calling Wait: sweep.Sweep.Wait cancels the
+// remaining cells on first error, and a watcher must never cancel work.
+// Canceled and failed jobs keep their journal entry, so a sweep
+// interrupted by shutdown (its cells die Canceled) is resubmitted at
+// next boot.
+func (s *Server) watchSweep(id string, sw sweepHandle) {
+	for sw.Unfinished() {
+		time.Sleep(watchPoll)
+	}
+	if sw.Status(false).State == "done" {
+		s.store.DeleteJob(id)
+	}
+}
+
+// watchExperiment is watchSweep for experiments.
+func (s *Server) watchExperiment(exp *experiment) {
+	for exp.unfinished() {
+		time.Sleep(watchPoll)
+	}
+	if exp.status().State == "done" {
+		s.store.DeleteJob(exp.id)
+	}
+}
+
+// watchPoll is the journal watchers' completion-poll interval: coarse on
+// purpose — a journal entry outliving its job by half a second only
+// means a crash in that window replays a job whose cells are already on
+// disk, which the store tier resolves without recomputation.
+const watchPoll = 500 * time.Millisecond
+
+// restore replays the durable state at boot: traces first (journaled
+// jobs may replay them), then every journaled job, oldest first so
+// restored IDs keep their original order in listings. Damaged or stale
+// entries are discarded individually — one torn journal record must not
+// take down the boot or the other entries. Called from New before the
+// server is reachable, so handler-visible state is consistent by the
+// time requests arrive.
+func (s *Server) restore() {
+	if s.store == nil {
+		return
+	}
+	for _, te := range s.store.Traces() {
+		in, err := sim.LoadTrace(te.Meta.Name, te.Data)
+		if err != nil || in.Digest != te.Digest {
+			// The payload no longer hashes to its filename: discard the
+			// entry rather than serve a trace under a digest it isn't.
+			s.tel.log.Warn("discarding corrupt stored trace", "digest", te.Digest, "err", err)
+			s.store.DeleteTrace(te.Digest)
+			continue
+		}
+		s.mu.Lock()
+		if _, ok := s.traces[in.Digest]; !ok {
+			s.traces[in.Digest] = in
+			s.traceOrder = append(s.traceOrder, in.Digest)
+			s.traceOwners[in.Digest] = te.Meta.Tenant
+		}
+		s.mu.Unlock()
+	}
+
+	jobs := s.store.Jobs()
+	ids := make([]string, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		// Advance the ID sequence past every journaled ID — discarded
+		// ones included: a client may have seen the ID, so a new
+		// submission must never reuse it.
+		s.noteSeq(id)
+		var j jobJournal
+		if err := json.Unmarshal(jobs[id], &j); err != nil || j.ID != id {
+			s.tel.log.Warn("discarding corrupt job journal", "id", id)
+			s.store.DeleteJob(id)
+			continue
+		}
+		switch j.Kind {
+		case jobKindSweep:
+			s.restoreSweep(j)
+		case jobKindExperiment:
+			s.restoreExperiment(j)
+		default:
+			s.tel.log.Warn("discarding job journal of unknown kind", "id", id, "kind", j.Kind)
+			s.store.DeleteJob(id)
+		}
+	}
+}
+
+// noteSeq advances the ID sequence past a restored job's number so new
+// submissions never collide with replayed IDs.
+func (s *Server) noteSeq(id string) {
+	if i := strings.LastIndexByte(id, '-'); i >= 0 {
+		if n, err := strconv.Atoi(id[i+1:]); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+}
+
+// restoreSweep resubmits one journaled sweep under its original ID.
+func (s *Server) restoreSweep(j jobJournal) {
+	if j.Spec == nil || j.Spec.Validate() != nil {
+		s.store.DeleteJob(j.ID)
+		return
+	}
+	s.mu.Lock()
+	resolver := func(digest string) (sim.TraceInput, error) {
+		in, ok := s.traces[digest]
+		if !ok {
+			return sim.TraceInput{}, errTraceGone
+		}
+		return in, nil
+	}
+	sw, err := s.startSweepLocked(*j.Spec, resolver, j.Origin, j.Tenant)
+	if err != nil {
+		s.mu.Unlock()
+		s.tel.log.Warn("journaled sweep no longer submittable", "id", j.ID, "err", err)
+		s.store.DeleteJob(j.ID)
+		return
+	}
+	s.registerSweepLocked(j.ID, sw)
+	s.mu.Unlock()
+	s.tel.log.Info("resumed sweep from journal", "id", j.ID, "tenant", j.Tenant)
+	go s.watchSweep(j.ID, sw)
+}
+
+// restoreExperiment resubmits one journaled experiment under its
+// original ID. buildExperiment revalidates against the restored trace
+// store (it takes s.mu itself, so it must run before we lock).
+func (s *Server) restoreExperiment(j jobJournal) {
+	if j.Request == nil {
+		s.store.DeleteJob(j.ID)
+		return
+	}
+	specs, traceIn, cfg, err := s.buildExperiment(*j.Request)
+	if err != nil {
+		s.tel.log.Warn("journaled experiment no longer submittable", "id", j.ID, "err", err)
+		s.store.DeleteJob(j.ID)
+		return
+	}
+	s.mu.Lock()
+	exp := s.registerExperimentLocked(j.ID, j.Tenant, j.Origin, *j.Request, specs, traceIn, cfg)
+	s.mu.Unlock()
+	s.tel.log.Info("resumed experiment from journal", "id", j.ID, "tenant", j.Tenant)
+	go s.watchExperiment(exp)
+}
+
+// errTraceGone is the resolver error for a journaled sweep whose trace
+// upload did not survive the restart.
+var errTraceGone = errors.New("trace not in the durable store (re-upload it via POST /v1/traces)")

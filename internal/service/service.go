@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -54,6 +56,7 @@ import (
 	"jetty/internal/obs"
 	"jetty/internal/sim"
 	"jetty/internal/smp"
+	"jetty/internal/store"
 	"jetty/internal/sweep"
 	"jetty/internal/workload"
 )
@@ -117,6 +120,14 @@ type Options struct {
 	// Role names the daemon's cluster role in /healthz ("single",
 	// "worker", "coordinator"; empty = "single"). Informational.
 	Role string
+	// Store, when set, makes the daemon durable: uploaded traces,
+	// unfinished experiment/sweep submissions and completed engine
+	// results persist to disk, and New replays the store — re-admitting
+	// unfinished jobs and serving already-computed cells from disk — so
+	// a restart (or crash) resumes work instead of losing it. The store
+	// also acts as an L3 result tier under the engine's LRU. nil keeps
+	// everything in memory (the pre-ISSUE-10 behavior).
+	Store *store.Store
 }
 
 // Defaults for the zero Options values.
@@ -144,6 +155,7 @@ type Server struct {
 	pprof           bool
 	cluster         *cluster.Coordinator // nil outside coordinator role
 	role            string
+	store           *store.Store // nil when the daemon is not durable
 
 	tel      *telemetry  // instruments, logger, slow-job threshold
 	draining atomic.Bool // set by SetDraining during shutdown
@@ -210,14 +222,22 @@ func New(opts Options) *Server {
 	if role == "" {
 		role = "single"
 	}
-	tel := newTelemetry(opts.Logger, opts.SlowJob, opts.Cluster != nil)
+	tel := newTelemetry(opts.Logger, opts.SlowJob, opts.Cluster != nil, opts.Store != nil)
+	// A nil *store.Store must yield a nil ResultStore interface (not a
+	// non-nil interface holding a nil pointer), or the engine would probe
+	// a dead tier on every submission.
+	var resultStore engine.ResultStore
+	if opts.Store != nil {
+		resultStore = sim.NewDiskCache(opts.Store)
+	}
 	eng := engine.New(engine.Options{
 		Workers:       opts.Workers,
 		CacheEntries:  opts.CacheEntries,
 		OnRetire:      tel.onRetire,
 		TenantWeights: opts.TenantWeights,
+		Store:         resultStore,
 	})
-	return &Server{
+	s := &Server{
 		runner:          sim.NewRunner(eng),
 		maxUnfinished:   maxUnfinished,
 		maxTenantJobs:   maxTenantJobs,
@@ -229,6 +249,7 @@ func New(opts Options) *Server {
 		pprof:           opts.Pprof,
 		cluster:         opts.Cluster,
 		role:            role,
+		store:           opts.Store,
 		tel:             tel,
 		exps:            make(map[string]*experiment),
 		sweeps:          make(map[string]*sweepJob),
@@ -236,6 +257,8 @@ func New(opts Options) *Server {
 		traces:          make(map[string]sim.TraceInput),
 		traceOwners:     make(map[string]string),
 	}
+	s.restore()
+	return s
 }
 
 // SetDraining flips the readiness state /healthz reports: a draining
@@ -412,16 +435,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tenant := tenantFrom(r.Context())
+	origin := obs.RequestID(r.Context())
 	s.mu.Lock()
 	if code, reason, err := s.admitLocked(tenant, len(specs)); err != nil {
 		s.mu.Unlock()
 		s.tel.admissionRejected.With(tenant, reason).Add(1)
-		writeRetryError(w, code, err)
+		s.writeRetryError(w, code, tenant, err)
 		return
 	}
-	s.seq++
+	exp := s.registerExperimentLocked("", tenant, origin, req, specs, traceIn, cfg)
+	s.mu.Unlock()
+
+	if s.store != nil {
+		s.persistJob(jobJournal{ID: exp.id, Kind: jobKindExperiment, Tenant: tenant, Origin: origin, Request: &req})
+		go s.watchExperiment(exp)
+	}
+	s.tel.expSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, exp.status())
+}
+
+// registerExperimentLocked builds the experiment, submits its engine
+// tasks and registers it — the shared tail of a live submission
+// (handleSubmit) and a journal replay (restore). id == "" allocates the
+// next exp-NNNNNN; restore passes the journaled ID so clients' handles
+// stay valid across a restart. Caller holds s.mu.
+func (s *Server) registerExperimentLocked(id, tenant, origin string, req SubmitRequest, specs []workload.Spec, traceIn *sim.TraceInput, cfg smp.Config) *experiment {
+	if id == "" {
+		s.seq++
+		id = fmt.Sprintf("exp-%06d", s.seq)
+	}
 	exp := &experiment{
-		id:       fmt.Sprintf("exp-%06d", s.seq),
+		id:       id,
 		tenant:   tenant,
 		req:      req,
 		cfg:      cfg,
@@ -453,11 +497,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Submit while holding the registry lock so a canceling client can
 	// never observe the experiment without its jobs. Submit never blocks
-	// on the work itself. Every task carries this request's ID as its
-	// origin, so job telemetry (status JSON, slow-job logs) correlates
-	// back to the X-Request-Id the client saw — and the request's tenant,
-	// so the engine's fair-share queue schedules it under that identity.
-	origin := obs.RequestID(r.Context())
+	// on the work itself. Every task carries the submitting request's ID
+	// as its origin, so job telemetry (status JSON, slow-job logs)
+	// correlates back to the X-Request-Id the client saw — and the
+	// request's tenant, so the engine's fair-share queue schedules it
+	// under that identity.
 	eng := s.runner.Engine()
 	submit := func(t engine.Task) {
 		t.Origin = origin
@@ -481,10 +525,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.exps[exp.id] = exp
 	s.order = append(s.order, exp.id)
 	s.evictLocked()
-	s.mu.Unlock()
-
-	s.tel.expSubmitted.Add(1)
-	writeJSON(w, http.StatusAccepted, exp.status())
+	return exp
 }
 
 // Request bounds: everything here arrives from unauthenticated clients,
@@ -670,6 +711,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	for _, j := range exp.jobs {
 		j.Cancel()
 	}
+	if s.store != nil {
+		s.store.DeleteJob(id) // an explicitly canceled job must not resurrect at boot
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceled"})
 }
 
@@ -743,7 +787,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	if s.tenantTracesLocked(tenant) >= s.maxTenantTraces {
 		s.mu.Unlock()
 		s.tel.admissionRejected.With(tenant, "tenant_traces").Add(1)
-		writeRetryError(w, http.StatusTooManyRequests,
+		s.writeRetryError(w, http.StatusTooManyRequests, tenant,
 			fmt.Errorf("tenant %q holds %d stored traces (per-tenant cap %d); DELETE one first",
 				tenant, s.maxTenantTraces, s.maxTenantTraces))
 		return
@@ -753,6 +797,11 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	s.traceOwners[in.Digest] = tenant
 	s.mu.Unlock()
 
+	if s.store != nil {
+		if err := s.store.PutTrace(in.Digest, in.Data, store.TraceMeta{Name: in.Name, Tenant: tenant}); err != nil {
+			s.tel.log.Warn("trace persist failed", "digest", in.Digest, "err", err)
+		}
+	}
 	s.tel.traceUploads.Add(1)
 	writeJSON(w, http.StatusCreated, traceInfo(in, tenant))
 }
@@ -798,6 +847,9 @@ func (s *Server) handleTraceDelete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", digest))
 		return
+	}
+	if s.store != nil {
+		s.store.DeleteTrace(digest)
 	}
 	// Running replays keep their own copy of the input; deleting only
 	// frees the slot for new uploads.
@@ -1055,15 +1107,73 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// retryAfterSeconds is the Retry-After hint on admission rejections:
-// capacity frees as jobs retire, typically within seconds, so clients
-// should back off briefly rather than hammer.
-const retryAfterSeconds = 1
+// Retry-After hint parameters. The old implementation answered a flat
+// "Retry-After: 1" on every rejection, so a saturated daemon taught all
+// of its rejected clients to retry in the same second — a synchronized
+// stampede that re-rejected everyone and repeated. The hint is now
+// computed from live queue state (how much work stands between this
+// client and admission, times how long a run takes) and jittered per
+// response so retries spread out instead of thundering back together.
+const (
+	// retryFloorTenantSeconds floors the 429 hint: the tenant is over
+	// quota while the daemon has headroom, so a quick retry is cheap.
+	retryFloorTenantSeconds = 1
+	// retryFloorGlobalSeconds floors the 503 hint: the whole daemon is
+	// saturated, so even an empty-queue estimate should back off harder
+	// than a per-tenant rejection. Keeping the floors distinct also lets
+	// clients (and tests) tell the two rejection classes apart.
+	retryFloorGlobalSeconds = 2
+	// retryCeilSeconds caps the hint: past five minutes a bigger number
+	// stops being a backoff hint and starts being a denial of service.
+	retryCeilSeconds = 300
+	// retryJitterFrac spreads hints multiplicatively over [1, 1.25) so
+	// simultaneous rejections decorrelate.
+	retryJitterFrac = 0.25
+	// defaultRunEstimateSeconds stands in for the run-duration EWMA
+	// until the engine has retired its first executed task.
+	defaultRunEstimateSeconds = 1.0
+)
+
+// retryHintSeconds computes the Retry-After value for an admission
+// rejection: backlog tasks ahead of the client, runSeconds each, spread
+// over workers, jittered by jitter (in [0, retryJitterFrac)), floored
+// by rejection class and capped. Pure — the HTTP wrapper below feeds it
+// live state; tests feed it exact values.
+func retryHintSeconds(code, backlog, workers int, runSeconds, jitter float64) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if runSeconds <= 0 {
+		runSeconds = defaultRunEstimateSeconds
+	}
+	est := float64(backlog) * runSeconds / float64(workers) * (1 + jitter)
+	hint := int(math.Ceil(est))
+	floor := retryFloorTenantSeconds
+	if code == http.StatusServiceUnavailable {
+		floor = retryFloorGlobalSeconds
+	}
+	if hint < floor {
+		hint = floor
+	}
+	if hint > retryCeilSeconds {
+		hint = retryCeilSeconds
+	}
+	return hint
+}
 
 // writeRetryError is writeError plus a Retry-After header — every
 // admission rejection (global 503, per-tenant 429) tells well-behaved
-// clients when to try again.
-func writeRetryError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+// clients when to try again. The hint scales with the backlog the
+// client is actually behind: the whole engine queue for a global 503,
+// the tenant's own fair-share queue for a 429.
+func (s *Server) writeRetryError(w http.ResponseWriter, code int, tenant string, err error) {
+	st := s.runner.Engine().Stats()
+	backlog := st.QueueDepth + st.Inflight
+	if code != http.StatusServiceUnavailable {
+		backlog = st.TenantQueues[tenant]
+	}
+	hint := retryHintSeconds(code, backlog, s.runner.Engine().Workers(),
+		s.tel.runEWMASeconds(), rand.Float64()*retryJitterFrac)
+	w.Header().Set("Retry-After", strconv.Itoa(hint))
 	writeError(w, code, err)
 }

@@ -89,32 +89,52 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if code, reason, err := s.admitLocked(tenant, len(cells)); err != nil {
 		s.mu.Unlock()
 		s.tel.admissionRejected.With(tenant, reason).Add(1)
-		writeRetryError(w, code, err)
+		s.writeRetryError(w, code, tenant, err)
 		return
 	}
-	// Coordinator role shards the sweep's cells across the cluster's
-	// workers; otherwise the local engine runs them. Either path yields
-	// a sweepHandle with identical observable behavior.
-	var sw sweepHandle
-	if s.cluster != nil {
-		sw, err = s.cluster.Submit(spec, resolver, obs.RequestID(r.Context()), tenant)
-	} else {
-		sw, err = sweep.SubmitAs(s.runner, spec, resolver, obs.RequestID(r.Context()), tenant)
-	}
+	origin := obs.RequestID(r.Context())
+	sw, err := s.startSweepLocked(spec, resolver, origin, tenant)
 	if err != nil {
 		s.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.seq++
-	job := &sweepJob{id: fmt.Sprintf("swp-%06d", s.seq), sw: sw}
+	job := s.registerSweepLocked("", sw)
+	s.mu.Unlock()
+
+	if s.store != nil {
+		s.persistJob(jobJournal{ID: job.id, Kind: jobKindSweep, Tenant: tenant, Origin: origin, Spec: &spec})
+		go s.watchSweep(job.id, sw)
+	}
+	s.tel.sweepSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, SweepStatus{ID: job.id, Status: sw.Status(true)})
+}
+
+// startSweepLocked submits a validated spec on whichever execution path
+// this daemon runs sweeps on. Coordinator role shards the sweep's cells
+// across the cluster's workers; otherwise the local engine runs them.
+// Either path yields a sweepHandle with identical observable behavior.
+// Caller holds s.mu (the resolver reads the trace store under it).
+func (s *Server) startSweepLocked(spec sweep.Spec, resolver sweep.TraceResolver, origin, tenant string) (sweepHandle, error) {
+	if s.cluster != nil {
+		return s.cluster.Submit(spec, resolver, origin, tenant)
+	}
+	return sweep.SubmitAs(s.runner, spec, resolver, origin, tenant)
+}
+
+// registerSweepLocked registers a started sweep under id — or under the
+// next swp-NNNNNN when id is "" (a live submission; restore passes the
+// journaled ID). Caller holds s.mu.
+func (s *Server) registerSweepLocked(id string, sw sweepHandle) *sweepJob {
+	if id == "" {
+		s.seq++
+		id = fmt.Sprintf("swp-%06d", s.seq)
+	}
+	job := &sweepJob{id: id, sw: sw}
 	s.sweeps[job.id] = job
 	s.sweepOrder = append(s.sweepOrder, job.id)
 	s.evictSweepsLocked()
-	s.mu.Unlock()
-
-	s.tel.sweepSubmitted.Add(1)
-	writeJSON(w, http.StatusAccepted, SweepStatus{ID: job.id, Status: sw.Status(true)})
+	return job
 }
 
 func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
@@ -194,6 +214,9 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.sw.Cancel()
+	if s.store != nil {
+		s.store.DeleteJob(id) // an explicitly canceled sweep must not resurrect at boot
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceled"})
 }
 

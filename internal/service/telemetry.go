@@ -2,7 +2,9 @@ package service
 
 import (
 	"log/slog"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jetty/internal/engine"
@@ -90,13 +92,30 @@ type telemetry struct {
 	clusterWorkerQueueDepth  *obs.GaugeFamily // worker
 	clusterWorkerInflight    *obs.GaugeFamily // worker
 	clusterWorkerEWMA        *obs.GaugeFamily // worker
+
+	// Durable-store instruments, registered only when the daemon runs
+	// with -data-dir (nil otherwise); set from one store.Stats() snapshot
+	// per scrape.
+	storeResults     *obs.Gauge
+	storeTraces      *obs.Gauge
+	storePendingJobs *obs.Gauge
+	storeHits        *obs.Counter
+	storeWrites      *obs.Counter
+	storeErrors      *obs.Counter
+	engStoreHits     *obs.Counter
+
+	// runEWMA holds an exponentially weighted moving average of executed
+	// task run durations (float64 bits), feeding the Retry-After hint's
+	// per-task cost estimate. Atomic: onRetire writes from engine
+	// workers, writeRetryError reads from handlers.
+	runEWMA atomic.Uint64
 }
 
 // DefaultSlowJob is the run-duration threshold past which a finished
 // engine job is logged at warn level when Options leaves SlowJob zero.
 const DefaultSlowJob = 30 * time.Second
 
-func newTelemetry(log *slog.Logger, slowJob time.Duration, clustered bool) *telemetry {
+func newTelemetry(log *slog.Logger, slowJob time.Duration, clustered, persistent bool) *telemetry {
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
@@ -217,6 +236,23 @@ func newTelemetry(log *slog.Logger, slowJob time.Duration, clustered bool) *tele
 			"Exponentially weighted moving average of observed per-cell latency, per worker.", []string{"worker"})
 	}
 
+	if persistent {
+		t.storeResults = reg.NewGauge("jettyd_store_results",
+			"Completed cell results resident in the durable store.")
+		t.storeTraces = reg.NewGauge("jettyd_store_traces",
+			"Uploaded traces resident in the durable store.")
+		t.storePendingJobs = reg.NewGauge("jettyd_store_pending_jobs",
+			"Journaled submissions not yet finished (replayed at next boot).")
+		t.storeHits = reg.NewCounter("jettyd_store_hits_total",
+			"Reads served from the durable store.")
+		t.storeWrites = reg.NewCounter("jettyd_store_writes_total",
+			"Entries durably written (results, traces, journal records).")
+		t.storeErrors = reg.NewCounter("jettyd_store_errors_total",
+			"Store operations that failed or discarded a corrupt entry.")
+		t.engStoreHits = reg.NewCounter("jettyd_engine_store_hits_total",
+			"Submissions served from the durable result store (the L3 under the engine cache).")
+	}
+
 	bi := obs.ReadBuildInfo()
 	reg.NewGaugeFamily("jettyd_build_info",
 		"Build metadata of the running jettyd binary (value is always 1).",
@@ -244,6 +280,7 @@ func (t *telemetry) onRetire(tr engine.TaskTrace) {
 	}
 	t.queueWait.With(kind, tenant).Observe(tr.QueueWait.Seconds())
 	t.runDuration.With(kind, tenant).Observe(tr.Run.Seconds())
+	t.observeRunEWMA(tr.Run.Seconds())
 	if kind == sim.KindSweep {
 		t.sweepCell.Observe(tr.Run.Seconds())
 	}
@@ -257,6 +294,33 @@ func (t *telemetry) onRetire(tr engine.TaskTrace) {
 			"queue_wait_ms", durationMS(tr.QueueWait),
 			"run_ms", durationMS(tr.Run))
 	}
+}
+
+// runEWMAWeight is the smoothing factor for the executed-run-duration
+// moving average: recent runs dominate within a handful of samples
+// while one outlier cannot swing the Retry-After estimate by itself.
+const runEWMAWeight = 0.2
+
+// observeRunEWMA folds one executed run's duration into the moving
+// average. Lock-free CAS loop: onRetire runs on engine workers.
+func (t *telemetry) observeRunEWMA(sec float64) {
+	for {
+		old := t.runEWMA.Load()
+		cur := math.Float64frombits(old)
+		next := cur + runEWMAWeight*(sec-cur)
+		if old == 0 {
+			next = sec // first sample seeds the average
+		}
+		if t.runEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// runEWMASeconds reads the executed-run-duration moving average; 0
+// until the first task retires.
+func (t *telemetry) runEWMASeconds() float64 {
+	return math.Float64frombits(t.runEWMA.Load())
 }
 
 // tenantLoad is one tenant's point-in-time occupancy, computed under the

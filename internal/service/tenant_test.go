@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -242,6 +243,108 @@ func TestTenantQuotaTraces(t *testing.T) {
 	if _, resp = upload("alice", dataB); resp.StatusCode != http.StatusConflict && resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
 		t.Errorf("post-delete upload code %d", resp.StatusCode)
 	}
+}
+
+// TestRetryHintSeconds pins the Retry-After computation that replaced
+// the old flat "Retry-After: 1": distinct floors per rejection class,
+// backlog/worker/run-duration scaling, multiplicative jitter, and the
+// five-minute ceiling.
+func TestRetryHintSeconds(t *testing.T) {
+	// Idle daemon, no jitter: the floors — and only the floors — and
+	// they differ, so clients can tell "you are over quota" (429,
+	// retry soon) from "the daemon is saturated" (503, back off).
+	if got := retryHintSeconds(http.StatusTooManyRequests, 0, 4, 0, 0); got != retryFloorTenantSeconds {
+		t.Errorf("idle 429 hint = %d, want %d", got, retryFloorTenantSeconds)
+	}
+	if got := retryHintSeconds(http.StatusServiceUnavailable, 0, 4, 0, 0); got != retryFloorGlobalSeconds {
+		t.Errorf("idle 503 hint = %d, want %d", got, retryFloorGlobalSeconds)
+	}
+	if retryFloorTenantSeconds == retryFloorGlobalSeconds {
+		t.Fatal("429 and 503 floors must be distinct")
+	}
+
+	// Backlog × run-duration over workers: 8 tasks × 3s each on 2
+	// workers = 12s.
+	if got := retryHintSeconds(http.StatusServiceUnavailable, 8, 2, 3.0, 0); got != 12 {
+		t.Errorf("scaled 503 hint = %d, want 12", got)
+	}
+	// Jitter stretches the estimate multiplicatively, never shrinks it.
+	if got := retryHintSeconds(http.StatusServiceUnavailable, 8, 2, 3.0, 0.24); got != 15 {
+		t.Errorf("jittered 503 hint = %d, want 15 (ceil of 12 * 1.24)", got)
+	}
+	// The ceiling keeps a huge backlog from telling clients to go away
+	// for hours.
+	if got := retryHintSeconds(http.StatusServiceUnavailable, 1_000_000, 1, 10, 0); got != retryCeilSeconds {
+		t.Errorf("huge-backlog hint = %d, want the %ds ceiling", got, retryCeilSeconds)
+	}
+	// Degenerate inputs are defended: no workers reported yet, no EWMA.
+	if got := retryHintSeconds(http.StatusTooManyRequests, 3, 0, 0, 0); got != 3 {
+		t.Errorf("defaulted hint = %d, want 3 (3 tasks x 1s default / 1 worker)", got)
+	}
+}
+
+// TestRetryAfterHintsOverHTTP: rejected submissions carry hints within
+// the computed bounds — a per-tenant 429 at or above its floor, a
+// global 503 at or above its strictly higher floor — rather than the
+// old synchronized "1".
+func TestRetryAfterHintsOverHTTP(t *testing.T) {
+	_, base := newTestServer(t, Options{
+		Workers:                1,
+		MaxUnfinished:          2,
+		MaxUnfinishedPerTenant: 1,
+	})
+	long := SubmitRequest{Apps: []string{"Lu"}, Scale: 50, Filters: []string{"EJ-8x2"}}
+
+	hint := func(resp *http.Response) int {
+		t.Helper()
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		h := resp.Header.Get("Retry-After")
+		n, err := strconv.Atoi(h)
+		if err != nil {
+			t.Fatalf("Retry-After %q is not an integer: %v", h, err)
+		}
+		return n
+	}
+
+	var first ExperimentStatus
+	if code, err := tenantJSON("POST", base+"/v1/experiments", "alice", long, &first); err != nil || code != http.StatusAccepted {
+		t.Fatalf("first submit: code %d err %v", code, err)
+	}
+
+	// Alice over quota: 429, hint at or above the tenant floor.
+	resp, err := tenantDo("POST", base+"/v1/experiments", "alice", long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota code %d, want 429", resp.StatusCode)
+	}
+	h429 := hint(resp)
+	if h429 < retryFloorTenantSeconds || h429 > retryCeilSeconds {
+		t.Errorf("429 hint %d outside [%d, %d]", h429, retryFloorTenantSeconds, retryCeilSeconds)
+	}
+
+	// Fill the global cap with bob, then carol sees 503 with a hint at
+	// or above the (strictly higher) global floor.
+	var second ExperimentStatus
+	if code, err := tenantJSON("POST", base+"/v1/experiments", "bob", long, &second); err != nil || code != http.StatusAccepted {
+		t.Fatalf("bob submit: code %d err %v", code, err)
+	}
+	resp, err = tenantDo("POST", base+"/v1/experiments", "carol", long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated code %d, want 503", resp.StatusCode)
+	}
+	h503 := hint(resp)
+	if h503 < retryFloorGlobalSeconds || h503 > retryCeilSeconds {
+		t.Errorf("503 hint %d outside [%d, %d]", h503, retryFloorGlobalSeconds, retryCeilSeconds)
+	}
+
+	doJSON(t, "DELETE", base+"/v1/experiments/"+first.ID, nil, nil)
+	doJSON(t, "DELETE", base+"/v1/experiments/"+second.ID, nil, nil)
 }
 
 // TestTenantMetrics: per-tenant occupancy gauges appear on the scrape

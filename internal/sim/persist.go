@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"jetty/internal/engine"
+	"jetty/internal/store"
+)
+
+// Result (de)serialization for the persistent store. The codec must be
+// stable and lossless: a result decoded from disk is handed out by the
+// engine exactly like a freshly computed one, and the kill-and-restart
+// recovery test pins DeepEqual between the two. JSON gives us that
+// here — every AppResult field (and every field of its component
+// structs) is exported, Go's float64 encoding round-trips exactly
+// (shortest-representation encode, exact decode), and nil-vs-empty
+// slice distinctions are normalized by AppResult.Clone on every
+// engine-backed read path anyway.
+
+// EncodeResult serializes one AppResult for the on-disk result store.
+func EncodeResult(r AppResult) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodeResult is the inverse of EncodeResult. Unknown fields are an
+// error: an entry written by a newer daemon whose AppResult grew a
+// field must read as a miss (and be recomputed), not silently drop
+// data.
+func DecodeResult(data []byte) (AppResult, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r AppResult
+	if err := dec.Decode(&r); err != nil {
+		return AppResult{}, fmt.Errorf("sim: decoding stored result: %w", err)
+	}
+	return r, nil
+}
+
+// DiskCache adapts a *store.Store to engine.ResultStore: the glue that
+// makes the crash-safe result directory the engine's L3 tier. It only
+// persists AppResult values — the sole result type jettyd's engine
+// carries — and treats any undecodable entry as a miss so the engine
+// recomputes and overwrites it.
+type DiskCache struct {
+	st *store.Store
+}
+
+var _ engine.ResultStore = (*DiskCache)(nil)
+
+// NewDiskCache wraps st as an engine.ResultStore.
+func NewDiskCache(st *store.Store) *DiskCache {
+	return &DiskCache{st: st}
+}
+
+// Load implements engine.ResultStore.
+func (d *DiskCache) Load(key string) (any, bool) {
+	data, ok := d.st.GetResult(key)
+	if !ok {
+		return nil, false
+	}
+	r, err := DecodeResult(data)
+	if err != nil {
+		// Valid JSON that is not a current AppResult (e.g. written by a
+		// different format revision): drop it so the recomputed result
+		// replaces it, and miss.
+		_ = d.st.DeleteResult(key)
+		return nil, false
+	}
+	return r, true
+}
+
+// Store implements engine.ResultStore. Persistence failures are
+// swallowed here by design — they surface in the store's error
+// counters (and /metrics), not as job failures.
+func (d *DiskCache) Store(key string, val any) {
+	r, ok := val.(AppResult)
+	if !ok {
+		return
+	}
+	data, err := EncodeResult(r)
+	if err != nil {
+		return
+	}
+	_ = d.st.PutResult(key, data)
+}

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestResultRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+
+	key := "deadbeef#tl1024"
+	payload := []byte(`{"refs":42,"hit":0.5}`)
+	if err := s.PutResult(key, payload); err != nil {
+		t.Fatalf("PutResult: %v", err)
+	}
+	got, ok := s.GetResult(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("GetResult = %q, %v; want %q, true", got, ok, payload)
+	}
+	if _, ok := s.GetResult("cafebabe"); ok {
+		t.Fatalf("GetResult(miss) = true; want false")
+	}
+
+	// A fresh Store over the same directory — the restart case — must
+	// index and serve the same entry.
+	s2 := mustOpen(t, dir)
+	got, ok = s2.GetResult(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("after reopen: GetResult = %q, %v; want %q, true", got, ok, payload)
+	}
+	st := s2.Stats()
+	if st.Results != 1 || st.Hits != 1 {
+		t.Fatalf("Stats = %+v; want Results=1 Hits=1", st)
+	}
+}
+
+func TestOverwriteIsAtomicAndLastWins(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := "abc123"
+	if err := s.PutResult(key, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutResult(key, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetResult(key)
+	if !ok || string(got) != `{"v":2}` {
+		t.Fatalf("GetResult = %q, %v; want {\"v\":2}", got, ok)
+	}
+	if st := s.Stats(); st.Results != 1 {
+		t.Fatalf("Results = %d after overwrite; want 1", st.Results)
+	}
+}
+
+func TestCorruptResultDiscardedIndividually(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutResult("good", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutResult("torn", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: truncate the file mid-token.
+	tornPath := filepath.Join(dir, resultsDir, "torn"+resultExt)
+	if err := os.WriteFile(tornPath, []byte(`{"v":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	if _, ok := s2.GetResult("torn"); ok {
+		t.Fatalf("torn entry served as valid")
+	}
+	if _, err := os.Stat(tornPath); !os.IsNotExist(err) {
+		t.Fatalf("torn entry not deleted (err=%v)", err)
+	}
+	got, ok := s2.GetResult("good")
+	if !ok || string(got) != `{"v":1}` {
+		t.Fatalf("good entry lost alongside torn one: %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Errors == 0 {
+		t.Fatalf("discarding a corrupt entry should count an error; Stats=%+v", st)
+	}
+}
+
+func TestTraceRoundTripAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	meta := TraceMeta{Name: "ocean", Tenant: "ci"}
+	if err := s.PutTrace("d1", []byte("JTRC-bytes-1"), meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace("d0", []byte("JTRC-bytes-0"), TraceMeta{Name: "lu"}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	got := s2.Traces()
+	if len(got) != 2 || got[0].Digest != "d0" || got[1].Digest != "d1" {
+		t.Fatalf("Traces = %+v; want d0,d1 in digest order", got)
+	}
+	if got[1].Meta != meta || string(got[1].Data) != "JTRC-bytes-1" {
+		t.Fatalf("trace d1 round-trip mismatch: %+v", got[1])
+	}
+
+	if err := s2.DeleteTrace("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.DeleteTrace("d1"); err != nil {
+		t.Fatalf("second delete should be idempotent: %v", err)
+	}
+	if got := s2.Traces(); len(got) != 1 || got[0].Digest != "d0" {
+		t.Fatalf("after delete: %+v", got)
+	}
+}
+
+func TestTraceWithTornMetaDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutTrace("keep", []byte("data"), TraceMeta{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace("drop", []byte("data"), TraceMeta{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, tracesDir, "drop"+traceMetaExt), []byte(`{"name":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	got := s2.Traces()
+	if len(got) != 1 || got[0].Digest != "keep" {
+		t.Fatalf("Traces = %+v; want only keep", got)
+	}
+}
+
+func TestJobJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutJob("swp-000001", []byte(`{"id":"swp-000001","kind":"sweep"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJob("exp-000002", []byte(`{"id":"exp-000002","kind":"experiment"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A torn journal entry: written directly, never through the atomic
+	// path, truncated mid-object.
+	if err := os.WriteFile(filepath.Join(dir, jobsDir, "swp-000003"+jobExt), []byte(`{"id":"swp-0`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	jobs := s2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("Jobs = %v; want exactly the 2 intact entries", jobs)
+	}
+	if _, ok := jobs["swp-000003"]; ok {
+		t.Fatalf("torn journal entry survived")
+	}
+	if st := s2.Stats(); st.PendingJobs != 2 {
+		t.Fatalf("PendingJobs = %d; want 2", st.PendingJobs)
+	}
+
+	if err := s2.DeleteJob("swp-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if jobs := s2.Jobs(); len(jobs) != 1 {
+		t.Fatalf("after delete: %v", jobs)
+	}
+}
+
+func TestManifestVersioning(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir)
+	var m manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil || json.Unmarshal(data, &m) != nil || m.Version != manifestVersion {
+		t.Fatalf("manifest after Open: %q err=%v", data, err)
+	}
+
+	// A future-format directory must be refused, not misread.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("Open with future manifest: err=%v; want version error", err)
+	}
+
+	// A torn manifest is recoverable: it carries only the version.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"ver`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir)
+	if data, _ := os.ReadFile(filepath.Join(dir, manifestName)); !json.Valid(data) {
+		t.Fatalf("manifest not rewritten after corruption: %q", data)
+	}
+	_ = s
+}
+
+func TestTempFilesSweptAndInvisible(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.PutResult("k", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Orphan temp file, as a crash between create and rename leaves.
+	orphan := filepath.Join(dir, resultsDir, tmpPrefix+"orphan")
+	if err := os.WriteFile(orphan, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan temp file not swept")
+	}
+	if st := s2.Stats(); st.Results != 1 {
+		t.Fatalf("temp file counted as entry: %+v", st)
+	}
+
+	// No temp files linger after normal writes.
+	ents, err := os.ReadDir(filepath.Join(dir, resultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	for _, bad := range []string{"", "../escape", "a/b", ".hidden", strings.Repeat("x", 300)} {
+		if err := s.PutResult(bad, []byte(`{}`)); err == nil {
+			t.Fatalf("PutResult(%q) accepted", bad)
+		}
+		if _, ok := s.GetResult(bad); ok {
+			t.Fatalf("GetResult(%q) hit", bad)
+		}
+	}
+}
